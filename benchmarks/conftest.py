@@ -1,0 +1,41 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``test_bench_figN`` module regenerates one figure of the paper via
+:func:`run_figure_bench`: the experiment runs once inside pytest-benchmark's
+timing harness (``pedantic`` with one round — these are experiments, not
+micro-benchmarks), its rendered table is printed (visible with ``-s`` or in
+the captured output), and its shape assertions run on the result.
+
+Scale is controlled by ``--paper-scale``: by default the benches run at a
+reduced scale that finishes in seconds; with the flag they use the paper's
+full trial counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run figure benches at the paper's full trial counts",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    """Whether to run at full (paper) scale."""
+    return request.config.getoption("--paper-scale")
+
+
+def run_figure_bench(benchmark, label, runner, **kwargs):
+    """Execute *runner* once under the benchmark harness and print its table."""
+    result = benchmark.pedantic(
+        lambda: runner(**kwargs), rounds=1, iterations=1
+    )
+    print(f"\n===== {label} =====")
+    print(result.render())
+    return result

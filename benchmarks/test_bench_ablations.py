@@ -1,0 +1,116 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* L' inflation mode ("paper" vs "none" vs "auto"): cost and runtime impact.
+* Subtour-cut warm starting across IRA iterations.
+* Separation oracle cut batching (max_sets).
+* AAML starting tree (BFS vs random): sensitivity of the baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.random_tree import build_random_tree
+from repro.core.ira import build_ira_tree
+from repro.core.lp import solve_mrlc_lp
+from repro.core.separation import find_violated_subtours
+from repro.network.topology import random_graph
+
+
+@pytest.fixture(scope="module")
+def instances():
+    nets = [random_graph(16, 0.7, seed=s) for s in range(5)]
+    lcs = [build_aaml_tree(n).lifetime for n in nets]
+    return list(zip(nets, lcs))
+
+
+class TestInflationAblation:
+    def test_bench_auto(self, benchmark, instances):
+        def run():
+            return [
+                build_ira_tree(net, lc / 2, inflation="auto").tree.cost()
+                for net, lc in instances
+            ]
+
+        costs = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert all(c >= 0 for c in costs)
+
+    def test_bench_none(self, benchmark, instances):
+        def run():
+            return [
+                build_ira_tree(net, lc / 2, inflation="none").tree.cost()
+                for net, lc in instances
+            ]
+
+        costs = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert all(c >= 0 for c in costs)
+
+    def test_auto_cost_never_above_none(self, instances):
+        """The design claim behind 'auto': min of both runs, so <= either."""
+        for net, lc in instances:
+            auto = build_ira_tree(net, lc / 2, inflation="auto").tree.cost()
+            none = build_ira_tree(net, lc / 2, inflation="none").tree.cost()
+            assert auto <= none + 1e-9
+
+
+class TestCutWarmStartAblation:
+    def test_bench_cold_cuts(self, benchmark, instances):
+        net, _ = instances[0]
+
+        def run():
+            return solve_mrlc_lp(net, {}).n_lp_solves
+
+        solves = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert solves >= 1
+
+    def test_bench_warm_cuts(self, benchmark, instances):
+        net, _ = instances[0]
+        warm = solve_mrlc_lp(net, {}).cuts
+
+        def run():
+            return solve_mrlc_lp(net, {}, initial_cuts=warm).n_lp_solves
+
+        solves = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert solves >= 1
+
+    def test_warm_start_reduces_lp_solves(self, instances):
+        for net, _ in instances:
+            cold = solve_mrlc_lp(net, {})
+            warm = solve_mrlc_lp(net, {}, initial_cuts=cold.cuts)
+            assert warm.n_lp_solves <= cold.n_lp_solves
+
+
+class TestSeparationBatchingAblation:
+    @pytest.mark.parametrize("max_sets", [1, 10])
+    def test_bench_cut_batch_size(self, benchmark, instances, max_sets):
+        net, _ = instances[0]
+        edges = [e.key for e in net.edges()]
+        x = np.full(len(edges), (net.n - 1) / len(edges))
+        found = benchmark(
+            find_violated_subtours, net.n, edges, x, max_sets=max_sets
+        )
+        assert len(found) <= max_sets
+
+
+class TestAAMLStartAblation:
+    def test_bench_bfs_start(self, benchmark, instances):
+        net, _ = instances[0]
+        result = benchmark(build_aaml_tree, net)
+        assert result.lifetime > 0
+
+    def test_bench_random_start(self, benchmark, instances):
+        net, _ = instances[0]
+        start = build_random_tree(net, seed=7)
+        result = benchmark(build_aaml_tree, net, initial_tree=start)
+        assert result.lifetime > 0
+
+    def test_start_tree_rarely_changes_optimum(self, instances):
+        """AAML's bottleneck value is robust to the starting tree."""
+        for net, _ in instances:
+            bfs = build_aaml_tree(net).lifetime
+            rnd = build_aaml_tree(
+                net, initial_tree=build_random_tree(net, seed=3)
+            ).lifetime
+            # Same local-search engine; both should reach the same
+            # (complete-graph-ish) optimum on these dense instances.
+            assert rnd == pytest.approx(bfs, rel=0.34)

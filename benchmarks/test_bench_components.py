@@ -1,0 +1,113 @@
+"""Micro-benchmarks of the core components.
+
+Not tied to a specific figure; these time the building blocks the paper's
+complexity claims are about (IRA's LP loop, AAML's local search, O(n log n)
+Prüfer coding, the min-cut separation oracle) so regressions are visible.
+"""
+
+import pytest
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.mst import build_mst_tree
+from repro.core.ira import build_ira_tree
+from repro.core.lp import solve_mrlc_lp
+from repro.core.local_search import bfs_tree
+from repro.core.separation import find_violated_subtours
+from repro.network.dfl import dfl_network
+from repro.network.topology import random_graph
+from repro.prufer.codec import decode, encode
+from repro.prufer.updates import SequencePair
+from repro.utils.maxflow import DinicMaxFlow
+
+
+@pytest.fixture(scope="module")
+def net16():
+    return random_graph(16, 0.7, seed=0)
+
+
+@pytest.fixture(scope="module")
+def net40():
+    return random_graph(40, 0.4, seed=1)
+
+
+def test_bench_mst_16(benchmark, net16):
+    tree = benchmark(build_mst_tree, net16)
+    assert len(tree.edges()) == 15
+
+
+def test_bench_aaml_16(benchmark, net16):
+    result = benchmark(build_aaml_tree, net16)
+    assert result.lifetime > 0
+
+
+def test_bench_ira_16(benchmark, net16):
+    aaml = build_aaml_tree(net16)
+    result = benchmark(build_ira_tree, net16, aaml.lifetime)
+    assert result.lifetime_satisfied
+
+
+def test_bench_ira_40(benchmark, net40):
+    aaml = build_aaml_tree(net40)
+    result = benchmark.pedantic(
+        lambda: build_ira_tree(net40, aaml.lifetime / 2), rounds=3, iterations=1
+    )
+    assert result.lifetime_satisfied
+
+
+def test_bench_lp_solve_16(benchmark, net16):
+    solution = benchmark(solve_mrlc_lp, net16, {})
+    assert solution.is_integral()
+
+
+def test_bench_separation_oracle(benchmark, net16):
+    import numpy as np
+
+    edges = [e.key for e in net16.edges()]
+    # A deliberately cyclic fractional point keeps the oracle busy.
+    x = np.full(len(edges), (net16.n - 1) / len(edges))
+    violated = benchmark(find_violated_subtours, net16.n, edges, x)
+    assert isinstance(violated, list)
+
+
+def test_bench_maxflow_dense(benchmark):
+    def run():
+        net = DinicMaxFlow(40)
+        for u in range(40):
+            for v in range(u + 1, 40):
+                net.add_edge(u, v, 1.0, 1.0)
+        return net.solve(0, 39).flow_value
+
+    value = benchmark(run)
+    assert value == pytest.approx(39.0)
+
+
+def test_bench_prufer_encode_decode(benchmark):
+    net = dfl_network()
+    tree = bfs_tree(net)
+
+    def roundtrip():
+        code = encode(tree)
+        return decode(code, net.n)
+
+    order = benchmark(roundtrip)
+    assert order[-1] == 0
+
+
+def test_bench_prufer_parent_change(benchmark):
+    net = dfl_network()
+    tree = bfs_tree(net)
+    pair = SequencePair.from_tree(tree)
+    # Find a legal move once; benchmark the O(n) splice itself.
+    child = next(
+        v for v in range(1, net.n)
+        if any(
+            p not in pair.component(v) and p != pair.parent_map()[v]
+            for p in net.neighbors(v)
+        )
+    )
+    new_parent = next(
+        p for p in net.neighbors(child)
+        if p not in pair.component(child) and p != pair.parent_map()[child]
+    )
+    updated = benchmark(pair.change_parent, child, new_parent)
+    assert updated.parent_map()[child] == new_parent

@@ -1,0 +1,42 @@
+"""Benches for the extension studies (wide panel, energy hole, scaling)."""
+
+import pytest
+
+from benchmarks.conftest import run_figure_bench
+from repro.baselines.aaml import build_aaml_tree
+from repro.core.ira import build_ira_tree
+from repro.experiments.ext_baselines import run_ext_baselines
+from repro.experiments.ext_energy_hole import run_energy_hole
+from repro.network.topology import random_graph
+
+
+def test_ext_baselines_panel(benchmark, paper_scale):
+    trials = 20 if paper_scale else 5
+    result = run_figure_bench(
+        benchmark, "Extension: algorithm panel", run_ext_baselines,
+        n_trials=trials,
+    )
+    assert result.summary("IRA").meets_lc_fraction == 1.0
+    assert (
+        result.summary("IRA").mean_cost
+        <= result.summary("optimal").mean_cost * 1.1 + 1e-9
+    )
+
+
+def test_ext_energy_hole(benchmark, paper_scale):
+    result = run_figure_bench(
+        benchmark, "Extension: energy hole", run_energy_hole
+    )
+    assert result.profile("IRA").lifetime >= result.profile("BFS").lifetime
+
+
+@pytest.mark.parametrize("n_nodes", [16, 24, 32])
+def test_ira_scaling(benchmark, n_nodes):
+    """IRA wall-clock vs network size (complexity regression guard)."""
+    net = random_graph(n_nodes, 0.5, seed=n_nodes)
+    lc = build_aaml_tree(net).lifetime / 2
+
+    result = benchmark.pedantic(
+        lambda: build_ira_tree(net, lc), rounds=2, iterations=1
+    )
+    assert result.lifetime_satisfied

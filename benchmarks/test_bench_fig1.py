@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 1 (packets per round vs average link quality)."""
+
+import pytest
+
+from benchmarks.conftest import run_figure_bench
+from repro.experiments import run_fig1
+
+
+def test_fig1_packets_vs_quality(benchmark, paper_scale):
+    rounds = 200 if paper_scale else 50
+    result = run_figure_bench(
+        benchmark, "Fig. 1", run_fig1, n_rounds=rounds
+    )
+    # Paper's endpoints for n = 16: 15 packets at q=1.0, 150 at q=0.1.
+    assert result.expected[16][0] == pytest.approx(15.0)
+    assert result.expected[16][-1] == pytest.approx(150.0)
+    # Larger networks pay proportionally more everywhere.
+    for i in range(len(result.qualities)):
+        assert result.simulated[64][i] > result.simulated[16][i]

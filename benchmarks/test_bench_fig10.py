@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 10 (average cost vs link probability)."""
+
+from benchmarks.conftest import run_figure_bench
+from repro.experiments import run_fig10
+
+
+def test_fig10_link_probability(benchmark, paper_scale):
+    trials = 100 if paper_scale else 10
+    result = run_figure_bench(
+        benchmark, "Fig. 10", run_fig10, n_trials=trials
+    )
+    # AAML stays above IRA/MST at every density, by >2x once the graph is
+    # dense enough for IRA to find cheap links under the bound...
+    for i, p in enumerate(result.probabilities):
+        assert result.averages["aaml"][i] > result.averages["ira"][i]
+        if p >= 0.5:
+            assert result.averages["aaml"][i] > 2 * result.averages["ira"][i]
+    # ...and IRA/MST do not grow with density (paper: "almost stays the
+    # same"; denser graphs can only offer cheaper links).
+    assert result.averages["ira"][-1] <= result.averages["ira"][0] + 20
+    assert result.averages["mst"][-1] <= result.averages["mst"][0] + 20

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figs. 11-13 (distributed protocol under churn).
+
+One churn run produces all three series: cost (Fig. 11), reliability
+(Fig. 12), and message counts (Fig. 13).
+"""
+
+from benchmarks.conftest import run_figure_bench
+from repro.experiments import run_distributed_experiment
+
+
+def test_fig11_12_13_distributed_protocol(benchmark, paper_scale):
+    rounds = 100 if paper_scale else 40
+    result = run_figure_bench(
+        benchmark,
+        "Figs. 11-13",
+        run_distributed_experiment,
+        rounds=rounds,
+        seed=11,
+    )
+    dist_cost, cent_cost = result.fig11_series()
+    dist_rel, cent_rel = result.fig12_series()
+    total_msgs, avg_msgs = result.fig13_series()
+    # Fig. 11: both curves rise; distributed tracks IRA (paper gap ~25).
+    assert dist_cost[-1] > dist_cost[0]
+    assert result.max_cost_gap < 40.0
+    # Fig. 12: reliabilities fall together (paper gap <= 0.02).
+    assert dist_rel[-1] < dist_rel[0]
+    assert result.max_reliability_gap < 0.03
+    # Fig. 13: cumulative messages monotone; per-update average modest
+    # (paper: under ~10 messages per update on 16 nodes).
+    assert list(total_msgs) == sorted(total_msgs)
+    assert avg_msgs[-1] < 16

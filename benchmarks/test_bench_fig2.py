@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 2 (PRR vs distance per transmit power)."""
+
+from benchmarks.conftest import run_figure_bench
+from repro.experiments import run_fig2
+
+
+def test_fig2_prr_vs_distance(benchmark, paper_scale):
+    trials = 500 if paper_scale else 100
+    result = run_figure_bench(
+        benchmark, "Fig. 2", run_fig2, n_trials=trials
+    )
+    # Paper claims: Tx=19 degrades gently; Tx=15/11 traverse the cliff.
+    assert result.curves[19][0] > 0.9
+    assert result.curves[19][-1] > 0.3
+    assert result.curves[11][0] > 0.8
+    assert result.curves[11][-1] < 0.15
+    # Power ordering holds at the extremes.
+    assert result.curves[19][-1] > result.curves[11][-1]
+    assert result.curves[11][-1] > result.curves[3][-1] - 0.05

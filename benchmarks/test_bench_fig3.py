@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 3 (power draw per radio state)."""
+
+import pytest
+
+from benchmarks.conftest import run_figure_bench
+from repro.experiments import run_fig3
+
+
+def test_fig3_power_states(benchmark, paper_scale):
+    duration = 10.0 if paper_scale else 3.0
+    result = run_figure_bench(
+        benchmark, "Fig. 3", run_fig3, duration_s=duration
+    )
+    assert result.mean_power_w["send"] == pytest.approx(80e-3, rel=1e-6)
+    assert result.mean_power_w["recv"] == pytest.approx(60e-3, rel=1e-6)
+    assert result.mean_power_w["idle"] == pytest.approx(80e-6, rel=1e-6)
+    assert result.idle_to_active_ratio < 0.005

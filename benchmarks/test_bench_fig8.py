@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 8 (random graphs, same initial energy)."""
+
+from benchmarks.conftest import run_figure_bench
+from repro.experiments import run_fig8
+
+
+def test_fig8_same_energy(benchmark, paper_scale):
+    trials = 100 if paper_scale else 15
+    result = run_figure_bench(
+        benchmark, "Fig. 8", run_fig8, n_trials=trials
+    )
+    summary = result.summary()
+    # Paper bands (paper cost units): AAML ~400-800, IRA ~75-250, MST below.
+    assert 300 <= summary["aaml"]["mean"] <= 900
+    assert 50 <= summary["ira"]["mean"] <= 300
+    assert summary["mst"]["mean"] <= summary["ira"]["mean"]
+    # IRA wins every single trial while matching AAML's lifetime.
+    for t in result.trials:
+        assert t.ira_cost < t.aaml_cost
+        assert t.ira_lifetime_ok

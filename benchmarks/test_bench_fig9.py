@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 9 (random graphs, heterogeneous energy)."""
+
+from benchmarks.conftest import run_figure_bench
+from repro.experiments import run_fig9
+
+
+def test_fig9_diff_energy(benchmark, paper_scale):
+    trials = 100 if paper_scale else 15
+    result = run_figure_bench(
+        benchmark, "Fig. 9", run_fig9, n_trials=trials
+    )
+    summary = result.summary()
+    # Paper: AAML at least ~50% above IRA in most cases, unstable tail.
+    assert summary["aaml"]["mean"] > 1.5 * summary["mst"]["mean"]
+    assert summary["mst"]["mean"] <= summary["ira"]["mean"]
+    for t in result.trials:
+        assert t.mst_cost <= t.ira_cost + 0.01
+        assert t.ira_lifetime_ok

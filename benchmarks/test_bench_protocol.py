@@ -1,0 +1,87 @@
+"""Benches for the distributed protocol's per-operation costs.
+
+The paper claims O(n log n) encode/decode and O(n) per-sensor parent
+changes; these benches document the measured constants and guard against
+complexity regressions.
+"""
+
+import pytest
+
+from repro.baselines.random_tree import build_random_tree
+from repro.core.local_search import bfs_tree
+from repro.distributed.protocol import DistributedProtocol
+from repro.network.topology import random_graph
+from repro.prufer.codec import decode, encode
+from repro.prufer.updates import SequencePair
+
+
+@pytest.mark.parametrize("n_nodes", [16, 64, 256])
+def test_bench_codec_scaling(benchmark, n_nodes):
+    """Encode+decode wall clock across sizes (O(n log n) claim)."""
+    net = random_graph(n_nodes, min(0.5, 200.0 / n_nodes**1.2 + 0.05), seed=n_nodes)
+    tree = build_random_tree(net, seed=1)
+
+    def roundtrip():
+        return decode(encode(tree), n_nodes)
+
+    order = benchmark(roundtrip)
+    assert order[-1] == 0
+
+
+@pytest.mark.parametrize("n_nodes", [16, 64, 256])
+def test_bench_splice_scaling(benchmark, n_nodes):
+    """Parent-change splice wall clock across sizes (O(n) claim)."""
+    net = random_graph(n_nodes, min(0.5, 200.0 / n_nodes**1.2 + 0.05), seed=n_nodes)
+    tree = build_random_tree(net, seed=2)
+    pair = SequencePair.from_tree(tree)
+    move = None
+    for child in range(1, n_nodes):
+        subtree = tree.subtree(child)
+        for p in net.neighbors(child):
+            if p not in subtree and p != tree.parent(child):
+                move = (child, p)
+                break
+        if move:
+            break
+    assert move is not None
+
+    updated = benchmark(pair.change_parent, *move)
+    assert updated.parent_map()[move[0]] == move[1]
+
+
+def test_bench_link_worse_update(benchmark):
+    """Full link-worse handling on the 16-node DFL-scale instance."""
+    net = random_graph(16, 0.8, seed=5)
+    lc = net.energy_model.lifetime_rounds(3000.0, 3)
+    tree = bfs_tree(net)
+
+    def run():
+        local_net = net.copy()
+        protocol = DistributedProtocol(local_net, bfs_tree(local_net), lc)
+        u, v = protocol.tree().edges()[0]
+        local_net.set_prr(u, v, 1e-6)
+        protocol.refresh_link(u, v)
+        return protocol.handle_link_worse(u, v)
+
+    report = benchmark(run)
+    assert report is not None
+
+
+def test_bench_full_churn_round(benchmark):
+    """One ChurnSimulation step without the centralized recompute."""
+    from repro.distributed.simulator import ChurnSimulation
+    from repro.core.ira import build_ira_tree
+
+    base = random_graph(16, 0.7, seed=6)
+    lc = base.energy_model.lifetime_rounds(3000.0, 3)
+
+    def run():
+        net = base.copy()
+        tree = build_ira_tree(net, lc).tree
+        sim = ChurnSimulation(
+            net, tree, lc, seed=1, recompute_centralized=False
+        )
+        return sim.run(10)[-1]
+
+    record = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert record.round_index == 10

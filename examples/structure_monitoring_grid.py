@@ -1,0 +1,75 @@
+"""Structure monitoring on a grid: why aggregation trees beat path metrics.
+
+Run:  python examples/structure_monitoring_grid.py
+
+Scenario: a 6 x 6 sensor grid on a bridge deck (one sensor per girder
+joint), sink at a corner, links graded by distance (interference keeps even
+short hops below 100%).  Two common alternatives are compared against the
+paper's approach:
+
+* an ETX-style shortest-path tree (what CTP-like collection stacks build) -
+  it minimizes each node's own path cost, happily taking lossier diagonal
+  shortcuts to cut depth;
+* retransmit-until-success over that SPT (ETX's operating mode).
+
+The script shows the paper's two motivation claims on this workload:
+
+1. with no retransmissions, the *product* objective matters - the MST beats
+   the SPT in whole-round reliability, and IRA keeps that advantage while
+   honouring a lifetime bound;
+2. with retransmissions, reliability is bought with energy: packets per
+   round grow like ``sum ETX(e)``, which is exactly the overhead the
+   paper's design avoids.
+"""
+
+from repro import build_ira_tree, build_mst_tree, build_spt_tree, grid_graph
+from repro.baselines import build_aaml_tree
+from repro.core.tree import PAPER_COST_SCALE
+from repro.network import EmpiricalPRRModel
+from repro.simulation import average_packets, expected_packets_per_round
+
+
+def main() -> None:
+    # Graded in-field quality: 4 m axis hops ~0.95, 5.7 m diagonals ~0.87.
+    model = EmpiricalPRRModel(alpha=0.02, beta=1.2, noise_sigma=0.01)
+    net = grid_graph(6, 6, spacing_m=4.0, link_model=model, seed=123)
+    print(f"grid deployment: {net.n} nodes, {net.n_edges} links, "
+          f"avg PRR {net.average_prr():.3f}\n")
+
+    spt = build_spt_tree(net)
+    mst = build_mst_tree(net)
+    aaml = build_aaml_tree(net)
+    ira = build_ira_tree(net, aaml.lifetime / 2).tree
+
+    print(f"{'tree':8s} {'cost':>8s} {'Q(T)':>8s} {'depth':>6s} {'lifetime':>10s}")
+    for name, tree in (("SPT", spt), ("MST", mst), ("IRA", ira)):
+        depth = max(tree.depth(v) for v in range(tree.n))
+        print(
+            f"{name:8s} {tree.cost() * PAPER_COST_SCALE:8.1f} "
+            f"{tree.reliability():8.4f} {depth:6d} {tree.lifetime():10.3e}"
+        )
+
+    # Claim 1: the product objective.
+    assert mst.cost() <= spt.cost() + 1e-12
+    assert mst.reliability() > spt.reliability()
+    print(
+        "\nThe SPT halves the depth by taking diagonal shortcuts, but every "
+        "shortcut multiplies into the round-success probability: the MST's "
+        f"whole-round reliability is {mst.reliability() / spt.reliability():.1f}x "
+        "the SPT's, and IRA retains most of it under a lifetime bound."
+    )
+
+    # Claim 2: what ETX-style retransmission costs.
+    expected = expected_packets_per_round(spt)
+    measured = average_packets(spt, 500, seed=9)
+    print(
+        f"\nretransmit-until-success over the SPT: {measured:.1f} packets per "
+        f"round measured ({expected:.1f} expected) vs {net.n - 1} packets with "
+        "the paper's no-ACK aggregation - "
+        f"{100 * (expected - (net.n - 1)) / expected:.0f}% of transmissions "
+        "are retransmission overhead the MRLC design avoids."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — reproduction of "On Maximizing Reliability of Lifetime Constrained
+Data Aggregation Tree in Wireless Sensor Networks" (Shan et al., ICPP 2015).
+
+The library provides, as a coherent toolkit:
+
+* the **MRLC solver** — :func:`build_ira_tree` (Iterative Relaxation
+  Algorithm over an LP with lazy subtour constraints);
+* the paper's **baselines** — :func:`build_aaml_tree` (lifetime-maximizing
+  local search), :func:`build_mst_tree` (Prim), plus SPT and random trees;
+* the **network substrate** — :class:`Network`, TelosB energy model,
+  PRR link models, topology generators, beacon-trace estimation, and a
+  synthetic stand-in for the paper's DFL testbed;
+* the **distributed protocol** — Prüfer-coded replicas with O(n) parent
+  changes (:class:`DistributedProtocol`) and the churn simulator behind
+  Figs. 11–13;
+* **behavioural simulators** for aggregation rounds, lifetime, and
+  retransmission counting;
+* an **experiment harness** (:mod:`repro.experiments`) regenerating every
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro import dfl_network, build_ira_tree, build_aaml_tree
+
+    net = dfl_network()
+    lc = build_aaml_tree(net.filtered(0.95)).lifetime / 1.5
+    tree = build_ira_tree(net, lc).tree
+    print(tree.reliability(), tree.lifetime())
+"""
+
+from repro.analysis import TreeStatistics, compare_trees
+from repro.baselines import (
+    build_aaml_tree,
+    build_mst_tree,
+    build_random_tree,
+    build_rasmalai_tree,
+    build_spt_tree,
+)
+from repro.core import (
+    AggregationTree,
+    ExactResult,
+    DisconnectedNetworkError,
+    InfeasibleLifetimeError,
+    IRAResult,
+    LifetimeSpec,
+    MRLCError,
+    PAPER_COST_SCALE,
+    build_ira_tree,
+    solve_mrlc_exact,
+)
+from repro.distributed import ChurnSimulation, DistributedProtocol
+from repro.network import (
+    EnergyModel,
+    Network,
+    TELOSB,
+    dfl_network,
+    grid_graph,
+    random_graph,
+    unit_disk_graph,
+)
+from repro.prufer import SequencePair
+from repro.simulation import AggregationSimulator, simulate_lifetime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationSimulator",
+    "AggregationTree",
+    "ChurnSimulation",
+    "DisconnectedNetworkError",
+    "DistributedProtocol",
+    "EnergyModel",
+    "ExactResult",
+    "IRAResult",
+    "InfeasibleLifetimeError",
+    "LifetimeSpec",
+    "MRLCError",
+    "Network",
+    "PAPER_COST_SCALE",
+    "SequencePair",
+    "TELOSB",
+    "TreeStatistics",
+    "__version__",
+    "build_aaml_tree",
+    "build_ira_tree",
+    "build_mst_tree",
+    "build_random_tree",
+    "build_rasmalai_tree",
+    "build_spt_tree",
+    "compare_trees",
+    "dfl_network",
+    "grid_graph",
+    "random_graph",
+    "simulate_lifetime",
+    "solve_mrlc_exact",
+    "unit_disk_graph",
+]

@@ -1,0 +1,123 @@
+"""Validation of the paper's LP-theoretic claims on actual solver output.
+
+Section IV/V's correctness argument rests on structural properties of
+extreme points (Lemma 1, Lemma 2, Lemma 4): tight subtour constraints form a
+laminar family, singleton-free laminar families over ``V`` have at most
+``|V| - 1`` members, and extreme points of the pure Subtour LP are integral.
+These are theorems — but our solver works in floating point, so this module
+makes them *checkable* on real :class:`~repro.core.lp.LPSolution` objects,
+and the test suite asserts them on every solved instance.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.lp import LPSolution
+
+__all__ = [
+    "is_laminar",
+    "tight_subtour_sets",
+    "check_extreme_point_structure",
+]
+
+_TOL = 1e-6
+
+
+def is_laminar(sets: Sequence[FrozenSet[int]]) -> bool:
+    """Whether no two sets *intersect* in the paper's sense.
+
+    Two sets X, Y are intersecting when X∩Y, X\\Y and Y\\X are all nonempty;
+    a family is laminar when no pair intersects (Section IV-A).
+    """
+    sets = list(sets)
+    for i, x in enumerate(sets):
+        for y in sets[i + 1 :]:
+            inter = x & y
+            if inter and (x - y) and (y - x):
+                return False
+    return True
+
+
+def tight_subtour_sets(
+    solution: LPSolution, n: int, *, tol: float = _TOL
+) -> List[FrozenSet[int]]:
+    """Generated cuts of *solution* that are tight: ``x(E(S)) = |S| - 1``.
+
+    Only the lazily generated cut pool is inspected (checking all 2^n
+    subsets is the exponential family the lazy scheme avoids); the tight
+    ones among them are exactly the candidates for the family ``F`` of
+    Eq. 17.
+    """
+    tight = []
+    for subset in solution.cuts:
+        inside = sum(
+            x
+            for (u, v), x in zip(solution.edges, solution.x)
+            if u in subset and v in subset
+        )
+        if abs(inside - (len(subset) - 1)) <= tol:
+            tight.append(subset)
+    # The ground set V is always tight via the spanning equality (Eq. 14).
+    full = frozenset(range(n))
+    total = float(np.sum(solution.x))
+    if abs(total - (n - 1)) <= tol and full not in tight:
+        tight.append(full)
+    return tight
+
+
+def maximal_laminar_subfamily(
+    sets: Sequence[FrozenSet[int]],
+) -> List[FrozenSet[int]]:
+    """Greedy maximal laminar subfamily (largest sets first).
+
+    Mirrors the proof device of Lemma 4: from the tight family ``F``, keep a
+    maximal laminar subfamily ``L``.
+    """
+    chosen: List[FrozenSet[int]] = []
+    for candidate in sorted(set(sets), key=len, reverse=True):
+        ok = True
+        for existing in chosen:
+            inter = candidate & existing
+            if inter and (candidate - existing) and (existing - candidate):
+                ok = False
+                break
+        if ok:
+            chosen.append(candidate)
+    return chosen
+
+
+def check_extreme_point_structure(
+    solution: LPSolution, n: int, *, tol: float = _TOL
+) -> dict:
+    """Verify the Lemma 1 / Lemma 2 / Lemma 4 structure on *solution*.
+
+    Returns a report dict with the measured quantities:
+
+    * ``support_size`` — |E*| (edges with x_e > 0);
+    * ``n_tight`` / ``n_laminar`` — tight generated cuts and the size of a
+      maximal laminar subfamily (Lemma 2 bounds it by n - 1);
+    * ``laminar_ok`` — the subfamily is genuinely laminar;
+    * ``variables_in_bounds`` — 0 <= x_e <= 1 (Eq. 6);
+    * ``integral`` — whether the point is 0/1 (true whenever the program was
+      the pure Subtour LP, per Lemma 1).
+    """
+    tight = tight_subtour_sets(solution, n, tol=tol)
+    laminar = maximal_laminar_subfamily(tight)
+    report = {
+        "support_size": len(solution.support()),
+        "n_tight": len(tight),
+        "n_laminar": len(laminar),
+        "laminar_ok": is_laminar(laminar),
+        "laminar_within_lemma2_bound": len(
+            [s for s in laminar if len(s) >= 2]
+        )
+        <= max(n - 1, 0),
+        "variables_in_bounds": bool(
+            np.all(solution.x >= -tol) and np.all(solution.x <= 1 + tol)
+        ),
+        "integral": solution.is_integral(),
+    }
+    return report

@@ -1,0 +1,126 @@
+"""Structural statistics of aggregation trees.
+
+The paper reasons about trees via three numbers (cost, reliability,
+lifetime); operators of a real deployment want to see *why* a tree behaves
+as it does: how deep it is, how load is distributed, which nodes carry the
+energy burden.  This module computes those diagnostics and a side-by-side
+comparison used by the examples and the extended benchmarks (e.g. the
+energy-hole analysis of the paper's introduction: nodes close to the sink
+carry more children and die first).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tree import PAPER_COST_SCALE, AggregationTree
+from repro.utils.tables import format_table
+
+__all__ = ["TreeStatistics", "compare_trees", "load_gini"]
+
+
+def load_gini(children_counts: Sequence[int]) -> float:
+    """Gini coefficient of the per-node children distribution.
+
+    0 = perfectly balanced load, →1 = one node carries everything.  A
+    proxy for the energy-hole severity the paper's introduction describes.
+    """
+    values = np.sort(np.asarray(children_counts, dtype=float))
+    if len(values) == 0:
+        raise ValueError("children_counts must be non-empty")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    n = len(values)
+    # Standard Gini via the sorted-rank formula.
+    index = np.arange(1, n + 1)
+    return float((2 * (index * values).sum()) / (n * total) - (n + 1) / n)
+
+
+@dataclass(frozen=True)
+class TreeStatistics:
+    """Structural summary of one aggregation tree.
+
+    Attributes:
+        cost: Tree cost in paper units.
+        reliability: ``Q(T)``.
+        lifetime: ``L(T)`` in aggregation rounds.
+        max_depth: Longest leaf-to-sink hop count.
+        mean_depth: Average hop count over all nodes.
+        max_children: Largest children count (the degree hot-spot).
+        children_gini: Load-balance Gini of children counts.
+        leaf_fraction: Fraction of nodes that are leaves.
+        bottleneck: The node realising the minimum lifetime.
+        bottleneck_margin: Second-lowest lifetime / lowest (1.0 = tied).
+    """
+
+    cost: float
+    reliability: float
+    lifetime: float
+    max_depth: int
+    mean_depth: float
+    max_children: int
+    children_gini: float
+    leaf_fraction: float
+    bottleneck: int
+    bottleneck_margin: float
+
+    @classmethod
+    def of(cls, tree: AggregationTree) -> "TreeStatistics":
+        """Compute all statistics of *tree*."""
+        n = tree.n
+        depths = [tree.depth(v) for v in range(n)]
+        children = [tree.n_children(v) for v in range(n)]
+        lifetimes = sorted(tree.node_lifetime(v) for v in range(n))
+        margin = (
+            lifetimes[1] / lifetimes[0] if n > 1 and lifetimes[0] > 0 else 1.0
+        )
+        return cls(
+            cost=tree.cost() * PAPER_COST_SCALE,
+            reliability=tree.reliability(),
+            lifetime=tree.lifetime(),
+            max_depth=max(depths),
+            mean_depth=float(np.mean(depths)),
+            max_children=max(children),
+            children_gini=load_gini(children),
+            leaf_fraction=len(tree.leaves()) / n,
+            bottleneck=tree.bottleneck(),
+            bottleneck_margin=margin,
+        )
+
+    def as_row(self) -> List:
+        return [
+            round(self.cost, 1),
+            round(self.reliability, 4),
+            f"{self.lifetime:.3e}",
+            self.max_depth,
+            round(self.mean_depth, 2),
+            self.max_children,
+            round(self.children_gini, 3),
+            round(self.leaf_fraction, 2),
+        ]
+
+
+def compare_trees(trees: Dict[str, AggregationTree]) -> str:
+    """Side-by-side statistics table for a set of named trees."""
+    if not trees:
+        raise ValueError("no trees to compare")
+    headers = [
+        "tree",
+        "cost",
+        "Q(T)",
+        "lifetime",
+        "max depth",
+        "mean depth",
+        "max ch",
+        "gini",
+        "leaf frac",
+    ]
+    rows = [
+        [name] + TreeStatistics.of(tree).as_row() for name, tree in trees.items()
+    ]
+    return format_table(headers, rows, title="Tree comparison")

@@ -1,0 +1,34 @@
+"""Baseline tree-construction algorithms the paper compares against.
+
+* :mod:`repro.baselines.mst` — Prim's minimum spanning tree, the reliability
+  lower bound of Section VII.
+* :mod:`repro.baselines.aaml` — the lifetime-maximizing AAML local search
+  (Wu et al., INFOCOM 2008), the paper's main competitor.
+* :mod:`repro.baselines.spt` — ETX-style shortest-path tree (extension).
+* :mod:`repro.baselines.random_tree` — uniform random spanning trees
+  (Wilson's algorithm), the null model.
+* :mod:`repro.baselines.rasmalai` — randomized bottleneck switching
+  (RaSMaLai-style, Imon et al. 2013; extension).
+* :mod:`repro.baselines.delay_bounded` — hop-constrained cheapest-path
+  trees (delay-bounded collection, Shen et al. 2012; extension).
+"""
+
+from repro.baselines.aaml import AAMLResult, bfs_tree, build_aaml_tree
+from repro.baselines.delay_bounded import build_delay_bounded_tree
+from repro.baselines.mst import build_mst_tree, mst_cost
+from repro.baselines.random_tree import build_random_tree
+from repro.baselines.rasmalai import RaSMaLaiResult, build_rasmalai_tree
+from repro.baselines.spt import build_spt_tree
+
+__all__ = [
+    "AAMLResult",
+    "RaSMaLaiResult",
+    "bfs_tree",
+    "build_aaml_tree",
+    "build_delay_bounded_tree",
+    "build_mst_tree",
+    "build_random_tree",
+    "build_rasmalai_tree",
+    "build_spt_tree",
+    "mst_cost",
+]

@@ -1,0 +1,53 @@
+"""Core contribution: the MRLC problem, its LP relaxation, and IRA.
+
+* :mod:`repro.core.tree` — the :class:`AggregationTree` abstraction with the
+  paper's reliability / cost / lifetime metrics.
+* :mod:`repro.core.lifetime` — lifetime-constraint ↔ degree-bound arithmetic
+  and the inflated bound ``L'`` of Algorithm 1.
+* :mod:`repro.core.lp` — ``LP(G, L', W)`` with lazy subtour constraints.
+* :mod:`repro.core.separation` — Padberg–Wolsey min-cut separation oracle.
+* :mod:`repro.core.ira` — the Iterative Relaxation Algorithm (Algorithm 1).
+"""
+
+from repro.core.exact import ExactResult, solve_mrlc_exact
+from repro.core.errors import (
+    DisconnectedNetworkError,
+    InfeasibleLifetimeError,
+    LPSolverError,
+    MRLCError,
+)
+from repro.core.ira import IRAResult, IterativeRelaxation, build_ira_tree
+from repro.core.lifetime import (
+    LifetimeSpec,
+    children_bound,
+    degree_bound,
+    inflated_bound,
+    lifetime_with_children,
+)
+from repro.core.lp import LPSolution, MRLCLinearProgram, solve_mrlc_lp
+from repro.core.separation import find_violated_subtours, subtour_violation
+from repro.core.tree import PAPER_COST_SCALE, AggregationTree
+
+__all__ = [
+    "AggregationTree",
+    "DisconnectedNetworkError",
+    "ExactResult",
+    "IRAResult",
+    "InfeasibleLifetimeError",
+    "IterativeRelaxation",
+    "LPSolution",
+    "LPSolverError",
+    "LifetimeSpec",
+    "MRLCError",
+    "MRLCLinearProgram",
+    "PAPER_COST_SCALE",
+    "build_ira_tree",
+    "children_bound",
+    "degree_bound",
+    "find_violated_subtours",
+    "inflated_bound",
+    "lifetime_with_children",
+    "solve_mrlc_exact",
+    "solve_mrlc_lp",
+    "subtour_violation",
+]

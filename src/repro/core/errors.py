@@ -1,0 +1,31 @@
+"""Exception types raised by the MRLC solvers."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MRLCError",
+    "DisconnectedNetworkError",
+    "InfeasibleLifetimeError",
+    "LPSolverError",
+]
+
+
+class MRLCError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class DisconnectedNetworkError(MRLCError):
+    """The network has no spanning tree at all (some node cannot reach the sink)."""
+
+
+class InfeasibleLifetimeError(MRLCError):
+    """No data aggregation tree satisfies the requested lifetime bound.
+
+    This is the first of IRA's two possible outcomes (Section V-A): the
+    algorithm "shows that there is no data aggregation tree with lifetime
+    bounded by LC".
+    """
+
+
+class LPSolverError(MRLCError):
+    """The underlying linear-program solver failed unexpectedly."""

@@ -1,0 +1,299 @@
+"""Tree local-search primitives shared by AAML and IRA's repair pass.
+
+All three searches operate on the same move: detach a node from its parent
+and re-attach it under a network neighbour outside its own subtree.
+
+* :func:`maximize_lifetime` — lexicographically raise the ascending per-node
+  lifetime vector.  This is the engine of the AAML baseline (Wu et al. 2008:
+  "iteratively reduce the load on bottleneck nodes") and, because it drives
+  the tree toward the lifetime-optimal load distribution, also the
+  feasibility fallback of IRA's repair pass.
+* :func:`repair_overload` — cheapest single moves that reduce the total
+  children-cap excess; fixes the bounded violation a forced relaxation can
+  leave behind.
+* :func:`reduce_cost_under_caps` — greedy cost descent that never violates
+  the children caps; polishes a feasibility-first tree back toward low cost.
+
+Every search strictly decreases (or lexicographically increases) a potential
+per accepted move over a finite state space, so all of them terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.tree import AggregationTree
+
+__all__ = [
+    "bfs_tree",
+    "improve_hamiltonian_path",
+    "lifetime_vector",
+    "maximize_lifetime",
+    "repair_overload",
+    "reduce_cost_under_caps",
+]
+
+
+def bfs_tree(network) -> AggregationTree:
+    """Breadth-first (shortest-hop) spanning tree — the canonical start point.
+
+    Used as AAML's "arbitrary tree" and as the restart point of IRA's repair
+    pass.  Raises :class:`~repro.core.errors.DisconnectedNetworkError` when
+    some node cannot reach the sink.
+    """
+    from repro.core.errors import DisconnectedNetworkError
+
+    n = network.n
+    if n == 1:
+        return AggregationTree(network, {})
+    parents = {}
+    visited = [False] * n
+    visited[network.sink] = True
+    frontier = [network.sink]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in network.neighbors(u):
+                if not visited[v]:
+                    visited[v] = True
+                    parents[v] = u
+                    nxt.append(v)
+        frontier = nxt
+    if not all(visited):
+        raise DisconnectedNetworkError(
+            "network is disconnected; no spanning tree exists"
+        )
+    return AggregationTree(network, parents)
+
+
+def lifetime_vector(tree: AggregationTree) -> Tuple[float, ...]:
+    """Per-node lifetimes sorted ascending — the lexicographic potential."""
+    return tuple(sorted(tree.node_lifetime(v) for v in range(tree.n)))
+
+
+def maximize_lifetime(
+    tree: AggregationTree, *, max_moves: int = 100_000
+) -> Tuple[AggregationTree, int]:
+    """Lexicographic bottleneneck-lifetime ascent; returns (tree, moves).
+
+    Each iteration scans moves from the most-starved nodes outward and
+    accepts the lexicographically best strict improvement of the ascending
+    lifetime vector; stops at a local optimum.
+    """
+    network = tree.network
+    current_vec = lifetime_vector(tree)
+    moves = 0
+    improved = True
+    while improved and moves < max_moves:
+        improved = False
+        best_vec = current_vec
+        best_move: Optional[Tuple[int, int]] = None
+
+        order = sorted(range(tree.n), key=lambda v: tree.node_lifetime(v))
+        for loaded in order:
+            for child in tree.children(loaded):
+                subtree = tree.subtree(child)
+                for candidate in network.neighbors(child):
+                    if candidate == loaded or candidate in subtree:
+                        continue
+                    trial = tree.with_parent(child, candidate)
+                    vec = lifetime_vector(trial)
+                    if vec > best_vec:
+                        best_vec = vec
+                        best_move = (child, candidate)
+            if best_move is not None:
+                break  # act on the tightest bottleneck first
+
+        if best_move is not None:
+            tree = tree.with_parent(*best_move)
+            current_vec = best_vec
+            moves += 1
+            improved = True
+    return tree, moves
+
+
+def _total_excess(tree: AggregationTree, caps: Dict[int, int]) -> int:
+    return sum(max(0, tree.n_children(v) - caps[v]) for v in range(tree.n))
+
+
+def repair_overload(
+    tree: AggregationTree, caps: Dict[int, int]
+) -> Optional[AggregationTree]:
+    """Re-home excess children until every node meets its children cap.
+
+    Each move takes a child of an overloaded node to an under-cap network
+    neighbour, preferring the smallest cost increase.  Returns the repaired
+    tree, or ``None`` when no single move can make progress (the caller
+    should fall back to :func:`maximize_lifetime`).
+    """
+    network = tree.network
+    current = tree
+    while _total_excess(current, caps) > 0:
+        best: Optional[Tuple[float, int, int]] = None
+        overloaded = [
+            v for v in range(current.n) if current.n_children(v) > caps[v]
+        ]
+        for v in overloaded:
+            for child in current.children(v):
+                subtree = current.subtree(child)
+                for cand in network.neighbors(child):
+                    if cand == v or cand in subtree:
+                        continue
+                    if current.n_children(cand) >= caps[cand]:
+                        continue
+                    delta = network.cost(child, cand) - network.cost(child, v)
+                    if best is None or delta < best[0]:
+                        best = (delta, child, cand)
+        if best is None:
+            return None
+        current = current.with_parent(best[1], best[2])
+    return current
+
+
+def improve_hamiltonian_path(
+    tree: AggregationTree, *, max_moves: int = 10_000
+) -> AggregationTree:
+    """2-opt cost descent for Hamiltonian-path aggregation trees.
+
+    The strictest feasible MRLC regime (uniform energy, ``LC`` equal to the
+    one-child lifetime) only admits Hamiltonian paths with the sink as an
+    endpoint.  Re-parent moves cannot descend there (no node has spare child
+    capacity), but the classic 2-opt move can: pick positions ``i < j`` on
+    the path, reverse the segment between them, and keep the change when the
+    two swapped links exist in the network and are cheaper.  The sink end is
+    pinned (it must stay the root).
+
+    Returns *tree* unchanged when it is not a sink-rooted Hamiltonian path.
+    """
+    network = tree.network
+    n = tree.n
+    if n < 4:
+        return tree
+    if any(tree.n_children(v) > 1 for v in range(n)):
+        return tree
+    if tree.n_children(tree.sink) != 1:
+        return tree
+
+    # Path order from the sink: order[0] = sink, order[k+1] = child of order[k].
+    order: List[int] = [tree.sink]
+    while tree.n_children(order[-1]) == 1:
+        order.append(tree.children(order[-1])[0])
+    if len(order) != n:
+        return tree  # disconnected path structure (cannot happen, defensive)
+
+    def cost(u: int, v: int) -> float:
+        return network.cost(u, v)
+
+    def two_opt_best() -> Optional[Tuple[float, Tuple[int, int]]]:
+        # Reverse order[i+1 .. j]: replaces (order[i], order[i+1]) and
+        # (order[j], order[j+1]) with (order[i], order[j]) and
+        # (order[i+1], order[j+1]).  j = n-1 drops the second pair.
+        best: Optional[Tuple[float, Tuple[int, int]]] = None
+        for i in range(0, n - 2):
+            a = order[i]
+            b = order[i + 1]
+            for j in range(i + 2, n):
+                c = order[j]
+                if not network.has_edge(a, c):
+                    continue
+                if j + 1 < n:
+                    d = order[j + 1]
+                    if not network.has_edge(b, d):
+                        continue
+                    delta = cost(a, c) + cost(b, d) - cost(a, b) - cost(c, d)
+                else:
+                    delta = cost(a, c) - cost(a, b)
+                if delta < -1e-15 and (best is None or delta < best[0]):
+                    best = (delta, (i, j))
+        return best
+
+    def or_opt_best() -> Optional[Tuple[float, Tuple[int, int, int]]]:
+        # Relocate the segment order[i .. i+length-1] to sit after
+        # position k (k outside the segment); segments of length 1-3.
+        best: Optional[Tuple[float, Tuple[int, int, int]]] = None
+        for length in (1, 2, 3):
+            for i in range(1, n - length + 1):
+                seg_head = order[i]
+                seg_tail = order[i + length - 1]
+                prev = order[i - 1]
+                nxt = order[i + length] if i + length < n else None
+                # Cost of closing the hole the segment leaves behind.
+                removed = cost(prev, seg_head)
+                if nxt is not None:
+                    if not network.has_edge(prev, nxt):
+                        continue
+                    removed += cost(seg_tail, nxt) - cost(prev, nxt)
+                for k in range(0, n):
+                    if i - 1 <= k <= i + length - 1:
+                        continue  # target inside/adjacent to the segment
+                    left = order[k]
+                    right = order[k + 1] if k + 1 < n else None
+                    if right is not None and i <= k + 1 <= i + length - 1:
+                        continue
+                    if not network.has_edge(left, seg_head):
+                        continue
+                    added = cost(left, seg_head)
+                    if right is not None:
+                        if not network.has_edge(seg_tail, right):
+                            continue
+                        added += cost(seg_tail, right) - cost(left, right)
+                    delta = added - removed
+                    if delta < -1e-15 and (best is None or delta < best[0]):
+                        best = (delta, (i, length, k))
+        return best
+
+    moves = 0
+    improved = True
+    while improved and moves < max_moves:
+        improved = False
+        two = two_opt_best()
+        orm = or_opt_best()
+        if two is not None and (orm is None or two[0] <= orm[0]):
+            _, (i, j) = two
+            order[i + 1 : j + 1] = reversed(order[i + 1 : j + 1])
+            moves += 1
+            improved = True
+        elif orm is not None:
+            _, (i, length, k) = orm
+            segment = order[i : i + length]
+            del order[i : i + length]
+            insert_at = k + 1 if k < i else k + 1 - length
+            order[insert_at:insert_at] = segment
+            moves += 1
+            improved = True
+
+    parents = {order[k + 1]: order[k] for k in range(n - 1)}
+    return AggregationTree(network, parents)
+
+
+def reduce_cost_under_caps(
+    tree: AggregationTree, caps: Dict[int, int], *, max_moves: int = 100_000
+) -> AggregationTree:
+    """Greedy cost descent with children caps as a hard constraint.
+
+    Only accepts strictly cost-decreasing re-parent moves whose target stays
+    under its cap, so a cap-feasible input remains cap-feasible throughout.
+    """
+    network = tree.network
+    moves = 0
+    while moves < max_moves:
+        best: Optional[Tuple[float, int, int]] = None
+        for child in range(tree.n):
+            if child == tree.sink:
+                continue
+            parent = tree.parent(child)
+            assert parent is not None
+            subtree = tree.subtree(child)
+            for cand in network.neighbors(child):
+                if cand == parent or cand in subtree:
+                    continue
+                if tree.n_children(cand) >= caps[cand]:
+                    continue
+                delta = network.cost(child, cand) - network.cost(child, parent)
+                if delta < -1e-15 and (best is None or delta < best[0]):
+                    best = (delta, child, cand)
+        if best is None:
+            return tree
+        tree = tree.with_parent(best[1], best[2])
+        moves += 1
+    return tree

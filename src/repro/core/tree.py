@@ -1,0 +1,299 @@
+"""Rooted data aggregation trees: reliability, cost, lifetime.
+
+An aggregation tree is a spanning tree of the network rooted at the sink
+(node 0).  During one data aggregation round each node receives one packet
+per child, aggregates, and sends one packet to its parent; the round succeeds
+iff every link delivery succeeds, so (Section III-B):
+
+* reliability  ``Q(T) = prod(q_e for e in T)``
+* cost         ``C(T) = sum(-log q_e) = -log Q(T)``  (Lemma 3)
+* lifetime     ``L(T) = min_v I(v) / (Tx + Rx * Ch_T(v))``  (Eq. 1)
+
+The paper's figures plot cost in ``-1000 * log2(q)`` units (recoverable from
+the published cost/reliability pairs, e.g. MST cost 55 ↔ reliability 0.963);
+:data:`PAPER_COST_SCALE` converts natural-log cost to those units.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.network.model import Network, edge_key
+
+__all__ = ["AggregationTree", "PAPER_COST_SCALE"]
+
+#: Multiply a natural-log cost by this to get the paper's plotted cost units
+#: (−1000·log2 q).  E.g. reliability 0.963 → paper cost ≈ 54.4 ≈ Fig. 7's 55.
+PAPER_COST_SCALE = 1000.0 / math.log(2.0)
+
+
+class AggregationTree:
+    """A spanning tree of a :class:`Network`, rooted at the sink.
+
+    Stored as a parent map: ``parent[v]`` for every non-sink node ``v``; the
+    sink has no parent.  The tree must be spanning (every node present) and
+    every tree edge must exist in the network — both validated on
+    construction.
+
+    Args:
+        network: The network this tree spans.
+        parents: Mapping or sequence giving each non-sink node's parent.  A
+            sequence must have length ``n`` with ``parents[0]`` ignored
+            (conventionally ``-1``).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        parents: Dict[int, int] | Sequence[int],
+    ) -> None:
+        self.network = network
+        n = network.n
+        parent_arr = np.full(n, -1, dtype=np.int64)
+        if isinstance(parents, dict):
+            items = parents.items()
+        else:
+            if len(parents) != n:
+                raise ValueError(
+                    f"parents sequence must have length {n}, got {len(parents)}"
+                )
+            items = ((v, p) for v, p in enumerate(parents) if v != network.sink)
+        for v, p in items:
+            if v == network.sink:
+                continue
+            if not (0 <= v < n) or not (0 <= p < n):
+                raise ValueError(f"parent entry ({v} -> {p}) out of range")
+            parent_arr[v] = p
+        self._parent = parent_arr
+        self._children: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            if v == network.sink:
+                continue
+            p = int(parent_arr[v])
+            if p < 0:
+                raise ValueError(f"node {v} has no parent; tree is not spanning")
+            if not network.has_edge(v, p):
+                raise ValueError(
+                    f"tree edge ({v}, {p}) does not exist in the network"
+                )
+            self._children[p].append(v)
+        for kids in self._children:
+            kids.sort()
+        self._validate_rooted()
+
+    def _validate_rooted(self) -> None:
+        """Every node must reach the sink via parent pointers (no cycles)."""
+        n = self.network.n
+        state = np.zeros(n, dtype=np.int8)  # 0 unvisited, 1 in-progress, 2 ok
+        state[self.network.sink] = 2
+        for start in range(n):
+            path = []
+            v = start
+            while state[v] == 0:
+                state[v] = 1
+                path.append(v)
+                v = int(self._parent[v])
+            if state[v] == 1:
+                raise ValueError(f"parent pointers contain a cycle through node {v}")
+            for u in path:
+                state[u] = 2
+
+    # ------------------------------------------------------------------
+    # Alternative constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, network: Network, edges: Iterable[Tuple[int, int]]
+    ) -> "AggregationTree":
+        """Build from an undirected edge set by orienting away from the sink.
+
+        Raises ``ValueError`` if the edges do not form a spanning tree.
+        """
+        adj: Dict[int, List[int]] = {v: [] for v in network.nodes}
+        count = 0
+        seen_edges: Set[Tuple[int, int]] = set()
+        for u, v in edges:
+            key = edge_key(u, v)
+            if key in seen_edges:
+                raise ValueError(f"duplicate edge {key}")
+            seen_edges.add(key)
+            adj[u].append(v)
+            adj[v].append(u)
+            count += 1
+        if count != network.n - 1:
+            raise ValueError(
+                f"spanning tree needs {network.n - 1} edges, got {count}"
+            )
+        parents: Dict[int, int] = {}
+        visited = {network.sink}
+        stack = [network.sink]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if v not in visited:
+                    visited.add(v)
+                    parents[v] = u
+                    stack.append(v)
+        if len(visited) != network.n:
+            raise ValueError("edge set is not connected; not a spanning tree")
+        return cls(network, parents)
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    @property
+    def sink(self) -> int:
+        return self.network.sink
+
+    def parent(self, v: int) -> Optional[int]:
+        """Parent of *v*, or ``None`` for the sink."""
+        if v == self.sink:
+            return None
+        return int(self._parent[v])
+
+    @property
+    def parents(self) -> Dict[int, int]:
+        """Copy of the parent map (non-sink nodes only)."""
+        return {
+            v: int(self._parent[v]) for v in range(self.n) if v != self.sink
+        }
+
+    def children(self, v: int) -> List[int]:
+        """Sorted children of *v*."""
+        return list(self._children[v])
+
+    def n_children(self, v: int) -> int:
+        """``Ch_T(v)`` of Eq. 1."""
+        return len(self._children[v])
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Tree edges as canonical keys, sorted."""
+        return sorted(
+            edge_key(v, int(self._parent[v]))
+            for v in range(self.n)
+            if v != self.sink
+        )
+
+    def has_tree_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return (
+            (u != self.sink and int(self._parent[u]) == v)
+            or (v != self.sink and int(self._parent[v]) == u)
+        )
+
+    def subtree(self, v: int) -> Set[int]:
+        """All nodes in the subtree rooted at *v* (including *v*)."""
+        out = {v}
+        stack = [v]
+        while stack:
+            u = stack.pop()
+            for c in self._children[u]:
+                out.add(c)
+                stack.append(c)
+        return out
+
+    def depth(self, v: int) -> int:
+        """Hop count from *v* to the sink."""
+        d = 0
+        while v != self.sink:
+            v = int(self._parent[v])
+            d += 1
+            if d > self.n:
+                raise RuntimeError("cycle detected walking to the sink")
+        return d
+
+    def leaves(self) -> List[int]:
+        """Nodes with no children."""
+        return [v for v in range(self.n) if not self._children[v]]
+
+    def postorder(self) -> List[int]:
+        """Nodes in post-order (children before parents); sink last."""
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(self.sink, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+            else:
+                stack.append((node, True))
+                for c in reversed(self._children[node]):
+                    stack.append((c, False))
+        return order
+
+    # ------------------------------------------------------------------
+    # Paper metrics
+    # ------------------------------------------------------------------
+    def cost(self) -> float:
+        """``C(T) = sum(-log q_e)`` in natural-log units (Eq. 10)."""
+        return sum(self.network.cost(u, v) for u, v in self.edges())
+
+    def paper_cost(self) -> float:
+        """Cost in the paper's plotted units (−1000·log2 q)."""
+        return self.cost() * PAPER_COST_SCALE
+
+    def reliability(self) -> float:
+        """``Q(T) = prod(q_e)`` — success probability of a full round."""
+        q = 1.0
+        for u, v in self.edges():
+            q *= self.network.prr(u, v)
+        return q
+
+    def node_lifetime(self, v: int) -> float:
+        """Eq. 1 lifetime of node *v* in aggregation rounds."""
+        return self.network.energy_model.lifetime_rounds(
+            self.network.initial_energy(v), self.n_children(v)
+        )
+
+    def lifetime(self) -> float:
+        """Network lifetime ``L(T) = min_v L(v)`` in aggregation rounds."""
+        return min(self.node_lifetime(v) for v in range(self.n))
+
+    def bottleneck(self) -> int:
+        """The node realising the minimum lifetime (ties -> smallest id)."""
+        return min(range(self.n), key=lambda v: (self.node_lifetime(v), v))
+
+    def meets_lifetime(self, bound: float, *, rel_tol: float = 1e-9) -> bool:
+        """Whether ``L(T) >= bound`` (with a small relative tolerance)."""
+        return self.lifetime() >= bound * (1.0 - rel_tol)
+
+    # ------------------------------------------------------------------
+    # Mutation-by-copy
+    # ------------------------------------------------------------------
+    def with_parent(self, child: int, new_parent: int) -> "AggregationTree":
+        """New tree with *child* re-attached under *new_parent*.
+
+        The caller must ensure *new_parent* is outside *child*'s subtree
+        (otherwise construction raises on the resulting cycle).
+        """
+        if child == self.sink:
+            raise ValueError("the sink has no parent to change")
+        parents = self.parents
+        parents[child] = new_parent
+        return AggregationTree(self.network, parents)
+
+    def copy(self) -> "AggregationTree":
+        return AggregationTree(self.network, self.parents)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AggregationTree):
+            return NotImplemented
+        return self.network is other.network and np.array_equal(
+            self._parent, other._parent
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.network), tuple(self._parent.tolist())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AggregationTree(n={self.n}, cost={self.cost():.4f}, "
+            f"reliability={self.reliability():.4f})"
+        )

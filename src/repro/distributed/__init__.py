@@ -1,0 +1,24 @@
+"""Distributed updating protocol (Section VI) and its churn simulator.
+
+* :mod:`repro.distributed.messages` — wire messages (code announcement,
+  Parent-Changing).
+* :mod:`repro.distributed.node` — per-sensor replica state and decisions.
+* :mod:`repro.distributed.protocol` — the two update handlers (link worse /
+  link better, the latter = ILU, Algorithm 4) with message accounting.
+* :mod:`repro.distributed.simulator` — the Fig. 11–13 degradation loop.
+"""
+
+from repro.distributed.messages import CodeAnnouncement, ParentChange
+from repro.distributed.node import SensorNode
+from repro.distributed.protocol import DistributedProtocol, UpdateReport
+from repro.distributed.simulator import ChurnSimulation, MaintenanceRecord
+
+__all__ = [
+    "ChurnSimulation",
+    "CodeAnnouncement",
+    "DistributedProtocol",
+    "MaintenanceRecord",
+    "ParentChange",
+    "SensorNode",
+    "UpdateReport",
+]

@@ -1,0 +1,47 @@
+"""Message types exchanged by the distributed updating protocol (Section VI).
+
+The protocol is deliberately thin: after the sink's initial code broadcast,
+the only steady-state traffic is Parent-Changing announcements — "4 only
+needs to broadcast a Parent-Changing information to other nodes and every
+node could get the same P' and D'".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["CodeAnnouncement", "ParentChange"]
+
+
+@dataclass(frozen=True)
+class CodeAnnouncement:
+    """Initial broadcast from the sink carrying the full sequence pair.
+
+    Attributes:
+        code: The Prüfer sequence ``P``.
+        order: The removal sequence ``D``.
+    """
+
+    code: Tuple[int, ...]
+    order: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ParentChange:
+    """A node announcing that it re-attached under a new parent.
+
+    Every receiver applies the same deterministic splice to its local
+    ``(P, D)`` replica, so replicas stay identical without shipping the
+    whole sequence.
+
+    Attributes:
+        child: The node whose parent changed.
+        new_parent: Its new parent.
+        serial: Monotone per-protocol sequence number (duplicate/ordering
+            guard; real deployments need it, and the simulator asserts it).
+    """
+
+    child: int
+    new_parent: int
+    serial: int

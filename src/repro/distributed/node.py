@@ -1,0 +1,134 @@
+"""Per-sensor protocol state: a local ``(P, D)`` replica plus local decisions.
+
+Each :class:`SensorNode` owns exactly the information a deployed sensor
+would have:
+
+* its own id and the global ``(P, D)`` replica (received via broadcasts);
+* the link qualities of its *incident* links (measured locally);
+* the initial-energy table and the lifetime bound ``LC`` (announced once at
+  setup — the lifetime check of Section VI needs ``I(v)`` of a candidate
+  parent, and children counts come from the code itself via Eq. 23).
+
+Decisions (pick a new parent, accept a child) are made from this state
+only; the :mod:`repro.distributed.protocol` layer moves messages around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.distributed.messages import CodeAnnouncement, ParentChange
+from repro.network.energy import EnergyModel
+from repro.prufer.updates import SequencePair
+
+__all__ = ["SensorNode"]
+
+
+@dataclass
+class SensorNode:
+    """Protocol replica and decision logic for one sensor.
+
+    Attributes:
+        node_id: This sensor's label (0 = sink).
+        energy_model: Per-packet Tx/Rx model (shared constants).
+        energies: Initial-energy table ``I(v)`` (announced at setup).
+        lc: The lifetime bound the maintained tree must keep.
+        link_costs: Costs of *incident* links, keyed by neighbour id.
+        pair: Current ``(P, D)`` replica (None until the sink's broadcast).
+        last_serial: Serial of the last applied ParentChange.
+    """
+
+    node_id: int
+    energy_model: EnergyModel
+    energies: Dict[int, float]
+    lc: float
+    link_costs: Dict[int, float] = field(default_factory=dict)
+    pair: Optional[SequencePair] = None
+    last_serial: int = -1
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def on_code_announcement(self, msg: CodeAnnouncement) -> None:
+        """Install the initial sequence pair broadcast by the sink."""
+        self.pair = SequencePair(code=msg.code, order=msg.order)
+        self.last_serial = -1
+
+    def on_parent_change(self, msg: ParentChange) -> None:
+        """Apply a Parent-Changing announcement to the local replica."""
+        if self.pair is None:
+            raise RuntimeError(
+                f"node {self.node_id} received ParentChange before the code"
+            )
+        if msg.serial <= self.last_serial:
+            return  # duplicate delivery
+        if msg.serial != self.last_serial + 1:
+            raise RuntimeError(
+                f"node {self.node_id} missed an update "
+                f"(have {self.last_serial}, got {msg.serial})"
+            )
+        self.pair = self.pair.change_parent(msg.child, msg.new_parent)
+        self.last_serial = msg.serial
+
+    # ------------------------------------------------------------------
+    # Local views derived from the replica
+    # ------------------------------------------------------------------
+    def parent(self) -> Optional[int]:
+        """This node's current parent (None for the sink)."""
+        self._require_pair()
+        if self.node_id == 0:
+            return None
+        return self.pair.parent_map()[self.node_id]
+
+    def n_children(self, node: int) -> int:
+        """Children count of *node* from the code occurrences (Eq. 23)."""
+        self._require_pair()
+        return self.pair.children_counts()[node]
+
+    def can_host_child(self, node: int) -> bool:
+        """Whether *node* taking one more child keeps ``L(node) >= LC``.
+
+        This is the "lifetime is under constraint" test of Section VI-B1,
+        computable by any sensor from the code and the energy table.
+        """
+        lifetime = self.energy_model.lifetime_rounds(
+            self.energies[node], self.n_children(node) + 1
+        )
+        return lifetime >= self.lc * (1.0 - 1e-12)
+
+    def choose_new_parent(self) -> Optional[int]:
+        """Link-getting-worse reaction: pick the best replacement parent.
+
+        "It decodes the Prüfer code first, removes the link from the tree,
+        [and finds] its new parent which connects two separated components
+        with the highest link quality" — among this node's neighbours that
+        lie outside its own subtree and can host one more child under the
+        lifetime constraint.  Returns ``None`` when no neighbour improves on
+        the current (degraded) parent link.
+        """
+        self._require_pair()
+        if self.node_id == 0:
+            raise RuntimeError("the sink has no parent link to replace")
+        component = self.pair.component(self.node_id)
+        current_parent = self.parent()
+        assert current_parent is not None
+        best: Optional[Tuple[float, int]] = None
+        for neighbour, cost in sorted(self.link_costs.items()):
+            if neighbour in component or neighbour == current_parent:
+                continue
+            if not self.can_host_child(neighbour):
+                continue
+            if best is None or cost < best[0]:
+                best = (cost, neighbour)
+        if best is None:
+            return None
+        if best[0] >= self.link_costs.get(current_parent, float("inf")):
+            return None  # the degraded link is still the best option
+        return best[1]
+
+    def _require_pair(self) -> None:
+        if self.pair is None:
+            raise RuntimeError(
+                f"node {self.node_id} has no sequence pair yet"
+            )

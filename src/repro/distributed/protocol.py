@@ -1,0 +1,256 @@
+"""The distributed updating protocol (Section VI-B) and ILU (Algorithm 4).
+
+Two triggers, two handlers:
+
+* **Link getting worse** — the child endpoint of a degraded tree link picks
+  the best replacement parent outside its own component (subject to the
+  lifetime constraint) and broadcasts one Parent-Changing message; every
+  replica applies the same ``O(n)`` splice.
+* **Link getting better** — a non-tree link whose quality improved may enter
+  the tree.  The Iterative Local Updating algorithm re-parents one endpoint
+  onto the other when that strictly improves cost and the host can take one
+  more child, then recurses on the displaced parent link (which has just
+  become a candidate "getting better" link for someone else).  Each accepted
+  move strictly decreases tree cost, so the recursion terminates.
+
+Message accounting matches the paper's model: each update is flooded over
+the tree through non-leaf nodes, so one update costs (non-leaf count ∪
+originator) transmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.tree import AggregationTree
+from repro.distributed.messages import CodeAnnouncement, ParentChange
+from repro.distributed.node import SensorNode
+from repro.network.model import Network
+from repro.prufer.updates import SequencePair
+
+__all__ = ["DistributedProtocol", "UpdateReport"]
+
+
+@dataclass
+class UpdateReport:
+    """What one protocol invocation did.
+
+    Attributes:
+        changed: Accepted parent changes, in order, as (child, new_parent).
+        messages: Tree-flooding transmissions spent on the announcements.
+        receptions: Packet receptions those floods caused (every non-origin
+            node hears each announcement once).
+        ilu_steps: ILU recursion steps examined (0 for link-worse updates).
+    """
+
+    changed: List[Tuple[int, int]] = field(default_factory=list)
+    messages: int = 0
+    receptions: int = 0
+    ilu_steps: int = 0
+
+    @property
+    def did_change(self) -> bool:
+        return bool(self.changed)
+
+    def control_energy_j(self, energy_model) -> float:
+        """Control-plane energy of this update (Tx per message, Rx per
+        reception) — the maintenance overhead the paper's Fig. 13 counts in
+        messages, expressed in the same joules as the data plane."""
+        return self.messages * energy_model.tx + self.receptions * energy_model.rx
+
+
+class DistributedProtocol:
+    """Simulated deployment of the Section VI protocol over one network.
+
+    Every sensor gets a :class:`SensorNode` replica initialised by the
+    sink's code broadcast.  The protocol object moves messages between
+    replicas and counts transmissions; all *decisions* are taken inside the
+    nodes from their local state.
+
+    Args:
+        network: Ground-truth network (its PRRs drive local link costs; the
+            simulator mutates it to model churn).
+        tree: The initial aggregation tree (typically IRA's output).
+        lc: Lifetime bound the maintained tree must keep satisfying.
+    """
+
+    def __init__(self, network: Network, tree: AggregationTree, lc: float) -> None:
+        if tree.network is not network:
+            raise ValueError("tree must be built over the given network")
+        self.network = network
+        self.lc = float(lc)
+        energies = {v: network.initial_energy(v) for v in network.nodes}
+        self.nodes: List[SensorNode] = [
+            SensorNode(
+                node_id=v,
+                energy_model=network.energy_model,
+                energies=energies,
+                lc=self.lc,
+                link_costs={
+                    e.other(v): e.cost for e in network.incident_edges(v)
+                },
+            )
+            for v in network.nodes
+        ]
+        self._serial = 0
+        self.setup_messages = self._initial_broadcast(tree)
+
+    # ------------------------------------------------------------------
+    # Replica plumbing
+    # ------------------------------------------------------------------
+    def _initial_broadcast(self, tree: AggregationTree) -> int:
+        pair = SequencePair.from_tree(tree)
+        announcement = CodeAnnouncement(code=pair.code, order=pair.order)
+        for node in self.nodes:
+            node.on_code_announcement(announcement)
+        return self._broadcast_cost(pair, origin=0)
+
+    def _broadcast_cost(self, pair: SequencePair, origin: int) -> int:
+        """Transmissions to flood one message over the tree.
+
+        Every non-leaf node forwards once; the originator transmits once
+        even if it is a leaf.
+        """
+        counts = pair.children_counts()
+        transmitters = {v for v in range(pair.n) if counts[v] > 0}
+        transmitters.add(origin)
+        return len(transmitters)
+
+    def _announce_parent_change(self, child: int, new_parent: int) -> int:
+        msg = ParentChange(child=child, new_parent=new_parent, serial=self._serial)
+        self._serial += 1
+        for node in self.nodes:
+            node.on_parent_change(msg)
+        return self._broadcast_cost(self.pair, origin=child)
+
+    def _record_announcement(
+        self, report: UpdateReport, child: int, new_parent: int
+    ) -> None:
+        report.messages += self._announce_parent_change(child, new_parent)
+        report.receptions += len(self.nodes) - 1  # everyone else hears it
+        report.changed.append((child, new_parent))
+
+    @property
+    def pair(self) -> SequencePair:
+        """The current sequence pair (read from the sink's replica)."""
+        pair = self.nodes[0].pair
+        assert pair is not None
+        return pair
+
+    def tree(self) -> AggregationTree:
+        """Materialise the maintained tree against the current network."""
+        return self.pair.to_tree(self.network)
+
+    def assert_consistent(self) -> None:
+        """All replicas must hold the identical pair (protocol invariant)."""
+        reference = self.pair
+        for node in self.nodes:
+            if node.pair != reference:
+                raise AssertionError(
+                    f"replica divergence at node {node.node_id}"
+                )
+
+    def refresh_link(self, u: int, v: int) -> None:
+        """Re-read one link's cost from the network into both endpoints.
+
+        Called by the churn simulator after mutating a PRR — it models the
+        endpoints' link estimators noticing the change.
+        """
+        cost = self.network.cost(u, v)
+        self.nodes[u].link_costs[v] = cost
+        self.nodes[v].link_costs[u] = cost
+
+    # ------------------------------------------------------------------
+    # Section VI-B1: link getting worse
+    # ------------------------------------------------------------------
+    def handle_link_worse(self, u: int, v: int) -> UpdateReport:
+        """React to a degraded link ``{u, v}``.
+
+        If the link is in the tree, its child endpoint re-evaluates its
+        parent choice; a strictly better, constraint-respecting alternative
+        triggers one Parent-Changing broadcast.  Degraded non-tree links
+        need no action.
+        """
+        report = UpdateReport()
+        parents = self.pair.parent_map()
+        if parents.get(u) == v:
+            child = u
+        elif parents.get(v) == u:
+            child = v
+        else:
+            return report  # not a tree link; nothing to maintain
+        new_parent = self.nodes[child].choose_new_parent()
+        if new_parent is None:
+            return report
+        self._record_announcement(report, child, new_parent)
+        return report
+
+    # ------------------------------------------------------------------
+    # Section VI-B2: link getting better (Algorithm 4, ILU)
+    # ------------------------------------------------------------------
+    def handle_link_better(self, u: int, v: int) -> UpdateReport:
+        """Iterative Local Updating on the improved non-tree link ``{u, v}``.
+
+        Implements Algorithm 4 with two practical guards the paper leaves
+        implicit: a move is skipped when it would create a cycle (new parent
+        inside the mover's subtree), and the recursion is capped at ``3n``
+        steps (never reached — each accepted move strictly decreases cost).
+        """
+        report = UpdateReport()
+        edge: Optional[Tuple[int, int]] = (u, v)
+        max_steps = 3 * self.network.n
+        while edge is not None and report.ilu_steps < max_steps:
+            report.ilu_steps += 1
+            edge = self._ilu_step(edge, report)
+        return report
+
+    def _ilu_step(
+        self, edge: Tuple[int, int], report: UpdateReport
+    ) -> Optional[Tuple[int, int]]:
+        """One Algorithm 4 evaluation; returns the displaced edge, if any."""
+        a, b = edge
+        if a == b or not self.network.has_edge(a, b):
+            return None
+        pair = self.pair
+        parents = pair.parent_map()
+        if parents.get(a) == b or parents.get(b) == a:
+            return None  # already a tree link
+
+        def parent_cost(x: int) -> float:
+            p = parents.get(x)
+            if p is None:
+                return float("inf")  # the sink never moves
+            return self.nodes[x].link_costs[p]
+
+        # Line 3: name the endpoints so cost(v, p_v) <= cost(u, p_u).
+        if parent_cost(a) <= parent_cost(b):
+            v, u = a, b
+        else:
+            v, u = b, a
+        link_cost = self.nodes[u].link_costs.get(v, float("inf"))
+        sink = 0
+
+        # Line 4: the cheaply-attached endpoint v moves under u.
+        if (
+            v != sink
+            and self.nodes[u].can_host_child(u)
+            and parent_cost(v) > link_cost
+            and u not in pair.component(v)
+        ):
+            old_parent = parents[v]
+            self._record_announcement(report, v, u)
+            return (v, old_parent)
+
+        # Line 7: the expensively-attached endpoint u moves under v.
+        if (
+            u != sink
+            and self.nodes[v].can_host_child(v)
+            and parent_cost(u) > link_cost
+            and v not in pair.component(u)
+        ):
+            old_parent = parents[u]
+            self._record_announcement(report, u, v)
+            return (u, old_parent)
+
+        return None

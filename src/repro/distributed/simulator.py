@@ -1,0 +1,195 @@
+"""Churn simulation driving the distributed protocol (Figs. 11–13).
+
+Section VII-C: "We use the DFL system as the initial state of the
+simulation. A data aggregation tree has been constructed and every node is
+aware of the Prüfer code ... We simulate the distributed protocol by 100
+rounds of update. ... we randomly select a tree edge [and] make it
+unreliable (cost of selected edge increases 1e-3) in each round."
+
+Each round this simulator degrades one random tree link of the *maintained*
+tree, lets the protocol react (link-getting-worse handler), re-runs the
+centralized IRA on the same mutated network for comparison, and records
+cost, reliability, and message counts — the three series of Figs. 11, 12
+and 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import math
+
+from repro.core.ira import build_ira_tree
+from repro.core.tree import AggregationTree
+from repro.distributed.protocol import DistributedProtocol
+from repro.network.model import Network
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["MaintenanceRecord", "ChurnSimulation"]
+
+
+@dataclass(frozen=True)
+class MaintenanceRecord:
+    """Per-round observation of the maintenance simulation.
+
+    Attributes:
+        round_index: 1-based round number.
+        degraded_edge: The tree link whose cost was increased this round.
+        distributed_cost / centralized_cost: Tree costs (natural-log units)
+            of the protocol-maintained tree and the freshly recomputed IRA
+            tree (Fig. 11's two curves).
+        distributed_reliability / centralized_reliability: The same trees'
+            reliabilities (Fig. 12).
+        messages: Transmissions spent by the protocol this round.
+        cumulative_messages: Running total (Fig. 13's rising curve).
+        cumulative_updates: Rounds so far in which a re-parenting happened.
+        changed: Whether the protocol re-parented a node this round.
+    """
+
+    round_index: int
+    degraded_edge: tuple
+    distributed_cost: float
+    centralized_cost: float
+    distributed_reliability: float
+    centralized_reliability: float
+    messages: int
+    cumulative_messages: int
+    cumulative_updates: int
+    changed: bool
+
+    @property
+    def avg_messages_per_update(self) -> float:
+        """Fig. 13's second curve: messages per *actual* update so far.
+
+        0.0 before the first update happens (the paper's curve only starts
+        once updates exist).
+        """
+        if self.cumulative_updates == 0:
+            return 0.0
+        return self.cumulative_messages / self.cumulative_updates
+
+
+class ChurnSimulation:
+    """Degrade-one-link-per-round maintenance experiment.
+
+    Args:
+        network: Ground-truth network; **mutated in place** round by round
+            (pass a copy to keep the original).
+        initial_tree: Starting aggregation tree (typically IRA's output).
+        lc: Lifetime bound the protocol must keep.
+        cost_delta: Natural-log cost increase per degradation (paper: 1e-3);
+            the degraded link's PRR is multiplied by ``exp(-cost_delta)``.
+        improve_probability: Per-round probability of an *improvement*
+            event on a random non-tree link (exercising ILU, the paper's
+            second trigger).  The paper's Fig. 11-13 workload is pure
+            degradation (the default 0.0); mixed churn is an extension.
+        improve_delta: Natural-log cost decrease applied by an improvement
+            event (PRR multiplied by ``exp(+improve_delta)``, capped at 1).
+        recompute_centralized: Re-run IRA each round for the comparison
+            curves (disable for pure protocol benchmarking).
+        seed: Randomness for the event choices.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        initial_tree: AggregationTree,
+        lc: float,
+        *,
+        cost_delta: float = 1e-3,
+        improve_probability: float = 0.0,
+        improve_delta: float = 5e-3,
+        recompute_centralized: bool = True,
+        seed: SeedLike = None,
+    ) -> None:
+        if cost_delta <= 0:
+            raise ValueError(f"cost_delta must be positive, got {cost_delta}")
+        if not (0.0 <= improve_probability <= 1.0):
+            raise ValueError(
+                f"improve_probability must be in [0, 1], got {improve_probability}"
+            )
+        if improve_delta <= 0:
+            raise ValueError(f"improve_delta must be positive, got {improve_delta}")
+        self.network = network
+        self.lc = float(lc)
+        self.cost_delta = float(cost_delta)
+        self.improve_probability = float(improve_probability)
+        self.improve_delta = float(improve_delta)
+        self.recompute_centralized = recompute_centralized
+        self.rng = as_rng(seed)
+        self.protocol = DistributedProtocol(network, initial_tree, lc)
+        self.records: List[MaintenanceRecord] = []
+        self._cumulative_messages = 0
+        self._cumulative_updates = 0
+
+    def degrade_random_tree_link(self) -> tuple:
+        """Pick a uniform random link of the maintained tree and degrade it."""
+        edges = self.protocol.tree().edges()
+        u, v = edges[int(self.rng.integers(0, len(edges)))]
+        new_prr = self.network.prr(u, v) * math.exp(-self.cost_delta)
+        self.network.set_prr(u, v, max(new_prr, 1e-12))
+        self.protocol.refresh_link(u, v)
+        return (u, v)
+
+    def improve_random_non_tree_link(self):
+        """Boost a random non-tree link's quality; returns it (or None)."""
+        parents = self.protocol.pair.parent_map()
+        candidates = [
+            e.key
+            for e in self.network.edges()
+            if parents.get(e.u) != e.v and parents.get(e.v) != e.u
+        ]
+        if not candidates:
+            return None
+        u, v = candidates[int(self.rng.integers(0, len(candidates)))]
+        new_prr = min(self.network.prr(u, v) * math.exp(self.improve_delta), 1.0)
+        self.network.set_prr(u, v, new_prr)
+        self.protocol.refresh_link(u, v)
+        return (u, v)
+
+    def step(self) -> MaintenanceRecord:
+        """Run one churn round and record the comparison."""
+        edge = self.degrade_random_tree_link()
+        report = self.protocol.handle_link_worse(*edge)
+        self._cumulative_messages += report.messages
+        if report.did_change:
+            self._cumulative_updates += 1
+
+        if self.improve_probability and self.rng.random() < self.improve_probability:
+            improved = self.improve_random_non_tree_link()
+            if improved is not None:
+                better = self.protocol.handle_link_better(*improved)
+                self._cumulative_messages += better.messages
+                if better.did_change:
+                    self._cumulative_updates += 1
+
+        maintained = self.protocol.tree()
+        if self.recompute_centralized:
+            central = build_ira_tree(self.network, self.lc).tree
+        else:
+            central = maintained
+
+        record = MaintenanceRecord(
+            round_index=len(self.records) + 1,
+            degraded_edge=edge,
+            distributed_cost=maintained.cost(),
+            centralized_cost=central.cost(),
+            distributed_reliability=maintained.reliability(),
+            centralized_reliability=central.reliability(),
+            messages=report.messages,
+            cumulative_messages=self._cumulative_messages,
+            cumulative_updates=self._cumulative_updates,
+            changed=report.did_change,
+        )
+        self.records.append(record)
+        return record
+
+    def run(self, rounds: int = 100) -> List[MaintenanceRecord]:
+        """Run *rounds* degradation rounds; returns all records."""
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+        for _ in range(rounds):
+            self.step()
+        self.protocol.assert_consistent()
+        return list(self.records)

@@ -1,0 +1,46 @@
+"""Shared infrastructure for the figure-reproduction experiments.
+
+Every ``figN_*`` module follows the same contract:
+
+* a ``run_*`` function executes the experiment with paper-default
+  parameters (overridable, notably trial counts for quick runs) and returns
+  a frozen result object holding the raw series;
+* the result object's ``render()`` produces the plain-text table with the
+  same rows/series the paper's figure plots;
+* seeds are derived from semantic labels via
+  :func:`repro.utils.rng.stable_hash_seed`, so every trial is reproducible
+  independently of sweep ordering.
+
+Costs are reported in the paper's plotted units (−1000·log2 q; see
+:data:`repro.core.tree.PAPER_COST_SCALE`) so the numbers are directly
+comparable with the published figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.tree import PAPER_COST_SCALE
+
+__all__ = ["PAPER_COST_SCALE", "paper_cost", "summarize"]
+
+
+def paper_cost(natural_cost: float) -> float:
+    """Convert a natural-log tree cost to the paper's plotted units."""
+    return natural_cost * PAPER_COST_SCALE
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max summary used by the per-trial experiment tables."""
+    if not values:
+        raise ValueError("cannot summarize an empty series")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = ordered[n // 2] if n % 2 else 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    return {
+        "mean": sum(ordered) / n,
+        "median": mid,
+        "min": ordered[0],
+        "max": ordered[-1],
+    }

@@ -1,0 +1,159 @@
+"""Extension: all-algorithm comparison table (beyond the paper's three).
+
+The paper compares IRA against AAML and the MST.  This extension widens the
+panel with the library's additional baselines — the ETX-style shortest-path
+tree (what deployed collection stacks build), RaSMaLai-style randomized
+switching, a uniform random spanning tree (the null model), and the exact
+MILP optimum — over a batch of random instances, reporting mean cost,
+reliability, lifetime, and how often each algorithm meets the lifetime
+bound ``LC = L_AAML``.
+
+This is the summary table a practitioner would want before picking an
+algorithm: it shows each point of the (reliability, lifetime) trade-off
+space the library covers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.mst import build_mst_tree
+from repro.baselines.random_tree import build_random_tree
+from repro.baselines.rasmalai import build_rasmalai_tree
+from repro.baselines.spt import build_spt_tree
+from repro.core.exact import solve_mrlc_exact
+from repro.core.ira import build_ira_tree
+from repro.core.tree import PAPER_COST_SCALE, AggregationTree
+from repro.network.topology import random_graph
+from repro.utils.ascii_chart import bar_chart
+from repro.utils.rng import stable_hash_seed
+from repro.utils.tables import format_table
+
+__all__ = ["AlgorithmSummary", "ExtBaselinesResult", "run_ext_baselines"]
+
+
+@dataclass(frozen=True)
+class AlgorithmSummary:
+    """Aggregated behaviour of one algorithm over the trial batch.
+
+    Attributes:
+        name: Algorithm label.
+        mean_cost: Mean tree cost (paper units).
+        mean_reliability: Mean ``Q(T)``.
+        mean_lifetime: Mean ``L(T)`` in rounds.
+        meets_lc_fraction: Fraction of trials whose tree met ``LC = L_AAML``.
+    """
+
+    name: str
+    mean_cost: float
+    mean_reliability: float
+    mean_lifetime: float
+    meets_lc_fraction: float
+
+
+@dataclass(frozen=True)
+class ExtBaselinesResult:
+    """Per-algorithm summaries over the random-graph batch."""
+
+    summaries: Tuple[AlgorithmSummary, ...]
+    n_trials: int
+
+    def summary(self, name: str) -> AlgorithmSummary:
+        for s in self.summaries:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def render(self) -> str:
+        rows = [
+            [
+                s.name,
+                round(s.mean_cost, 1),
+                round(s.mean_reliability, 4),
+                f"{s.mean_lifetime:.3e}",
+                f"{s.meets_lc_fraction:.0%}",
+            ]
+            for s in self.summaries
+        ]
+        return format_table(
+            ["algorithm", "mean cost", "mean Q(T)", "mean lifetime", "meets LC"],
+            rows,
+            title=(
+                f"Extension — all algorithms over {self.n_trials} random "
+                "G(16, 0.7) graphs, LC = L_AAML"
+            ),
+        )
+
+    def render_chart(self) -> str:
+        """Bar charts of mean cost and mean reliability per algorithm."""
+        labels = [s.name for s in self.summaries]
+        cost = bar_chart(
+            labels,
+            [s.mean_cost for s in self.summaries],
+            title="mean cost (paper units)",
+        )
+        rel = bar_chart(
+            labels,
+            [s.mean_reliability for s in self.summaries],
+            title="mean reliability",
+            value_fmt=".4f",
+        )
+        return cost + "\n\n" + rel
+
+
+def run_ext_baselines(
+    *,
+    n_trials: int = 20,
+    n_nodes: int = 16,
+    link_probability: float = 0.7,
+    include_exact: bool = True,
+    base_seed: int = 77,
+) -> ExtBaselinesResult:
+    """Run the wide-panel comparison (exact solver optional, n ≤ ~20)."""
+    if n_trials <= 0:
+        raise ValueError(f"n_trials must be positive, got {n_trials}")
+    names = ["MST", "SPT", "random", "RaSMaLai", "AAML", "IRA"]
+    if include_exact:
+        names.append("optimal")
+    acc: Dict[str, Dict[str, list]] = {
+        name: {"cost": [], "rel": [], "life": [], "ok": []} for name in names
+    }
+
+    for i in range(n_trials):
+        seed = stable_hash_seed("ext-baselines", base_seed, i)
+        net = random_graph(n_nodes, link_probability, seed=seed)
+        aaml = build_aaml_tree(net)
+        lc = aaml.lifetime
+
+        trees: Dict[str, AggregationTree] = {
+            "MST": build_mst_tree(net),
+            "SPT": build_spt_tree(net),
+            "random": build_random_tree(net, seed=seed),
+            "RaSMaLai": build_rasmalai_tree(net, seed=seed).tree,
+            "AAML": aaml.tree,
+            "IRA": build_ira_tree(net, lc).tree,
+        }
+        if include_exact:
+            trees["optimal"] = solve_mrlc_exact(net, lc).tree
+
+        for name, tree in trees.items():
+            acc[name]["cost"].append(tree.cost() * PAPER_COST_SCALE)
+            acc[name]["rel"].append(tree.reliability())
+            acc[name]["life"].append(tree.lifetime())
+            acc[name]["ok"].append(tree.lifetime() >= lc * (1 - 1e-9))
+
+    summaries = tuple(
+        AlgorithmSummary(
+            name=name,
+            mean_cost=float(np.mean(acc[name]["cost"])),
+            mean_reliability=float(np.mean(acc[name]["rel"])),
+            mean_lifetime=float(np.mean(acc[name]["life"])),
+            meets_lc_fraction=float(np.mean(acc[name]["ok"])),
+        )
+        for name in names
+    )
+    return ExtBaselinesResult(summaries=summaries, n_trials=n_trials)

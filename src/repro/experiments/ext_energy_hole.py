@@ -1,0 +1,153 @@
+"""Extension: energy-hole analysis — who dies first, and where?
+
+The paper's introduction motivates aggregation with the *energy hole*
+phenomenon [2]: in a collection tree, nodes near the sink forward (receive)
+more and die first.  This extension quantifies the effect on our substrate:
+for each algorithm's tree over a unit-disk field, it bins nodes by hop
+distance from the sink and reports the mean children count and the mean
+node lifetime per depth bin, plus the tree's overall bottleneck depth.
+
+Expected shape: the BFS/SPT trees concentrate children near the sink
+(depth-1 nodes carry the network) while AAML/IRA flatten the load — their
+bottleneck lifetime is higher and, notably, *not* adjacent to the sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.mst import build_mst_tree
+from repro.baselines.spt import build_spt_tree
+from repro.core.ira import build_ira_tree
+from repro.core.local_search import bfs_tree
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.network.topology import unit_disk_graph
+from repro.utils.ascii_chart import bar_chart
+from repro.utils.tables import format_table
+
+__all__ = ["DepthProfile", "EnergyHoleResult", "run_energy_hole"]
+
+
+@dataclass(frozen=True)
+class DepthProfile:
+    """Per-depth load/lifetime profile of one tree.
+
+    Attributes:
+        name: Algorithm label.
+        mean_children_by_depth: Depth (hops from sink) -> mean children.
+        mean_lifetime_by_depth: Depth -> mean node lifetime.
+        bottleneck_depth: Hop distance of the first node that would die.
+        lifetime: The tree's network lifetime.
+    """
+
+    name: str
+    mean_children_by_depth: Dict[int, float]
+    mean_lifetime_by_depth: Dict[int, float]
+    bottleneck_depth: int
+    lifetime: float
+
+    @classmethod
+    def of(cls, name: str, tree: AggregationTree) -> "DepthProfile":
+        by_depth: Dict[int, List[int]] = {}
+        life_by_depth: Dict[int, List[float]] = {}
+        for v in range(tree.n):
+            d = tree.depth(v)
+            by_depth.setdefault(d, []).append(tree.n_children(v))
+            life_by_depth.setdefault(d, []).append(tree.node_lifetime(v))
+        return cls(
+            name=name,
+            mean_children_by_depth={
+                d: float(np.mean(ch)) for d, ch in sorted(by_depth.items())
+            },
+            mean_lifetime_by_depth={
+                d: float(np.mean(l)) for d, l in sorted(life_by_depth.items())
+            },
+            bottleneck_depth=tree.depth(tree.bottleneck()),
+            lifetime=tree.lifetime(),
+        )
+
+
+@dataclass(frozen=True)
+class EnergyHoleResult:
+    """Depth profiles of every compared tree over the same field."""
+
+    profiles: Tuple[DepthProfile, ...]
+
+    def profile(self, name: str) -> DepthProfile:
+        for p in self.profiles:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def render(self) -> str:
+        depths = sorted(
+            {d for p in self.profiles for d in p.mean_children_by_depth}
+        )
+        rows = []
+        for p in self.profiles:
+            row = [p.name]
+            for d in depths:
+                value = p.mean_children_by_depth.get(d)
+                row.append("-" if value is None else round(value, 2))
+            row.append(p.bottleneck_depth)
+            row.append(f"{p.lifetime:.3e}")
+            rows.append(row)
+        headers = (
+            ["tree"]
+            + [f"ch@d{d}" for d in depths]
+            + ["bottleneck depth", "lifetime"]
+        )
+        return format_table(
+            headers,
+            rows,
+            title="Extension — mean children per hop depth (energy hole)",
+        )
+
+    def render_chart(self) -> str:
+        """Bar chart of each tree's network lifetime."""
+        return bar_chart(
+            [p.name for p in self.profiles],
+            [p.lifetime for p in self.profiles],
+            title="network lifetime by tree (rounds)",
+            value_fmt=".3e",
+        )
+
+
+def run_energy_hole(
+    network: Optional[Network] = None,
+    *,
+    lc_fraction: float = 0.8,
+    seed: int = 99,
+) -> EnergyHoleResult:
+    """Profile BFS / SPT / MST / AAML / IRA trees over a unit-disk field.
+
+    Args:
+        network: Field to analyse (default: a 40-node lossy unit-disk
+            deployment).
+        lc_fraction: IRA's bound as a fraction of AAML's optimal lifetime.
+        seed: Topology seed for the default field.
+    """
+    if not (0 < lc_fraction <= 1):
+        raise ValueError(f"lc_fraction must be in (0, 1], got {lc_fraction}")
+    net = (
+        network
+        if network is not None
+        else unit_disk_graph(
+            40, 60.0, 22.0, tx_power_dbm=-8.0, seed=seed, max_attempts=100
+        )
+    )
+    aaml = build_aaml_tree(net)
+    ira = build_ira_tree(net, aaml.lifetime * lc_fraction)
+    profiles = (
+        DepthProfile.of("BFS", bfs_tree(net)),
+        DepthProfile.of("SPT", build_spt_tree(net)),
+        DepthProfile.of("MST", build_mst_tree(net)),
+        DepthProfile.of("AAML", aaml.tree),
+        DepthProfile.of("IRA", ira.tree),
+    )
+    return EnergyHoleResult(profiles=profiles)

@@ -1,0 +1,161 @@
+"""Extension: the latency / reliability / lifetime triangle.
+
+The paper optimizes reliability under a lifetime bound; its related work
+(delay-constrained trees) adds the third axis.  Under the TDMA collection
+schedule the per-round latency equals the tree depth, so the three
+objectives pull in different directions:
+
+* lifetime wants *flat load* → path-like trees → deep → slow;
+* latency wants *shallow* trees → heavy hubs → short-lived;
+* reliability wants *cheap links* regardless of shape.
+
+This experiment places every algorithm in that triangle on one field: for
+each tree it reports depth (slots per round), measured TDMA latency,
+closed-form and empirical reliability, and lifetime.  Delay-bounded trees
+at several depth budgets trace the latency knob explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.delay_bounded import build_delay_bounded_tree
+from repro.baselines.mst import build_mst_tree
+from repro.baselines.spt import build_spt_tree
+from repro.core.ira import build_ira_tree
+from repro.core.tree import PAPER_COST_SCALE, AggregationTree
+from repro.network.model import Network
+from repro.network.topology import unit_disk_graph
+from repro.simulation.events import TDMACollectionSimulator
+from repro.utils.ascii_chart import bar_chart
+from repro.utils.tables import format_table
+
+__all__ = ["LatencyEntry", "ExtLatencyResult", "run_ext_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyEntry:
+    """One tree's position in the latency/reliability/lifetime triangle.
+
+    Attributes:
+        name: Algorithm label.
+        depth: Tree depth == TDMA slots per round.
+        latency_s: Measured mean round latency.
+        cost: Tree cost (paper units).
+        reliability: Closed-form ``Q(T)``.
+        empirical_reliability: Complete-round frequency over the TDMA run.
+        lifetime: ``L(T)`` in rounds.
+    """
+
+    name: str
+    depth: int
+    latency_s: float
+    cost: float
+    reliability: float
+    empirical_reliability: float
+    lifetime: float
+
+
+@dataclass(frozen=True)
+class ExtLatencyResult:
+    """All entries over the shared field."""
+
+    entries: Tuple[LatencyEntry, ...]
+    slot_duration: float
+
+    def entry(self, name: str) -> LatencyEntry:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        raise KeyError(name)
+
+    def render(self) -> str:
+        rows = [
+            [
+                e.name,
+                e.depth,
+                round(e.latency_s * 1000, 1),
+                round(e.cost, 1),
+                round(e.reliability, 4),
+                round(e.empirical_reliability, 4),
+                f"{e.lifetime:.3e}",
+            ]
+            for e in self.entries
+        ]
+        return format_table(
+            [
+                "tree",
+                "depth",
+                "latency ms",
+                "cost",
+                "Q(T)",
+                "measured Q",
+                "lifetime",
+            ],
+            rows,
+            title="Extension — latency / reliability / lifetime triangle",
+        )
+
+    def render_chart(self) -> str:
+        """Bar chart of per-round latency per tree."""
+        return bar_chart(
+            [e.name for e in self.entries],
+            [e.latency_s * 1000 for e in self.entries],
+            title="round latency (ms)",
+            value_fmt=".1f",
+        )
+
+
+def run_ext_latency(
+    network: Optional[Network] = None,
+    *,
+    depth_budgets: Sequence[int] = (3, 5),
+    slot_duration: float = 0.01,
+    n_rounds: int = 1500,
+    seed: int = 55,
+) -> ExtLatencyResult:
+    """Run the triangle study (default: a 30-node lossy unit-disk field)."""
+    if n_rounds <= 0:
+        raise ValueError(f"n_rounds must be positive, got {n_rounds}")
+    net = (
+        network
+        if network is not None
+        else unit_disk_graph(
+            30, 50.0, 20.0, tx_power_dbm=-8.0, seed=seed, max_attempts=100
+        )
+    )
+    aaml = build_aaml_tree(net)
+    trees: Dict[str, AggregationTree] = {
+        "SPT": build_spt_tree(net),
+        "MST": build_mst_tree(net),
+        "AAML": aaml.tree,
+        "IRA@0.8L": build_ira_tree(net, 0.8 * aaml.lifetime).tree,
+    }
+    for budget in depth_budgets:
+        try:
+            trees[f"delay<={budget}"] = build_delay_bounded_tree(net, budget)
+        except ValueError:
+            continue  # budget below the field's BFS eccentricity
+
+    entries = []
+    for name, tree in trees.items():
+        sim = TDMACollectionSimulator(
+            tree, slot_duration=slot_duration, seed=seed
+        )
+        sim.run_rounds(n_rounds)
+        entries.append(
+            LatencyEntry(
+                name=name,
+                depth=max(tree.depth(v) for v in range(tree.n)),
+                latency_s=sim.mean_latency(),
+                cost=tree.cost() * PAPER_COST_SCALE,
+                reliability=tree.reliability(),
+                empirical_reliability=sim.empirical_reliability(),
+                lifetime=tree.lifetime(),
+            )
+        )
+    return ExtLatencyResult(
+        entries=tuple(entries), slot_duration=slot_duration
+    )

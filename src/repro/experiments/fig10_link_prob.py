@@ -1,0 +1,100 @@
+"""Fig. 10 — average cost vs. link connection probability.
+
+Section VII-B3: for each link probability, 100 random graphs are drawn and
+the average cost of each algorithm is reported.  Expected shape (paper):
+AAML's average cost *increases* with connectivity (more links = more
+load-balancing choices = more bad links adopted), while IRA and MST stay
+essentially flat (they only care about the cheapest links, which denser
+graphs supply just as well).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.experiments.fig8_same_energy import (
+    RandomGraphTrial,
+    run_random_graph_trials,
+)
+from repro.utils.ascii_chart import line_chart
+from repro.utils.tables import format_table
+
+__all__ = ["Fig10Result", "run_fig10", "DEFAULT_LINK_PROBABILITIES"]
+
+DEFAULT_LINK_PROBABILITIES = (0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Average paper-unit cost per algorithm at each link probability.
+
+    Attributes:
+        probabilities: Swept link probabilities (x axis).
+        averages: ``{algorithm: (avg cost per probability,)}``.
+        trials: Raw per-probability trials (for deeper analysis).
+    """
+
+    probabilities: Tuple[float, ...]
+    averages: Dict[str, Tuple[float, ...]]
+    trials: Dict[float, Tuple[RandomGraphTrial, ...]]
+
+    def render(self) -> str:
+        rows = []
+        for i, p in enumerate(self.probabilities):
+            rows.append(
+                [
+                    p,
+                    round(self.averages["aaml"][i], 1),
+                    round(self.averages["ira"][i], 1),
+                    round(self.averages["mst"][i], 1),
+                ]
+            )
+        return format_table(
+            ["link prob", "AAML", "IRA", "MST"],
+            rows,
+            title="Fig. 10 — average cost vs link probability (paper units)",
+        )
+
+    def render_chart(self) -> str:
+        """Average-cost-vs-density curves."""
+        series = {
+            alg.upper(): (self.probabilities, self.averages[alg])
+            for alg in ("aaml", "ira", "mst")
+        }
+        return line_chart(
+            series, title="Fig. 10 — avg cost vs link probability"
+        )
+
+
+def run_fig10(
+    probabilities: Sequence[float] = DEFAULT_LINK_PROBABILITIES,
+    *,
+    n_trials: int = 100,
+    n_nodes: int = 16,
+    base_seed: int = 10,
+    n_jobs: Optional[int] = None,
+) -> Fig10Result:
+    """Run the Fig. 10 sweep (paper defaults: 100 graphs per probability)."""
+    trials: Dict[float, Tuple[RandomGraphTrial, ...]] = {}
+    averages: Dict[str, list] = {"aaml": [], "ira": [], "mst": []}
+    for p in probabilities:
+        batch = run_random_graph_trials(
+            n_trials=n_trials,
+            n_nodes=n_nodes,
+            link_probability=p,
+            energy_low=None,
+            energy_high=None,
+            label="fig10",
+            base_seed=base_seed,
+            n_jobs=n_jobs,
+        )
+        trials[p] = batch
+        for alg in averages:
+            costs = [getattr(t, f"{alg}_cost") for t in batch]
+            averages[alg].append(sum(costs) / len(costs))
+    return Fig10Result(
+        probabilities=tuple(probabilities),
+        averages={alg: tuple(vals) for alg, vals in averages.items()},
+        trials=trials,
+    )

@@ -1,0 +1,167 @@
+"""Figs. 11–13 — distributed protocol vs. centralized IRA under churn.
+
+One churn simulation (Section VII-C) produces all three figures:
+
+* Fig. 11 — total cost of the protocol-maintained tree vs. a freshly
+  recomputed IRA tree, per round (both rise as links degrade; the paper
+  reports a gap of only ~25 paper-cost units);
+* Fig. 12 — the same trees' reliabilities (gap ≤ ~0.02);
+* Fig. 13 — total messages (rising) and average messages per update
+  (stabilising under ~10 for 16 nodes).
+
+Setup: the canonical DFL instance, initial tree from IRA at
+``LC = L_AAML / 1.5`` (the paper's curves start at cost ≈ 58, which is that
+regime), 100 rounds of one-tree-link degradation of 1e-3 cost units each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.core.ira import build_ira_tree
+from repro.core.tree import PAPER_COST_SCALE
+from repro.distributed.simulator import ChurnSimulation, MaintenanceRecord
+from repro.experiments.fig7_dfl import AAML_PRR_FILTER
+from repro.network.dfl import dfl_network
+from repro.network.model import Network
+from repro.utils.ascii_chart import line_chart
+from repro.utils.tables import format_table
+
+__all__ = ["DistributedResult", "run_distributed_experiment"]
+
+DEFAULT_LC_DIVISOR = 1.5
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """All per-round records plus the derived figure series."""
+
+    records: Tuple[MaintenanceRecord, ...]
+    lc: float
+
+    # ------------------------------------------------------------------
+    # Figure series
+    # ------------------------------------------------------------------
+    def fig11_series(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """(distributed cost, centralized cost) per round, paper units."""
+        dist = tuple(r.distributed_cost * PAPER_COST_SCALE for r in self.records)
+        cent = tuple(r.centralized_cost * PAPER_COST_SCALE for r in self.records)
+        return dist, cent
+
+    def fig12_series(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """(distributed reliability, centralized reliability) per round."""
+        dist = tuple(r.distributed_reliability for r in self.records)
+        cent = tuple(r.centralized_reliability for r in self.records)
+        return dist, cent
+
+    def fig13_series(self) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+        """(cumulative messages, avg messages per update) per round."""
+        total = tuple(r.cumulative_messages for r in self.records)
+        avg = tuple(r.avg_messages_per_update for r in self.records)
+        return total, avg
+
+    @property
+    def max_cost_gap(self) -> float:
+        """Largest per-round cost gap (paper units; paper reports ~25)."""
+        dist, cent = self.fig11_series()
+        return max(d - c for d, c in zip(dist, cent))
+
+    @property
+    def max_reliability_gap(self) -> float:
+        """Largest per-round reliability gap (paper reports ~0.02)."""
+        dist, cent = self.fig12_series()
+        return max(c - d for d, c in zip(dist, cent))
+
+    def render(self) -> str:
+        dist_c, cent_c = self.fig11_series()
+        dist_r, cent_r = self.fig12_series()
+        total_m, avg_m = self.fig13_series()
+        rows = [
+            [
+                r.round_index,
+                round(dist_c[i], 1),
+                round(cent_c[i], 1),
+                round(dist_r[i], 4),
+                round(cent_r[i], 4),
+                total_m[i],
+                round(avg_m[i], 2),
+            ]
+            for i, r in enumerate(self.records)
+        ]
+        table = format_table(
+            [
+                "round",
+                "dist cost",
+                "IRA cost",
+                "dist rel",
+                "IRA rel",
+                "total msgs",
+                "msgs/update",
+            ],
+            rows,
+            title="Figs. 11-13 — distributed protocol vs centralized IRA",
+        )
+        footer = (
+            f"\nmax cost gap: {self.max_cost_gap:.1f} paper units; "
+            f"max reliability gap: {self.max_reliability_gap:.4f}; "
+            f"updates: {self.records[-1].cumulative_updates}; "
+            f"avg msgs/update: {self.records[-1].avg_messages_per_update:.2f}"
+        )
+        return table + footer
+
+    def render_chart(self) -> str:
+        """The three figures' series as stacked line plots."""
+        rounds = tuple(r.round_index for r in self.records)
+        dist_c, cent_c = self.fig11_series()
+        dist_r, cent_r = self.fig12_series()
+        total_m, avg_m = self.fig13_series()
+        fig11 = line_chart(
+            {"distributed": (rounds, dist_c), "IRA": (rounds, cent_c)},
+            title="Fig. 11 — total cost (paper units)",
+            height=10,
+        )
+        fig12 = line_chart(
+            {"distributed": (rounds, dist_r), "IRA": (rounds, cent_r)},
+            title="Fig. 12 — reliability",
+            height=10,
+        )
+        fig13 = line_chart(
+            {
+                "total msgs": (rounds, total_m),
+                "msgs/update": (rounds, avg_m),
+            },
+            title="Fig. 13 — message complexity",
+            height=10,
+        )
+        return "\n\n".join([fig11, fig12, fig13])
+
+
+def run_distributed_experiment(
+    network: Optional[Network] = None,
+    *,
+    rounds: int = 100,
+    lc_divisor: float = DEFAULT_LC_DIVISOR,
+    cost_delta: float = 1e-3,
+    seed: int = 11,
+) -> DistributedResult:
+    """Run the Section VII-C churn experiment.
+
+    Args:
+        network: Instance to churn (default: a fresh canonical DFL network;
+            it is copied, the caller's object is never mutated).
+        rounds: Degradation rounds (paper: 100).
+        lc_divisor: ``LC = L_AAML / lc_divisor`` for the maintained bound.
+        cost_delta: Per-round cost degradation (paper: 1e-3).
+        seed: Degraded-edge randomness.
+    """
+    net = (network if network is not None else dfl_network()).copy()
+    aaml = build_aaml_tree(net.filtered(AAML_PRR_FILTER))
+    lc = aaml.lifetime / lc_divisor
+    initial = build_ira_tree(net, lc)
+    sim = ChurnSimulation(
+        net, initial.tree, lc, cost_delta=cost_delta, seed=seed
+    )
+    records = sim.run(rounds)
+    return DistributedResult(records=tuple(records), lc=lc)

@@ -1,0 +1,109 @@
+"""Fig. 1 — average packets per aggregation round vs. average link quality.
+
+The motivation experiment: under retransmit-until-success, one aggregation
+round over an ``n``-node tree needs ``sum_e 1/q_e`` packets in expectation.
+The paper reports that a 16-node network grows from 15 packets at perfect
+quality to ~150 at 10% quality, worse for larger networks.
+
+Workload: for each network size and each average link quality, a random
+connected topology is drawn, all link PRRs are set to the target quality, a
+spanning tree is built, and packets per round are measured by simulation
+(with the closed-form expectation recorded alongside).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.mst import build_mst_tree
+from repro.network.topology import random_graph
+from repro.simulation.retransmission import average_packets, expected_packets_per_round
+from repro.utils.ascii_chart import line_chart
+from repro.utils.rng import stable_hash_seed
+from repro.utils.tables import format_table
+
+__all__ = ["Fig1Result", "run_fig1"]
+
+DEFAULT_SIZES = (16, 32, 64)
+DEFAULT_QUALITIES = tuple(round(q, 2) for q in np.arange(1.0, 0.09, -0.1))
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """Series for Fig. 1: one packets-per-round curve per network size.
+
+    Attributes:
+        qualities: The swept average link qualities (x axis).
+        simulated: ``{n: [avg packets]}`` measured by simulation.
+        expected: ``{n: [avg packets]}`` from the closed form ``sum 1/q``.
+    """
+
+    qualities: Tuple[float, ...]
+    simulated: Dict[int, Tuple[float, ...]]
+    expected: Dict[int, Tuple[float, ...]]
+
+    def render(self) -> str:
+        headers = ["avg quality"] + [
+            f"n={n} (sim/exp)" for n in sorted(self.simulated)
+        ]
+        rows = []
+        for i, q in enumerate(self.qualities):
+            row = [q]
+            for n in sorted(self.simulated):
+                row.append(
+                    f"{self.simulated[n][i]:.1f}/{self.expected[n][i]:.1f}"
+                )
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title="Fig. 1 — avg packets per round vs avg link quality",
+        )
+
+    def render_chart(self) -> str:
+        """Line plot of the per-size packet curves."""
+        series = {
+            f"n={n}": (self.qualities, self.simulated[n])
+            for n in sorted(self.simulated)
+        }
+        return line_chart(
+            series, title="Fig. 1 — packets per round vs link quality"
+        )
+
+
+def run_fig1(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    qualities: Sequence[float] = DEFAULT_QUALITIES,
+    *,
+    n_rounds: int = 200,
+    base_seed: int = 1,
+) -> Fig1Result:
+    """Run the Fig. 1 sweep.
+
+    Args:
+        sizes: Network sizes (paper shows 16 plus larger networks).
+        qualities: Average link qualities from good to bad.
+        n_rounds: Simulated rounds per (size, quality) point.
+        base_seed: Label mixed into every per-point seed.
+    """
+    simulated: Dict[int, List[float]] = {n: [] for n in sizes}
+    expected: Dict[int, List[float]] = {n: [] for n in sizes}
+    for n in sizes:
+        topo_seed = stable_hash_seed("fig1-topology", base_seed, n)
+        net = random_graph(n, 0.5, prr_low=0.5, prr_high=0.999, seed=topo_seed)
+        for q in qualities:
+            # Same topology at every quality so only link quality varies.
+            for edge in list(net.edges()):
+                net.set_prr(edge.u, edge.v, q)
+            tree = build_mst_tree(net)
+            sim_seed = stable_hash_seed("fig1-sim", base_seed, n, q)
+            simulated[n].append(average_packets(tree, n_rounds, seed=sim_seed))
+            expected[n].append(expected_packets_per_round(tree))
+    return Fig1Result(
+        qualities=tuple(qualities),
+        simulated={n: tuple(v) for n, v in simulated.items()},
+        expected={n: tuple(v) for n, v in expected.items()},
+    )

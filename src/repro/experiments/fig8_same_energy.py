@@ -1,0 +1,198 @@
+"""Fig. 8 — cost over random graphs, uniform initial energy.
+
+Section VII-B1: 100 random graphs with 16 nodes, link probability 70%, link
+PRRs uniform in (0.95, 1), every node at 3000 J.  For each graph the AAML
+lifetime is used as IRA's lifetime constraint, and the per-trial costs of
+AAML, IRA, and MST are compared.  Expected shape (paper): AAML between ~400
+and ~800 paper-cost units (reliability 57–75%), IRA between ~75 and ~250
+(85–95%), MST slightly below IRA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.mst import build_mst_tree
+from repro.core.ira import build_ira_tree
+from repro.core.tree import PAPER_COST_SCALE
+from functools import partial
+
+from repro.experiments.common import summarize
+from repro.experiments.parallel import parallel_map
+from repro.network.energy import DEFAULT_BATTERY_J
+from repro.network.topology import random_graph
+from repro.utils.ascii_chart import line_chart
+from repro.utils.rng import stable_hash_seed
+from repro.utils.tables import format_table
+
+__all__ = ["RandomGraphTrial", "Fig8Result", "run_fig8", "run_random_graph_trials"]
+
+
+@dataclass(frozen=True)
+class RandomGraphTrial:
+    """Per-graph costs/reliabilities of the three algorithms (paper units).
+
+    Attributes:
+        index: Trial number.
+        aaml_cost / ira_cost / mst_cost: Paper-unit tree costs.
+        aaml_reliability / ira_reliability / mst_reliability: ``Q(T)``.
+        lc: The lifetime constraint handed to IRA (the AAML lifetime).
+        ira_lifetime_ok: Whether IRA's tree met ``lc``.
+    """
+
+    index: int
+    aaml_cost: float
+    ira_cost: float
+    mst_cost: float
+    aaml_reliability: float
+    ira_reliability: float
+    mst_reliability: float
+    lc: float
+    ira_lifetime_ok: bool
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """All trials plus per-algorithm summaries."""
+
+    trials: Tuple[RandomGraphTrial, ...]
+
+    def costs(self, algorithm: str) -> Tuple[float, ...]:
+        return tuple(getattr(t, f"{algorithm}_cost") for t in self.trials)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {alg: summarize(self.costs(alg)) for alg in ("aaml", "ira", "mst")}
+
+    def render(self) -> str:
+        rows = [
+            [
+                t.index,
+                round(t.aaml_cost, 1),
+                round(t.ira_cost, 1),
+                round(t.mst_cost, 1),
+                t.ira_lifetime_ok,
+            ]
+            for t in self.trials
+        ]
+        table = format_table(
+            ["trial", "AAML", "IRA", "MST", "IRA ok"],
+            rows,
+            title="Fig. 8 — cost per trial (paper units), same initial energy",
+        )
+        summary = self.summary()
+        stats = format_table(
+            ["algorithm", "mean", "median", "min", "max"],
+            [
+                [alg.upper()] + [round(summary[alg][k], 1) for k in ("mean", "median", "min", "max")]
+                for alg in ("aaml", "ira", "mst")
+            ],
+        )
+        return table + "\n\n" + stats
+
+    def render_chart(self) -> str:
+        """Per-trial cost curves (the three lines of the paper's figure)."""
+        xs = tuple(t.index for t in self.trials)
+        series = {
+            "AAML": (xs, self.costs("aaml")),
+            "IRA": (xs, self.costs("ira")),
+            "MST": (xs, self.costs("mst")),
+        }
+        return line_chart(series, title="cost per trial (paper units)")
+
+
+def _run_one_trial(
+    label: str,
+    base_seed: int,
+    n_nodes: int,
+    link_probability: float,
+    energy_low: Optional[float],
+    energy_high: Optional[float],
+    index: int,
+) -> RandomGraphTrial:
+    """One random-graph trial; seeded purely by its labels (parallel-safe)."""
+    seed = stable_hash_seed(label, base_seed, n_nodes, link_probability, index)
+    rng_seed = np.random.SeedSequence(seed)
+    children = rng_seed.spawn(2)
+    if energy_low is not None and energy_high is not None:
+        energies = np.random.default_rng(children[0]).uniform(
+            energy_low, energy_high, size=n_nodes
+        )
+    else:
+        energies = DEFAULT_BATTERY_J
+    net = random_graph(
+        n_nodes,
+        link_probability,
+        initial_energy=energies,
+        seed=np.random.default_rng(children[1]),
+    )
+    aaml = build_aaml_tree(net)
+    mst = build_mst_tree(net)
+    ira = build_ira_tree(net, aaml.lifetime)
+    return RandomGraphTrial(
+        index=index,
+        aaml_cost=aaml.tree.cost() * PAPER_COST_SCALE,
+        ira_cost=ira.tree.cost() * PAPER_COST_SCALE,
+        mst_cost=mst.cost() * PAPER_COST_SCALE,
+        aaml_reliability=aaml.tree.reliability(),
+        ira_reliability=ira.tree.reliability(),
+        mst_reliability=mst.reliability(),
+        lc=aaml.lifetime,
+        ira_lifetime_ok=ira.lifetime_satisfied,
+    )
+
+
+def run_random_graph_trials(
+    *,
+    n_trials: int,
+    n_nodes: int,
+    link_probability: float,
+    energy_low: Optional[float],
+    energy_high: Optional[float],
+    label: str,
+    base_seed: int,
+    n_jobs: Optional[int] = None,
+) -> Tuple[RandomGraphTrial, ...]:
+    """Shared trial loop behind Figs. 8, 9 and 10.
+
+    With ``energy_low``/``energy_high`` set, per-node energies are drawn
+    uniformly from that interval (Fig. 9); otherwise every node gets the
+    default 3000 J battery (Figs. 8 and 10).  ``n_jobs > 1`` distributes
+    trials over processes with bitwise-identical results (each trial's seed
+    is a pure function of its labels).
+    """
+    trial = partial(
+        _run_one_trial,
+        label,
+        base_seed,
+        n_nodes,
+        link_probability,
+        energy_low,
+        energy_high,
+    )
+    return tuple(parallel_map(trial, n_trials, n_jobs=n_jobs))
+
+
+def run_fig8(
+    *,
+    n_trials: int = 100,
+    n_nodes: int = 16,
+    link_probability: float = 0.7,
+    base_seed: int = 8,
+    n_jobs: Optional[int] = None,
+) -> Fig8Result:
+    """Run the Fig. 8 workload (paper defaults)."""
+    trials = run_random_graph_trials(
+        n_trials=n_trials,
+        n_nodes=n_nodes,
+        link_probability=link_probability,
+        energy_low=None,
+        energy_high=None,
+        label="fig8",
+        base_seed=base_seed,
+        n_jobs=n_jobs,
+    )
+    return Fig8Result(trials=trials)

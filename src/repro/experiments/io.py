@@ -1,0 +1,85 @@
+"""Persisting experiment results.
+
+The harness's result objects are nested frozen dataclasses; this module
+exports them to JSON (numpy-safe, recursion-safe) so runs can be archived,
+diffed, or plotted later without re-running the sweep, and loads them back
+as plain dictionaries.
+
+The export is deliberately *schema-light*: each document records the result
+class name, the library version, and the recursively-converted payload.
+Loading returns the dict — downstream analysis works on the data, not on
+reconstructed objects (the objects can always be regenerated from the
+recorded experiment module + seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+__all__ = ["result_to_dict", "save_result", "load_result"]
+
+_FORMAT = "repro-experiment-result"
+_MAX_DEPTH = 32
+
+
+def _convert(value: Any, depth: int = 0) -> Any:
+    """Recursively convert a result payload into JSON-compatible values."""
+    if depth > _MAX_DEPTH:
+        raise ValueError("result structure too deeply nested to serialize")
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _convert(getattr(value, field.name), depth + 1)
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): _convert(v, depth + 1) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_convert(v, depth + 1) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"cannot serialize value of type {type(value).__name__} in a result"
+    )
+
+
+def result_to_dict(result: Any) -> Dict:
+    """Wrap *result* (a harness result dataclass) into an export document."""
+    from repro import __version__
+
+    if not dataclasses.is_dataclass(result):
+        raise TypeError(
+            f"expected a result dataclass, got {type(result).__name__}"
+        )
+    return {
+        "format": _FORMAT,
+        "library_version": __version__,
+        "result_class": type(result).__name__,
+        "data": _convert(result),
+    }
+
+
+def save_result(result: Any, path: Union[str, Path]) -> None:
+    """Write *result* to *path* as a JSON document."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: Union[str, Path]) -> Dict:
+    """Load an exported result; returns the document as a plain dict.
+
+    Raises ``ValueError`` for documents that are not harness exports.
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != _FORMAT:
+        raise ValueError(
+            f"not a {_FORMAT} document (format={data.get('format')!r})"
+        )
+    return data

@@ -1,0 +1,86 @@
+"""Network substrate: WSN graphs, energy models, link quality, topologies.
+
+This package implements everything the paper's algorithms consume:
+
+* :mod:`repro.network.model` — the :class:`Network` graph (nodes, PRRs,
+  energies) with derived link costs ``c_e = -log q_e``.
+* :mod:`repro.network.energy` — TelosB per-packet energy model and the Eq. 1
+  lifetime arithmetic.
+* :mod:`repro.network.linkquality` — distance/power → PRR models (Fig. 2).
+* :mod:`repro.network.topology` — random / unit-disk / grid generators
+  (Section VII-B workloads).
+* :mod:`repro.network.trace` — beacon-based PRR estimation (Eq. 2) and an
+  EWMA tracker for dynamic links.
+* :mod:`repro.network.dfl` — synthetic stand-in for the paper's 16-node
+  device-free-localization testbed (Section VII-A).
+"""
+
+from repro.network.dfl import DFLLinkModel, dfl_network, dfl_positions
+from repro.network.dynamics import (
+    DynamicLinkSimulator,
+    GilbertElliottLink,
+    LinkDriftModel,
+)
+from repro.network.energy import TELOSB, EnergyModel, PowerTrace, synthesize_power_trace
+from repro.network.linkquality import (
+    CC2420_TX_POWER_DBM,
+    EmpiricalPRRModel,
+    LogNormalShadowingModel,
+    TxPowerSetting,
+    UniformPRRModel,
+    prr_vs_distance_curve,
+)
+from repro.network.model import Edge, Network, edge_key
+from repro.network.serialization import (
+    load_network,
+    load_tree,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+    save_tree,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.network.topology import grid_graph, random_energies, random_graph, unit_disk_graph
+from repro.network.trace import BeaconTraceEstimator, EWMALinkEstimator, LinkTrace
+from repro.network.traces_io import ChurnEvent, ChurnTrace, record_churn_trace
+
+__all__ = [
+    "BeaconTraceEstimator",
+    "CC2420_TX_POWER_DBM",
+    "ChurnEvent",
+    "ChurnTrace",
+    "DFLLinkModel",
+    "DynamicLinkSimulator",
+    "EWMALinkEstimator",
+    "Edge",
+    "EmpiricalPRRModel",
+    "EnergyModel",
+    "GilbertElliottLink",
+    "LinkDriftModel",
+    "LinkTrace",
+    "LogNormalShadowingModel",
+    "Network",
+    "PowerTrace",
+    "TELOSB",
+    "TxPowerSetting",
+    "UniformPRRModel",
+    "dfl_network",
+    "dfl_positions",
+    "edge_key",
+    "grid_graph",
+    "load_network",
+    "load_tree",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network",
+    "save_tree",
+    "tree_from_dict",
+    "tree_to_dict",
+    "prr_vs_distance_curve",
+    "random_energies",
+    "random_graph",
+    "record_churn_trace",
+    "synthesize_power_trace",
+    "unit_disk_graph",
+]

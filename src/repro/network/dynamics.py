@@ -1,0 +1,231 @@
+"""Time-varying link dynamics (Gilbert–Elliott bursty losses, drift).
+
+The paper's distributed protocol exists because "the link quality might
+change as time goes and the environment changes" (Section VI).  Its
+evaluation models change as a fixed per-round cost increment; real links
+misbehave in two richer ways this module provides:
+
+* **Burstiness** — losses cluster.  The classic two-state Gilbert–Elliott
+  chain (GOOD/BAD states with different delivery probabilities and
+  geometric sojourn times) is the standard WSN abstraction; its long-run
+  average still matches a PRR, but short windows swing hard, which is
+  exactly what stresses windowed estimators like
+  :class:`~repro.network.trace.EWMALinkEstimator`.
+* **Drift** — the mean PRR itself wanders (humidity, interference,
+  obstacles).  A clipped random walk on the PRR reproduces the slow
+  degradation/improvement events the protocol reacts to.
+
+:class:`DynamicLinkSimulator` composes the two per link over a network and
+drives churn experiments that go beyond the paper's fixed-increment model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.network.model import Network, edge_key
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_probability
+
+__all__ = ["GilbertElliottLink", "LinkDriftModel", "DynamicLinkSimulator"]
+
+
+@dataclass
+class GilbertElliottLink:
+    """Two-state bursty loss process for one link.
+
+    Attributes:
+        p_good_to_bad: Per-step transition probability GOOD → BAD.
+        p_bad_to_good: Per-step transition probability BAD → GOOD.
+        prr_good: Delivery probability while in GOOD.
+        prr_bad: Delivery probability while in BAD.
+        in_good: Current state.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    prr_good: float = 0.99
+    prr_bad: float = 0.2
+    in_good: bool = True
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_good_to_bad, "p_good_to_bad")
+        check_probability(self.p_bad_to_good, "p_bad_to_good")
+        check_probability(self.prr_good, "prr_good")
+        check_probability(self.prr_bad, "prr_bad")
+        if self.prr_bad > self.prr_good:
+            raise ValueError("prr_bad must not exceed prr_good")
+
+    @classmethod
+    def from_average(
+        cls,
+        average_prr: float,
+        *,
+        burst_length: float = 20.0,
+        prr_good: float = 0.99,
+        prr_bad: float = 0.2,
+    ) -> "GilbertElliottLink":
+        """Construct a chain whose stationary mean PRR equals *average_prr*.
+
+        With stationary GOOD probability ``π``, the mean is
+        ``π·prr_good + (1-π)·prr_bad``; solving for ``π`` and choosing the
+        BAD sojourn to average *burst_length* steps fixes both transition
+        rates.
+        """
+        check_probability(average_prr, "average_prr", allow_zero=False)
+        if not (prr_bad <= average_prr <= prr_good):
+            raise ValueError(
+                f"average_prr must lie in [{prr_bad}, {prr_good}]"
+            )
+        if burst_length < 1:
+            raise ValueError("burst_length must be >= 1 step")
+        pi_good = (average_prr - prr_bad) / max(prr_good - prr_bad, 1e-12)
+        p_bad_to_good = min(1.0 / burst_length, 1.0)
+        # Stationarity: pi_good * g2b = (1 - pi_good) * b2g.
+        if pi_good >= 1.0:
+            p_good_to_bad = 0.0
+        else:
+            p_good_to_bad = (1 - pi_good) * p_bad_to_good / max(pi_good, 1e-12)
+        return cls(
+            p_good_to_bad=min(p_good_to_bad, 1.0),
+            p_bad_to_good=p_bad_to_good,
+            prr_good=prr_good,
+            prr_bad=prr_bad,
+        )
+
+    @property
+    def stationary_prr(self) -> float:
+        """Long-run mean delivery probability of the chain."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        if denom == 0:
+            return self.prr_good if self.in_good else self.prr_bad
+        pi_good = self.p_bad_to_good / denom
+        return pi_good * self.prr_good + (1 - pi_good) * self.prr_bad
+
+    @property
+    def current_prr(self) -> float:
+        return self.prr_good if self.in_good else self.prr_bad
+
+    def step(self, rng: np.random.Generator) -> float:
+        """Advance one step; returns the new instantaneous PRR."""
+        if self.in_good:
+            if rng.random() < self.p_good_to_bad:
+                self.in_good = False
+        else:
+            if rng.random() < self.p_bad_to_good:
+                self.in_good = True
+        return self.current_prr
+
+    def deliver(self, rng: np.random.Generator) -> bool:
+        """Draw one delivery outcome in the current state."""
+        return bool(rng.random() < self.current_prr)
+
+
+@dataclass(frozen=True)
+class LinkDriftModel:
+    """Slow random walk of a link's mean PRR.
+
+    Attributes:
+        sigma: Per-step standard deviation of the PRR walk.
+        floor, ceiling: Reflection bounds for the walk.
+    """
+
+    sigma: float = 0.002
+    floor: float = 0.5
+    ceiling: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        check_probability(self.floor, "floor", allow_zero=False)
+        check_probability(self.ceiling, "ceiling", allow_zero=False)
+        if self.floor >= self.ceiling:
+            raise ValueError("floor must be < ceiling")
+
+    def step(self, prr: float, rng: np.random.Generator) -> float:
+        """One drift step from *prr* (reflected into [floor, ceiling])."""
+        value = prr + float(rng.normal(0.0, self.sigma))
+        # Reflect at the bounds to avoid sticking.
+        if value > self.ceiling:
+            value = 2 * self.ceiling - value
+        if value < self.floor:
+            value = 2 * self.floor - value
+        return float(np.clip(value, self.floor, self.ceiling))
+
+
+class DynamicLinkSimulator:
+    """Drive a network's PRRs through burst + drift dynamics.
+
+    Wraps a :class:`~repro.network.model.Network` whose stored PRRs are
+    treated as the links' *mean* quality: each :meth:`step` advances every
+    link's drift walk and Gilbert–Elliott state and rewrites the network's
+    PRRs with the current means, returning the set of links whose mean
+    changed materially (the events a maintenance protocol would react to).
+
+    Args:
+        network: Mutated in place (pass a copy to preserve the original).
+        drift: Mean-PRR drift model (None disables drift).
+        burst_length: Mean BAD-state sojourn for the per-link chains
+            (None disables burstiness; :meth:`deliver` then uses the mean).
+        seed: Randomness for all dynamics.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        drift: Optional[LinkDriftModel] = LinkDriftModel(),
+        burst_length: Optional[float] = 20.0,
+        change_threshold: float = 0.01,
+        seed: SeedLike = None,
+    ) -> None:
+        if change_threshold <= 0:
+            raise ValueError("change_threshold must be positive")
+        self.network = network
+        self.drift = drift
+        self.change_threshold = change_threshold
+        self.rng = as_rng(seed)
+        self._mean: Dict[Tuple[int, int], float] = {
+            e.key: e.prr for e in network.edges()
+        }
+        self._chains: Dict[Tuple[int, int], GilbertElliottLink] = {}
+        if burst_length is not None:
+            for key, prr in self._mean.items():
+                # Chain states span [0.2, 0.99]; clamp the target into the
+                # achievable band (links outside it keep the nearest mean).
+                target = float(np.clip(prr, 0.21, 0.99))
+                self._chains[key] = GilbertElliottLink.from_average(
+                    target, burst_length=burst_length
+                )
+
+    def step(self) -> Dict[Tuple[int, int], float]:
+        """Advance all links one step; returns materially-changed means."""
+        changed: Dict[Tuple[int, int], float] = {}
+        for key in list(self._mean):
+            old = self._mean[key]
+            new = old
+            if self.drift is not None:
+                new = self.drift.step(old, self.rng)
+            chain = self._chains.get(key)
+            if chain is not None:
+                chain.step(self.rng)
+            if abs(new - old) >= self.change_threshold:
+                changed[key] = new
+            self._mean[key] = new
+            self.network.set_prr(key[0], key[1], new)
+        return changed
+
+    def deliver(self, u: int, v: int) -> bool:
+        """One delivery draw over link ``{u, v}`` (bursty when enabled)."""
+        key = edge_key(u, v)
+        chain = self._chains.get(key)
+        if chain is not None:
+            return chain.deliver(self.rng)
+        return bool(self.rng.random() < self._mean[key])
+
+    def mean_prr(self, u: int, v: int) -> float:
+        """Current mean PRR of ``{u, v}``."""
+        return self._mean[edge_key(u, v)]

@@ -1,0 +1,272 @@
+"""Link-quality (packet reception ratio) models.
+
+The paper's motivation experiment (Fig. 2) measures the average packet
+reception ratio (PRR) of TelosB links at distances from 4 ft to 16 ft for
+transmit-power settings Tx ∈ {19, 15, 11, 7, 3} (CC2420 register values).
+At Tx=19 the PRR degrades gently with distance; at Tx=11 and below it falls
+from ~100% to under 10% over that range.
+
+We do not have the testbed, so this module implements the standard
+log-normal-shadowing + CC2420 packet-success chain used in the WSN literature
+(Zuniga & Krishnamachari's link-layer model):
+
+  1. path loss:   PL(d) = PL(d0) + 10·η·log10(d/d0) + N(0, σ)
+  2. SNR:         γ(d) = P_tx − PL(d) − P_noise
+  3. bit error:   DSSS/O-QPSK BER approximation for the CC2420
+  4. packet success: PRR = (1 − BER)^(8·frame_bytes)
+
+The parameters are calibrated so the resulting curves have the Fig. 2 shape
+(near-1.0 plateau, sharp transitional region, long unreliable tail, ordered
+by transmit power).  The DFL substitute topology and the random topologies
+draw their PRRs from these models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "EmpiricalPRRModel",
+    "LogNormalShadowingModel",
+    "TxPowerSetting",
+    "CC2420_TX_POWER_DBM",
+    "prr_vs_distance_curve",
+    "UniformPRRModel",
+]
+
+#: CC2420 PA_LEVEL register value -> output power in dBm (datasheet table).
+CC2420_TX_POWER_DBM = {
+    31: 0.0,
+    27: -1.0,
+    23: -3.0,
+    19: -5.0,
+    15: -7.0,
+    11: -10.0,
+    7: -15.0,
+    3: -25.0,
+}
+
+FT_PER_M = 3.280839895
+
+
+@dataclass(frozen=True)
+class TxPowerSetting:
+    """A CC2420 transmit-power register setting.
+
+    Attributes:
+        level: PA_LEVEL register value (3..31, as in the paper's Fig. 2).
+    """
+
+    level: int
+
+    def __post_init__(self) -> None:
+        if self.level not in CC2420_TX_POWER_DBM:
+            raise ValueError(
+                f"unknown CC2420 PA_LEVEL {self.level}; "
+                f"known levels: {sorted(CC2420_TX_POWER_DBM)}"
+            )
+
+    @property
+    def dbm(self) -> float:
+        """Radio output power in dBm."""
+        return CC2420_TX_POWER_DBM[self.level]
+
+
+@dataclass(frozen=True)
+class LogNormalShadowingModel:
+    """Distance → PRR model (log-normal shadowing + CC2420 PER chain).
+
+    Attributes:
+        path_loss_exponent: Environment decay exponent η (2 free space,
+            3–4 indoor; the DFL lab calibrates to ~3.2).
+        reference_loss_db: Path loss at the reference distance, dB.
+        reference_distance_m: Reference distance d0 in meters.
+        shadowing_sigma_db: Std-dev of the shadowing term, dB (0 = smooth
+            mean curve, used for the Fig. 2 averages).
+        noise_floor_dbm: Receiver noise floor, dBm.
+        frame_bytes: Packet length used for PRR (paper uses 34-byte packets).
+    """
+
+    path_loss_exponent: float = 3.2
+    reference_loss_db: float = 55.0
+    reference_distance_m: float = 1.0
+    shadowing_sigma_db: float = 3.0
+    noise_floor_dbm: float = -98.0
+    frame_bytes: int = 34
+
+    def __post_init__(self) -> None:
+        check_positive(self.path_loss_exponent, "path_loss_exponent")
+        check_positive(self.reference_distance_m, "reference_distance_m")
+        if self.shadowing_sigma_db < 0:
+            raise ValueError("shadowing_sigma_db must be non-negative")
+        if self.frame_bytes <= 0:
+            raise ValueError("frame_bytes must be positive")
+
+    def path_loss_db(self, distance_m: float, rng: Optional[np.random.Generator] = None) -> float:
+        """Path loss at *distance_m*; adds a shadowing draw if *rng* given."""
+        check_positive(distance_m, "distance_m")
+        loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+            distance_m / self.reference_distance_m
+        )
+        if rng is not None and self.shadowing_sigma_db > 0:
+            loss += float(rng.normal(0.0, self.shadowing_sigma_db))
+        return loss
+
+    def snr_db(
+        self,
+        distance_m: float,
+        tx_power_dbm: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Signal-to-noise ratio at the receiver, dB."""
+        return tx_power_dbm - self.path_loss_db(distance_m, rng) - self.noise_floor_dbm
+
+    @staticmethod
+    def bit_error_rate(snr_db: float) -> float:
+        """CC2420 (802.15.4 DSSS O-QPSK) bit-error approximation.
+
+        Zuniga & Krishnamachari:  BER = (1/8)·(1/16)·Σ_{k=2..16}
+        (−1)^k C(16,k) exp(20·γ·(1/k − 1)), with γ the linear SNR.
+        """
+        gamma = 10.0 ** (snr_db / 10.0)
+        total = 0.0
+        for k in range(2, 17):
+            total += ((-1) ** k) * math.comb(16, k) * math.exp(
+                20.0 * gamma * (1.0 / k - 1.0)
+            )
+        ber = total / 128.0
+        return min(max(ber, 0.0), 0.5)
+
+    def prr(
+        self,
+        distance_m: float,
+        tx_power_dbm: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """Packet reception ratio of a link at *distance_m*.
+
+        With *rng* provided, a per-link shadowing term is drawn, producing
+        the link-to-link variation a real deployment shows; without it, the
+        smooth mean curve (Fig. 2 averages) is returned.
+        """
+        snr = self.snr_db(distance_m, tx_power_dbm, rng)
+        ber = self.bit_error_rate(snr)
+        return (1.0 - ber) ** (8 * self.frame_bytes)
+
+    def prr_level(
+        self,
+        distance_m: float,
+        level: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """PRR for a CC2420 PA_LEVEL register value (Fig. 2's Tx axis)."""
+        return self.prr(distance_m, TxPowerSetting(level).dbm, rng)
+
+
+def prr_vs_distance_curve(
+    model: LogNormalShadowingModel,
+    level: int,
+    distances_ft: np.ndarray,
+    *,
+    n_trials: int = 0,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Average PRR at each distance (in feet, matching Fig. 2's axis).
+
+    With ``n_trials == 0`` the deterministic mean curve is returned; with
+    ``n_trials > 0``, *n_trials* shadowing draws are averaged per distance,
+    emulating the paper's repeated measurements.
+    """
+    distances_ft = np.asarray(distances_ft, dtype=float)
+    if np.any(distances_ft <= 0):
+        raise ValueError("distances must be positive")
+    rng = as_rng(seed)
+    out = np.empty_like(distances_ft)
+    for i, d_ft in enumerate(distances_ft):
+        d_m = float(d_ft) / FT_PER_M
+        if n_trials <= 0:
+            out[i] = model.prr_level(d_m, level)
+        else:
+            samples = [model.prr_level(d_m, level, rng) for _ in range(n_trials)]
+            out[i] = float(np.mean(samples))
+    return out
+
+
+@dataclass(frozen=True)
+class EmpiricalPRRModel:
+    """Smooth graded distance→PRR mapping: ``1 - alpha * d**beta`` + noise.
+
+    The CC2420 SNR chain has a sharp cliff — links are either near-perfect
+    or near-dead — which is right for the Fig. 2 reproduction but makes
+    every spanning-tree algorithm pick the same near-free links.  Real
+    deployments also see a *graded* regime (interference, multipath,
+    asymmetric antennas) where even short links lose a few percent and the
+    loss grows smoothly with distance; this model captures that regime.
+
+    The signature matches :class:`LogNormalShadowingModel.prr` (the
+    ``tx_power_dbm`` argument is accepted and ignored) so topology
+    generators can take either model.
+
+    Attributes:
+        alpha, beta: Shape of the degradation term.
+        noise_sigma: Std-dev of per-link quality noise.
+        floor, ceiling: Clipping bounds for the resulting PRR.
+    """
+
+    alpha: float = 0.02
+    beta: float = 1.2
+    noise_sigma: float = 0.01
+    floor: float = 0.05
+    ceiling: float = 0.999
+
+    def __post_init__(self) -> None:
+        check_positive(self.alpha, "alpha")
+        check_positive(self.beta, "beta")
+        check_probability(self.floor, "floor", allow_zero=False)
+        check_probability(self.ceiling, "ceiling", allow_zero=False)
+        if self.floor >= self.ceiling:
+            raise ValueError("floor must be < ceiling")
+        if self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+
+    def prr(
+        self,
+        distance_m: float,
+        tx_power_dbm: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """PRR of a link of length *distance_m* (noisy when *rng* given)."""
+        check_positive(distance_m, "distance_m")
+        value = 1.0 - self.alpha * distance_m**self.beta
+        if rng is not None and self.noise_sigma > 0:
+            value += float(rng.normal(0.0, self.noise_sigma))
+        return float(np.clip(value, self.floor, self.ceiling))
+
+
+@dataclass(frozen=True)
+class UniformPRRModel:
+    """Draw link PRRs uniformly from ``(low, high)``.
+
+    Section VII-B's random-graph experiments select each link's quality
+    "randomly in (0.95, 1)"; this model reproduces that setup.
+    """
+
+    low: float = 0.95
+    high: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_probability(self.low, "low")
+        check_probability(self.high, "high")
+        if self.low >= self.high:
+            raise ValueError(f"low ({self.low}) must be < high ({self.high})")
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None):
+        """Draw one PRR (or an array of *size* PRRs) from the open interval."""
+        return rng.uniform(self.low, self.high, size=size)

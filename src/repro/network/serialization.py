@@ -1,0 +1,144 @@
+"""JSON (de)serialization for networks and trees.
+
+Deployments snapshot their estimated link state so experiments are
+re-runnable; this module round-trips :class:`~repro.network.model.Network`
+and :class:`~repro.core.tree.AggregationTree` through plain JSON documents
+(schema below) so instances can be archived next to experiment results.
+
+Network schema (version 1)::
+
+    {
+      "format": "repro-network",
+      "version": 1,
+      "n": 16,
+      "energy_model": {"tx": 1.6e-4, "rx": 1.2e-4},
+      "initial_energy": [3000.0, ...],
+      "positions": [[x, y], ...] | null,
+      "links": [[u, v, prr], ...]
+    }
+
+Tree schema (version 1)::
+
+    {"format": "repro-tree", "version": 1, "n": 16, "parents": {"1": 0, ...}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.tree import AggregationTree
+from repro.network.energy import EnergyModel
+from repro.network.model import Network
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+]
+
+_NETWORK_FORMAT = "repro-network"
+_TREE_FORMAT = "repro-tree"
+_VERSION = 1
+
+
+def network_to_dict(network: Network) -> Dict:
+    """Serialize *network* to a JSON-compatible dict."""
+    return {
+        "format": _NETWORK_FORMAT,
+        "version": _VERSION,
+        "n": network.n,
+        "energy_model": {
+            "tx": network.energy_model.tx,
+            "rx": network.energy_model.rx,
+        },
+        "initial_energy": [float(e) for e in network.initial_energies],
+        "positions": (
+            None
+            if network.positions is None
+            else [[float(x), float(y)] for x, y in network.positions]
+        ),
+        "links": [[e.u, e.v, e.prr] for e in network.edges()],
+    }
+
+
+def network_from_dict(data: Dict) -> Network:
+    """Rebuild a network from :func:`network_to_dict` output.
+
+    Raises ``ValueError`` on wrong format tag, unsupported version, or
+    structurally invalid content (delegated to the Network validators).
+    """
+    if data.get("format") != _NETWORK_FORMAT:
+        raise ValueError(
+            f"not a {_NETWORK_FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    model = EnergyModel(
+        tx=float(data["energy_model"]["tx"]),
+        rx=float(data["energy_model"]["rx"]),
+    )
+    positions = data.get("positions")
+    network = Network(
+        int(data["n"]),
+        initial_energy=data["initial_energy"],
+        energy_model=model,
+        positions=None if positions is None else np.asarray(positions, dtype=float),
+    )
+    for u, v, prr in data["links"]:
+        network.add_link(int(u), int(v), float(prr))
+    return network
+
+
+def save_network(network: Network, path: Union[str, Path]) -> None:
+    """Write *network* to *path* as JSON."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def load_network(path: Union[str, Path]) -> Network:
+    """Read a network JSON document from *path*."""
+    return network_from_dict(json.loads(Path(path).read_text()))
+
+
+def tree_to_dict(tree: AggregationTree) -> Dict:
+    """Serialize *tree*'s structure (the network is stored separately)."""
+    return {
+        "format": _TREE_FORMAT,
+        "version": _VERSION,
+        "n": tree.n,
+        "parents": {str(v): int(p) for v, p in tree.parents.items()},
+    }
+
+
+def tree_from_dict(data: Dict, network: Network) -> AggregationTree:
+    """Rebuild a tree over *network* from :func:`tree_to_dict` output."""
+    if data.get("format") != _TREE_FORMAT:
+        raise ValueError(
+            f"not a {_TREE_FORMAT} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != _VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    if int(data["n"]) != network.n:
+        raise ValueError(
+            f"tree has {data['n']} nodes but network has {network.n}"
+        )
+    parents = {int(v): int(p) for v, p in data["parents"].items()}
+    return AggregationTree(network, parents)
+
+
+def save_tree(tree: AggregationTree, path: Union[str, Path]) -> None:
+    """Write *tree* to *path* as JSON."""
+    Path(path).write_text(json.dumps(tree_to_dict(tree), indent=2))
+
+
+def load_tree(path: Union[str, Path], network: Network) -> AggregationTree:
+    """Read a tree JSON document from *path* and bind it to *network*."""
+    return tree_from_dict(json.loads(Path(path).read_text()), network)

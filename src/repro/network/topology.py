@@ -1,0 +1,194 @@
+"""Topology generators for the paper's workloads.
+
+Section VII uses two topology families:
+
+* the 16-node DFL perimeter deployment (see :mod:`repro.network.dfl`), and
+* random graphs: "Each random graph has 16 nodes and every possible edge
+  occurs independently with probability 70%. The link quality of each edge is
+  randomly selected in (0.95, 1)." — :func:`random_graph` reproduces this,
+  with the link probability and PRR range as parameters for the Fig. 8–10
+  sweeps.
+
+Unit-disk and grid generators are provided for the example applications
+(habitat-monitoring-style deployments in the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.network.energy import DEFAULT_BATTERY_J, EnergyModel, TELOSB
+from repro.network.linkquality import LogNormalShadowingModel, UniformPRRModel
+from repro.network.model import Network
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "random_graph",
+    "unit_disk_graph",
+    "grid_graph",
+    "random_energies",
+]
+
+
+def random_energies(
+    n_nodes: int,
+    low: float,
+    high: float,
+    *,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Per-node initial energies drawn uniformly from ``[low, high]``.
+
+    Section VII-B2 uses ``[1500 J, 5000 J]``.
+    """
+    check_positive(low, "low")
+    if high < low:
+        raise ValueError(f"high ({high}) must be >= low ({low})")
+    rng = as_rng(seed)
+    return rng.uniform(low, high, size=n_nodes)
+
+
+def random_graph(
+    n_nodes: int = 16,
+    link_probability: float = 0.7,
+    *,
+    prr_low: float = 0.95,
+    prr_high: float = 1.0,
+    initial_energy: float | np.ndarray = DEFAULT_BATTERY_J,
+    energy_model: EnergyModel = TELOSB,
+    seed: SeedLike = None,
+    ensure_connected: bool = True,
+    max_attempts: int = 1000,
+) -> Network:
+    """G(n, p) random WSN with uniform-random link PRRs (Section VII-B).
+
+    Every unordered node pair becomes a link independently with probability
+    *link_probability*; each link's PRR is uniform in (*prr_low*, *prr_high*).
+    With ``ensure_connected`` (the paper requires a connected G) the draw is
+    repeated until the graph is connected, raising ``RuntimeError`` after
+    *max_attempts* failures (only plausible for tiny p).
+    """
+    check_probability(link_probability, "link_probability")
+    prr_model = UniformPRRModel(prr_low, prr_high)
+    rng = as_rng(seed)
+    for _ in range(max_attempts):
+        net = Network(
+            n_nodes,
+            initial_energy=initial_energy,
+            energy_model=energy_model,
+        )
+        for u in range(n_nodes):
+            for v in range(u + 1, n_nodes):
+                if rng.random() < link_probability:
+                    net.add_link(u, v, float(prr_model.sample(rng)))
+        if not ensure_connected or net.is_connected():
+            return net
+    raise RuntimeError(
+        f"failed to draw a connected G({n_nodes}, {link_probability}) "
+        f"after {max_attempts} attempts"
+    )
+
+
+def unit_disk_graph(
+    n_nodes: int,
+    area_m: float,
+    comm_range_m: float,
+    *,
+    link_model: Optional[LogNormalShadowingModel] = None,
+    tx_power_dbm: float = 0.0,
+    min_prr: float = 0.05,
+    initial_energy: float | np.ndarray = DEFAULT_BATTERY_J,
+    energy_model: EnergyModel = TELOSB,
+    seed: SeedLike = None,
+    ensure_connected: bool = True,
+    max_attempts: int = 200,
+) -> Network:
+    """Uniform random deployment in a square with distance-based link PRRs.
+
+    Nodes are scattered uniformly in an ``area_m × area_m`` square (sink at
+    the center); node pairs within *comm_range_m* form links whose PRR comes
+    from *link_model* (with per-link shadowing).  Links whose PRR falls below
+    *min_prr* are dropped — such links exist physically but are useless and
+    real link estimators blacklist them.
+    """
+    check_positive(area_m, "area_m")
+    check_positive(comm_range_m, "comm_range_m")
+    check_probability(min_prr, "min_prr")
+    model = link_model if link_model is not None else LogNormalShadowingModel()
+    rng = as_rng(seed)
+
+    for _ in range(max_attempts):
+        positions = rng.uniform(0.0, area_m, size=(n_nodes, 2))
+        positions[0] = (area_m / 2.0, area_m / 2.0)  # sink at the center
+        net = Network(
+            n_nodes,
+            initial_energy=initial_energy,
+            energy_model=energy_model,
+            positions=positions,
+        )
+        for u in range(n_nodes):
+            for v in range(u + 1, n_nodes):
+                dist = float(np.linalg.norm(positions[u] - positions[v]))
+                if dist <= comm_range_m:
+                    prr = model.prr(max(dist, 1e-3), tx_power_dbm, rng)
+                    if prr >= min_prr:
+                        net.add_link(u, v, min(prr, 1.0))
+        if not ensure_connected or net.is_connected():
+            return net
+    raise RuntimeError(
+        f"failed to draw a connected unit-disk graph after {max_attempts} attempts; "
+        "increase comm_range_m or n_nodes"
+    )
+
+
+def grid_graph(
+    rows: int,
+    cols: int,
+    spacing_m: float = 1.0,
+    *,
+    link_model: Optional[LogNormalShadowingModel] = None,
+    tx_power_dbm: float = 0.0,
+    include_diagonals: bool = True,
+    initial_energy: float | np.ndarray = DEFAULT_BATTERY_J,
+    energy_model: EnergyModel = TELOSB,
+    seed: SeedLike = None,
+) -> Network:
+    """Regular ``rows × cols`` grid deployment (structure-monitoring layout).
+
+    Node 0 (the sink) is the grid corner at the origin; links connect
+    4-neighbors (and diagonals when *include_diagonals*), with PRRs from the
+    distance model including per-link shadowing.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    check_positive(spacing_m, "spacing_m")
+    model = link_model if link_model is not None else LogNormalShadowingModel()
+    rng = as_rng(seed)
+    n = rows * cols
+    positions = np.array(
+        [(c * spacing_m, r * spacing_m) for r in range(rows) for c in range(cols)],
+        dtype=float,
+    )
+    net = Network(
+        n,
+        initial_energy=initial_energy,
+        energy_model=energy_model,
+        positions=positions,
+    )
+    offsets = [(0, 1), (1, 0)]
+    if include_diagonals:
+        offsets += [(1, 1), (1, -1)]
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            for dr, dc in offsets:
+                rr, cc = r + dr, c + dc
+                if 0 <= rr < rows and 0 <= cc < cols:
+                    v = rr * cols + cc
+                    dist = float(np.linalg.norm(positions[u] - positions[v]))
+                    prr = model.prr(dist, tx_power_dbm, rng)
+                    net.add_link(u, v, min(max(prr, 1e-6), 1.0))
+    return net

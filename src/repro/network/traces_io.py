@@ -1,0 +1,173 @@
+"""Churn traces: record link-quality evolution once, replay it anywhere.
+
+The paper's evaluation is "trace-driven": algorithms consume a recorded
+link-state history rather than a live channel.  This module provides that
+artifact for the reproduction — a :class:`ChurnTrace` is the per-epoch list
+of link-quality changes of one run, serializable to JSON, so that
+
+* stochastic dynamics (e.g. :class:`~repro.network.dynamics
+  .DynamicLinkSimulator`) can be captured once and re-used across
+  algorithms — every algorithm sees *exactly* the same channel history;
+* regression tests can pin behaviour on a frozen trace;
+* real deployment logs could be imported by writing this one format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.network.dynamics import DynamicLinkSimulator
+from repro.network.model import Network
+from repro.network.serialization import network_from_dict, network_to_dict
+
+__all__ = ["ChurnEvent", "ChurnTrace", "record_churn_trace"]
+
+_TRACE_FORMAT = "repro-churn-trace"
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One link-quality change.
+
+    Attributes:
+        epoch: 0-based epoch index the change takes effect in.
+        u, v: Link endpoints.
+        prr: The link's new mean PRR.
+    """
+
+    epoch: int
+    u: int
+    v: int
+    prr: float
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A frozen channel history: initial network + ordered change events."""
+
+    initial: Network
+    events: Tuple[ChurnEvent, ...]
+    n_epochs: int
+
+    def __post_init__(self) -> None:
+        if self.n_epochs < 0:
+            raise ValueError("n_epochs must be non-negative")
+        last = -1
+        for e in self.events:
+            if not (0 <= e.epoch < max(self.n_epochs, 1)):
+                raise ValueError(
+                    f"event epoch {e.epoch} outside [0, {self.n_epochs})"
+                )
+            if e.epoch < last:
+                raise ValueError("events must be ordered by epoch")
+            last = e.epoch
+            if not self.initial.has_edge(e.u, e.v):
+                raise ValueError(
+                    f"event touches unknown link ({e.u}, {e.v})"
+                )
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        on_change: Optional[Callable[[int, int, float], None]] = None,
+    ) -> Iterator[Tuple[int, Network]]:
+        """Yield ``(epoch, network)`` with the history applied step by step.
+
+        The yielded network is one private copy mutated in place across
+        epochs (snapshot with ``.copy()`` if you need to keep states).
+        *on_change* is invoked as ``on_change(u, v, prr)`` for every applied
+        event — the hook a protocol uses to refresh link estimates and run
+        its handlers.
+        """
+        net = self.initial.copy()
+        by_epoch: Dict[int, List[ChurnEvent]] = {}
+        for event in self.events:
+            by_epoch.setdefault(event.epoch, []).append(event)
+        for epoch in range(self.n_epochs):
+            for event in by_epoch.get(epoch, ()):
+                net.set_prr(event.u, event.v, event.prr)
+                if on_change is not None:
+                    on_change(event.u, event.v, event.prr)
+            yield epoch, net
+
+    def final_network(self) -> Network:
+        """The network after the whole history."""
+        net = self.initial.copy()
+        for event in self.events:
+            net.set_prr(event.u, event.v, event.prr)
+        return net
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "format": _TRACE_FORMAT,
+            "version": _VERSION,
+            "n_epochs": self.n_epochs,
+            "initial": network_to_dict(self.initial),
+            "events": [
+                [e.epoch, e.u, e.v, e.prr] for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChurnTrace":
+        if data.get("format") != _TRACE_FORMAT:
+            raise ValueError(
+                f"not a {_TRACE_FORMAT} document (format={data.get('format')!r})"
+            )
+        if data.get("version") != _VERSION:
+            raise ValueError(f"unsupported version {data.get('version')!r}")
+        events = tuple(
+            ChurnEvent(epoch=int(e[0]), u=int(e[1]), v=int(e[2]), prr=float(e[3]))
+            for e in data["events"]
+        )
+        return cls(
+            initial=network_from_dict(data["initial"]),
+            events=events,
+            n_epochs=int(data["n_epochs"]),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ChurnTrace":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def record_churn_trace(
+    network: Network,
+    n_epochs: int,
+    *,
+    dynamics: Optional[DynamicLinkSimulator] = None,
+    seed: Optional[int] = None,
+) -> ChurnTrace:
+    """Run link dynamics for *n_epochs* and freeze the history.
+
+    Args:
+        network: Starting link state (copied; the argument is untouched).
+        n_epochs: Epochs to record.
+        dynamics: Pre-configured simulator over a *copy* of *network*; when
+            ``None`` a default drift+burst simulator is built with *seed*.
+    """
+    if n_epochs <= 0:
+        raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+    initial = network.copy()
+    if dynamics is None:
+        dynamics = DynamicLinkSimulator(network.copy(), seed=seed)
+    events: List[ChurnEvent] = []
+    for epoch in range(n_epochs):
+        changed = dynamics.step()
+        for (u, v), prr in sorted(changed.items()):
+            events.append(ChurnEvent(epoch=epoch, u=u, v=v, prr=prr))
+    return ChurnTrace(
+        initial=initial, events=tuple(events), n_epochs=n_epochs
+    )

@@ -1,0 +1,23 @@
+"""Prüfer-code machinery for the distributed protocol (Section VI-A).
+
+* :mod:`repro.prufer.codec` — Algorithms 2 (encode) and 3 (decode) for
+  sink-rooted labelled trees, plus Eq. 23 children counting.
+* :mod:`repro.prufer.updates` — the ``(P, D)`` sequence pair every sensor
+  maintains and its ``O(n)`` parent-change splice.
+"""
+
+from repro.prufer.codec import (
+    children_counts_from_code,
+    code_is_valid,
+    decode,
+    encode,
+)
+from repro.prufer.updates import SequencePair
+
+__all__ = [
+    "SequencePair",
+    "children_counts_from_code",
+    "code_is_valid",
+    "decode",
+    "encode",
+]

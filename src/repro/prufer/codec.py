@@ -1,0 +1,146 @@
+"""Prüfer codec for labelled aggregation trees (paper Algorithms 2 and 3).
+
+The paper extends the classic Prüfer sequence to sink-rooted aggregation
+trees: the sink carries the smallest label (0), encoding repeatedly removes
+the *largest-labelled* leaf and appends its remaining neighbour, and decoding
+reconstructs the removal order.  Two properties make the code useful for the
+distributed protocol:
+
+* because the sink has the smallest label it is never removed, so the final
+  remaining edge is always incident to the sink and every ``(d_i, p_i)``
+  pair is a (child, parent) edge of the *rooted* tree — the code encodes the
+  parent map directly;
+* a node's children count equals its number of occurrences in the code
+  (Eq. 23), ``+1`` for the sink — so lifetime checks need only the code.
+
+Both algorithms run in ``O(n log n)`` using heaps, as the paper states.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.tree import AggregationTree
+
+__all__ = [
+    "encode",
+    "decode",
+    "children_counts_from_code",
+    "code_is_valid",
+]
+
+
+def encode(tree: AggregationTree) -> List[int]:
+    """Algorithm 2: Prüfer code of a sink-rooted tree (length ``n - 2``).
+
+    Repeatedly removes the leaf with the largest label and appends its
+    neighbour.  Requires ``n >= 2``; a two-node tree encodes to ``[]``.
+    """
+    n = tree.n
+    if n < 2:
+        raise ValueError(f"Prüfer codes require n >= 2 nodes, got {n}")
+    degree = [0] * n
+    adj: List[Dict[int, None]] = [dict() for _ in range(n)]
+    for u, v in tree.edges():
+        adj[u][v] = None
+        adj[v][u] = None
+        degree[u] += 1
+        degree[v] += 1
+
+    # Max-heap of current leaves (negated labels).  The sink (label 0) is
+    # never popped while any other leaf exists, and the loop stops before it
+    # could be: n - 2 removals always leave the sink plus one neighbour.
+    heap = [-v for v in range(n) if degree[v] == 1]
+    heapq.heapify(heap)
+    removed = [False] * n
+    code: List[int] = []
+    for _ in range(n - 2):
+        leaf = -heapq.heappop(heap)
+        if leaf == tree.sink:
+            # Defensive: only reachable if the structure was not a tree.
+            raise ValueError("sink became the largest leaf; tree is malformed")
+        removed[leaf] = True
+        (neighbour,) = (x for x in adj[leaf] if not removed[x])
+        code.append(neighbour)
+        del adj[neighbour][leaf]
+        degree[neighbour] -= 1
+        if degree[neighbour] == 1:
+            heapq.heappush(heap, -neighbour)
+    return code
+
+
+def decode(code: Sequence[int], n: int) -> List[int]:
+    """Algorithm 3: recover the removal sequence ``D`` (length ``n``).
+
+    ``D[i]`` is the node removed at encoding step ``i``; ``D[-2]`` is the
+    sink's remaining neighbour and ``D[-1]`` the sink itself.  The rooted
+    edge set is ``{(D[i], code[i])} ∪ {(D[n-2], D[n-1])}`` with the second
+    element of each pair being the parent.
+
+    Raises ``ValueError`` on codes that are not valid for *n* nodes.
+    """
+    code = list(code)
+    if n < 2:
+        raise ValueError(f"decoding requires n >= 2, got {n}")
+    if len(code) != n - 2:
+        raise ValueError(f"code for {n} nodes must have length {n - 2}, got {len(code)}")
+    for p in code:
+        if not (0 <= p < n):
+            raise ValueError(f"code entry {p} out of range [0, {n})")
+
+    remaining = [0] * n  # occurrences left in the not-yet-consumed code
+    for p in code:
+        remaining[p] += 1
+
+    # Max-heap of nodes eligible to be "removed" next: not yet output and no
+    # remaining occurrences in the unread suffix of the code.
+    heap = [-v for v in range(n) if remaining[v] == 0]
+    heapq.heapify(heap)
+    used = [False] * n
+    out: List[int] = []
+    for i in range(n - 2):
+        while heap and used[-heap[0]]:
+            heapq.heappop(heap)
+        if not heap:
+            raise ValueError("invalid Prüfer code: ran out of removable nodes")
+        node = -heapq.heappop(heap)
+        if node == 0:
+            raise ValueError("invalid Prüfer code: sink selected for removal")
+        used[node] = True
+        out.append(node)
+        p = code[i]
+        remaining[p] -= 1
+        if remaining[p] == 0 and not used[p]:
+            heapq.heappush(heap, -p)
+
+    tail = [v for v in range(n - 1, -1, -1) if not used[v] and v != 0]
+    if len(tail) != 1:
+        raise ValueError("invalid Prüfer code: ambiguous final edge")
+    out.append(tail[0])
+    out.append(0)
+    return out
+
+
+def children_counts_from_code(code: Sequence[int], n: int) -> List[int]:
+    """Eq. 23: children counts straight from the code, without decoding.
+
+    ``Ch(v) = N_P(v)`` for non-sink nodes and ``N_P(0) + 1`` for the sink —
+    this is how protocol nodes evaluate lifetime constraints locally.
+    """
+    counts = [0] * n
+    for p in code:
+        if not (0 <= p < n):
+            raise ValueError(f"code entry {p} out of range [0, {n})")
+        counts[p] += 1
+    counts[0] += 1
+    return counts
+
+
+def code_is_valid(code: Sequence[int], n: int) -> bool:
+    """Whether *code* decodes to a tree on *n* nodes without error."""
+    try:
+        decode(code, n)
+        return True
+    except ValueError:
+        return False

@@ -1,0 +1,178 @@
+"""The (P, D) sequence pair and its local update operations (Section VI).
+
+After the initial tree is built, "the sink calculates the Prüfer code and
+broadcasts to all sensors".  From then on every node maintains the pair
+``(P, D)`` — the code and its removal sequence — and applies *splice*
+updates when a Parent-Changing message arrives, in ``O(n)`` per sensor.
+
+Important subtlety reproduced from the paper's own example: the updated
+``P'`` is **not** the canonical re-encoding of the new tree (the paper's
+``P' = (2,4,4,7,0,8,8)`` does not canonically decode to its
+``D' = (6,3,2,4,7,5,1,8,0)``).  The pair is instead kept mutually
+consistent: ``D'`` enumerates all nodes with the sink last, and
+``P'[i] = parent(D'[i])``, so the rooted edge set is always
+``{(D[i], P[i])} ∪ {(D[n-2], D[n-1])}``.  Validity only requires ``D``'s
+second-to-last entry to be a child of the sink; the splice preserves that
+(with an explicit fix-up when the moved component swallows it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.prufer import codec
+
+__all__ = ["SequencePair"]
+
+
+@dataclass(frozen=True)
+class SequencePair:
+    """A rooted spanning tree as the paper's ``(P, D)`` sequence pair.
+
+    Attributes:
+        code: The (possibly spliced, non-canonical) Prüfer sequence ``P``.
+        order: The removal sequence ``D``; ``order[-1]`` is the sink and
+            ``order[-2]`` its remaining child.
+    """
+
+    code: Tuple[int, ...]
+    order: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.order)
+        if n < 2:
+            raise ValueError("sequence pair needs at least 2 nodes")
+        if len(self.code) != n - 2:
+            raise ValueError(
+                f"code length {len(self.code)} inconsistent with {n} nodes"
+            )
+        if self.order[-1] != 0:
+            raise ValueError("D must end with the sink (label 0)")
+        if sorted(self.order) != list(range(n)):
+            raise ValueError("D must be a permutation of all node labels")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree: AggregationTree) -> "SequencePair":
+        """Canonical pair for *tree* (Algorithm 2 encode + Algorithm 3 decode)."""
+        code = codec.encode(tree)
+        order = codec.decode(code, tree.n)
+        return cls(code=tuple(code), order=tuple(order))
+
+    @classmethod
+    def from_parent_map(cls, parents: Dict[int, int], n: int) -> "SequencePair":
+        """Pair from an explicit parent map, ordering children before parents."""
+        children: List[List[int]] = [[] for _ in range(n)]
+        for v, p in parents.items():
+            children[p].append(v)
+        # Post-order from the sink: children enumerated before their parent,
+        # sink last.  Any such order is a valid D.
+        order: List[int] = []
+        stack: List[Tuple[int, bool]] = [(0, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+            else:
+                stack.append((node, True))
+                for c in children[node]:
+                    stack.append((c, False))
+        if len(order) != n:
+            raise ValueError("parent map does not connect all nodes to the sink")
+        code = tuple(parents[v] for v in order[:-2])
+        return cls(code=code, order=tuple(order))
+
+    # ------------------------------------------------------------------
+    # Tree views
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    def parent_map(self) -> Dict[int, int]:
+        """Rooted parent of every non-sink node."""
+        parents = {self.order[i]: self.code[i] for i in range(self.n - 2)}
+        parents[self.order[-2]] = self.order[-1]
+        return parents
+
+    def children_counts(self) -> List[int]:
+        """Children count per node (Eq. 23 applied to the pair)."""
+        counts = [0] * self.n
+        for p in self.code:
+            counts[p] += 1
+        counts[0] += 1
+        return counts
+
+    def to_tree(self, network: Network) -> AggregationTree:
+        """Materialise as an :class:`AggregationTree` over *network*."""
+        return AggregationTree(network, self.parent_map())
+
+    def component(self, node: int) -> Set[int]:
+        """Nodes separated from the sink when *node*'s parent edge is cut.
+
+        This is the subtree of *node* — what the link-getting-worse handler
+        computes to know which side it is on (Section VI-B1).
+        """
+        if node == 0:
+            raise ValueError("the sink has no parent edge to cut")
+        parents = self.parent_map()
+        children: Dict[int, List[int]] = {}
+        for v, p in parents.items():
+            children.setdefault(p, []).append(v)
+        out = {node}
+        stack = [node]
+        while stack:
+            u = stack.pop()
+            for c in children.get(u, ()):
+                out.add(c)
+                stack.append(c)
+        return out
+
+    # ------------------------------------------------------------------
+    # The splice update
+    # ------------------------------------------------------------------
+    def change_parent(self, child: int, new_parent: int) -> "SequencePair":
+        """Return the pair after re-attaching *child* under *new_parent*.
+
+        Reproduces the paper's update: the component of *child* is moved to
+        the front of ``D`` (in its existing relative order), the remainder
+        keeps its order, and ``P`` is rewritten as the parents of the new
+        ``D`` prefix.  ``O(n)`` time, as claimed.
+
+        Raises ``ValueError`` for the sink, a self-parent, or a new parent
+        inside *child*'s own subtree (which would disconnect the tree).
+        """
+        if child == 0:
+            raise ValueError("the sink cannot change parent")
+        if new_parent == child:
+            raise ValueError("a node cannot be its own parent")
+        subtree = self.component(child)
+        if new_parent in subtree:
+            raise ValueError(
+                f"new parent {new_parent} lies inside {child}'s subtree; "
+                "the change would disconnect the tree"
+            )
+        parents = self.parent_map()
+        parents[child] = new_parent
+
+        moved = [v for v in self.order if v in subtree]
+        rest = [v for v in self.order if v not in subtree and v != 0]
+        ordered = moved + rest
+        # Validity fix-up: D's second-to-last entry must be a child of the
+        # sink.  The tail inherits that from the old order unless the moved
+        # component swallowed it; then promote the last sink-child found.
+        if parents[ordered[-1]] != 0:
+            for i in range(len(ordered) - 2, -1, -1):
+                if parents[ordered[i]] == 0:
+                    ordered.append(ordered.pop(i))
+                    break
+            else:  # pragma: no cover - impossible on a rooted tree
+                raise AssertionError("rooted tree without a sink child")
+        order = tuple(ordered) + (0,)
+        code = tuple(parents[v] for v in ordered[:-1])
+        return SequencePair(code=code, order=order)

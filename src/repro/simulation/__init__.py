@@ -1,0 +1,41 @@
+"""Behavioural simulators for the paper's data-collection regimes.
+
+* :mod:`repro.simulation.rounds` — no-ACK aggregation rounds with Bernoulli
+  losses and energy accounting (validates ``Q(T)`` empirically).
+* :mod:`repro.simulation.lifetime` — run-to-death lifetime measurement
+  (validates Eq. 1).
+* :mod:`repro.simulation.retransmission` — retransmit-until-success packet
+  counting (the Fig. 1 motivation regime).
+* :mod:`repro.simulation.events` — discrete-event kernel and the slotted
+  TDMA collection schedule (per-round latency accounting; extension).
+"""
+
+from repro.simulation.events import EventQueue, RoundTiming, TDMACollectionSimulator
+from repro.simulation.lifetime import (
+    LifetimeResult,
+    analytic_lifetime_rounds,
+    simulate_lifetime,
+)
+from repro.simulation.retransmission import (
+    RetransmissionRound,
+    average_packets,
+    expected_packets_per_round,
+    simulate_retransmission_round,
+)
+from repro.simulation.rounds import AggregationSimulator, EnergyLedger, RoundOutcome
+
+__all__ = [
+    "AggregationSimulator",
+    "EnergyLedger",
+    "EventQueue",
+    "LifetimeResult",
+    "RetransmissionRound",
+    "RoundOutcome",
+    "RoundTiming",
+    "TDMACollectionSimulator",
+    "analytic_lifetime_rounds",
+    "average_packets",
+    "expected_packets_per_round",
+    "simulate_lifetime",
+    "simulate_retransmission_round",
+]

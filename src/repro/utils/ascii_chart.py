@@ -1,0 +1,104 @@
+"""Terminal charts for the experiment harness (bars and line series).
+
+The figures of the paper are bar charts (Fig. 7) and line plots (the rest);
+rendering them as unicode text keeps the harness dependency-free while
+making `mrlc --chart` output directly comparable to the published figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["bar_chart", "line_chart"]
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+_MARKERS = "ox+*#@%&"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    value_fmt: str = ".4g",
+) -> str:
+    """Horizontal bar chart (one row per label), scaled to *width* cells."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        raise ValueError("nothing to plot")
+    if width < 5:
+        raise ValueError("width must be at least 5")
+    peak = max(max(values), 0.0)
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        if value < 0:
+            raise ValueError(f"bar values must be non-negative, got {value}")
+        if peak == 0:
+            filled, remainder = 0, 0
+        else:
+            cells = value / peak * width
+            filled = int(cells)
+            remainder = int((cells - filled) * (len(_BLOCKS) - 1))
+        bar = "█" * filled + (_BLOCKS[remainder] if remainder else "")
+        lines.append(
+            f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
+            f"{format(value, value_fmt)}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series scatter/line plot on a character grid.
+
+    Args:
+        series: Mapping ``name -> (xs, ys)``; all series share the axes.
+        width, height: Plot area size in characters.
+        title: Optional heading line.
+
+    Each series gets a distinct marker; a legend and the axis ranges are
+    appended below the grid.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+    all_x: List[float] = []
+    all_y: List[float] = []
+    for name, (xs, ys) in series.items():
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: length mismatch")
+        if not xs:
+            raise ValueError(f"series {name!r} is empty")
+        all_x.extend(float(x) for x in xs)
+        all_y.extend(float(y) for y in ys)
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} {name}")
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_lo) / x_span * (width - 1))
+            row = int((float(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    lines.append(f"y_max = {y_hi:.4g}")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(f"y_min = {y_lo:.4g}")
+    lines.append(f"x: {x_lo:.4g} .. {x_hi:.4g}    legend: " + "   ".join(legend))
+    return "\n".join(lines)

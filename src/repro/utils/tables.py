@@ -1,0 +1,66 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmarks and CLI print the same rows/series the paper's figures report;
+this module renders them as aligned monospace tables so the output is
+readable in a terminal and diff-friendly in committed experiment logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    float_fmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned monospace table.
+
+    Floats are formatted with *float_fmt*; all other values via ``str``.
+    Raises ``ValueError`` if any row length disagrees with the header.
+    """
+    str_rows: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+        str_rows.append([_cell(v, float_fmt) for v in row])
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[Any], ys: Sequence[Any], *, float_fmt: str = ".4g"
+) -> str:
+    """Render a single (x, y) series, as used for figure curves."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} x values vs {len(ys)} y values")
+    return format_table(["x", name], zip(xs, ys), float_fmt=float_fmt)

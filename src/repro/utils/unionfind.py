@@ -1,0 +1,89 @@
+"""Disjoint-set forest (union-find) with union by rank and path compression.
+
+Used by the spanning-tree builders (Kruskal-style construction, cycle checks
+on candidate edge sets) and by validation code that needs to confirm a set of
+edges is acyclic / spanning.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Disjoint-set forest over arbitrary hashable elements.
+
+    Elements are added lazily on first touch (via :meth:`add`,
+    :meth:`find`, or :meth:`union`), so callers do not need to pre-register
+    the ground set.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0  # number of disjoint sets
+        for element in elements:
+            self.add(element)
+
+    def __len__(self) -> int:
+        """Number of elements registered in the structure."""
+        return len(self._parent)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    @property
+    def n_sets(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def add(self, element: Hashable) -> None:
+        """Register *element* as a singleton set if not already present."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of *element*'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the path directly at the root.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing *a* and *b*.
+
+        Returns ``True`` if a merge happened, ``False`` if they were already
+        in the same set (i.e. adding edge ``(a, b)`` would close a cycle).
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether *a* and *b* are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def sets(self) -> List[Set[Hashable]]:
+        """Materialise the current partition as a list of sets."""
+        groups: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return list(groups.values())

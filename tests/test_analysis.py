@@ -1,0 +1,129 @@
+"""Tests for repro.analysis (tree statistics + LP theory validation)."""
+
+import pytest
+
+from repro.analysis.theory import (
+    check_extreme_point_structure,
+    is_laminar,
+    maximal_laminar_subfamily,
+    tight_subtour_sets,
+)
+from repro.analysis.tree_stats import TreeStatistics, compare_trees, load_gini
+from repro.baselines.mst import build_mst_tree
+from repro.core.local_search import bfs_tree
+from repro.core.lp import solve_mrlc_lp
+from repro.core.tree import PAPER_COST_SCALE, AggregationTree
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+
+class TestLoadGini:
+    def test_perfectly_balanced(self):
+        assert load_gini([1, 1, 1, 1]) == pytest.approx(0.0)
+
+    def test_all_zero(self):
+        assert load_gini([0, 0, 0]) == 0.0
+
+    def test_concentrated_load_is_high(self):
+        assert load_gini([0, 0, 0, 9]) > 0.7
+
+    def test_monotone_in_concentration(self):
+        spread = load_gini([2, 2, 2, 2])
+        skewed = load_gini([0, 1, 3, 4])
+        assert skewed > spread
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            load_gini([])
+
+
+class TestTreeStatistics:
+    def test_star_vs_path(self):
+        net = Network(5)
+        for u in range(5):
+            for v in range(u + 1, 5):
+                net.add_link(u, v, 0.9)
+        star = AggregationTree(net, {v: 0 for v in range(1, 5)})
+        path = AggregationTree(net, {1: 0, 2: 1, 3: 2, 4: 3})
+        s_star = TreeStatistics.of(star)
+        s_path = TreeStatistics.of(path)
+        assert s_star.max_depth == 1 and s_path.max_depth == 4
+        assert s_star.max_children == 4 and s_path.max_children == 1
+        assert s_star.children_gini > s_path.children_gini
+        assert s_star.leaf_fraction == 0.8
+        assert s_path.lifetime > s_star.lifetime
+
+    def test_metrics_match_tree(self, small_random_network):
+        tree = bfs_tree(small_random_network)
+        stats = TreeStatistics.of(tree)
+        assert stats.cost == pytest.approx(tree.cost() * PAPER_COST_SCALE)
+        assert stats.reliability == pytest.approx(tree.reliability())
+        assert stats.lifetime == pytest.approx(tree.lifetime())
+        assert stats.bottleneck == tree.bottleneck()
+        assert stats.bottleneck_margin >= 1.0
+
+    def test_compare_trees_table(self, small_random_network):
+        table = compare_trees(
+            {
+                "BFS": bfs_tree(small_random_network),
+                "MST": build_mst_tree(small_random_network),
+            }
+        )
+        assert "BFS" in table and "MST" in table
+        assert "gini" in table
+
+    def test_compare_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_trees({})
+
+
+class TestLaminarity:
+    def test_nested_sets_are_laminar(self):
+        assert is_laminar(
+            [frozenset({1, 2, 3}), frozenset({1, 2}), frozenset({5, 6})]
+        )
+
+    def test_crossing_sets_are_not(self):
+        assert not is_laminar([frozenset({1, 2}), frozenset({2, 3})])
+
+    def test_identical_sets_are_laminar(self):
+        assert is_laminar([frozenset({1, 2}), frozenset({1, 2})])
+
+    def test_maximal_subfamily_is_laminar(self):
+        family = [
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+            frozenset({1, 2, 3}),
+            frozenset({4, 5}),
+        ]
+        sub = maximal_laminar_subfamily(family)
+        assert is_laminar(sub)
+        assert frozenset({1, 2, 3}) in sub  # largest first
+        assert frozenset({4, 5}) in sub
+
+
+class TestExtremePointStructure:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lemmas_hold_on_solver_output(self, seed):
+        """Lemma 1/2/4 structure holds on real Subtour-LP extreme points."""
+        net = random_graph(12, 0.6, seed=seed)
+        solution = solve_mrlc_lp(net, {})
+        report = check_extreme_point_structure(solution, net.n)
+        assert report["integral"]  # Lemma 1: pure Subtour LP is integral
+        assert report["laminar_ok"]
+        assert report["laminar_within_lemma2_bound"]
+        assert report["variables_in_bounds"]
+        assert report["support_size"] == net.n - 1
+
+    def test_tight_sets_include_ground_set(self, small_random_network):
+        solution = solve_mrlc_lp(small_random_network, {})
+        tight = tight_subtour_sets(solution, small_random_network.n)
+        assert frozenset(range(small_random_network.n)) in tight
+
+    def test_degree_constrained_point_still_structured(self):
+        net = random_graph(12, 0.7, seed=42)
+        bounds = {v: 3.0 for v in net.nodes}
+        solution = solve_mrlc_lp(net, bounds)
+        report = check_extreme_point_structure(solution, net.n)
+        assert report["variables_in_bounds"]
+        assert report["laminar_ok"]

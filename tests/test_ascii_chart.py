@@ -1,0 +1,112 @@
+"""Tests for repro.utils.ascii_chart."""
+
+import pytest
+
+from repro.utils.ascii_chart import bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a ")
+        assert "2" in lines[1]
+
+    def test_max_value_fills_width(self):
+        out = bar_chart(["x"], [5.0], width=10)
+        assert "█" * 10 in out
+
+    def test_zero_values(self):
+        out = bar_chart(["x", "y"], [0.0, 0.0], width=10)
+        assert "█" not in out
+
+    def test_proportionality(self):
+        out = bar_chart(["half", "full"], [5.0, 10.0], width=20)
+        half_line, full_line = out.splitlines()
+        assert half_line.count("█") == 10
+        assert full_line.count("█") == 20
+
+    def test_title(self):
+        out = bar_chart(["x"], [1.0], title="My Chart")
+        assert out.splitlines()[0] == "My Chart"
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart(["a"], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_tiny_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=2)
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        out = line_chart({"s": ([0, 1, 2], [0.0, 1.0, 2.0])}, width=20, height=5)
+        lines = out.splitlines()
+        assert lines[0].startswith("y_max")
+        assert lines[-1].startswith("x:")
+        assert "o s" in lines[-1]  # legend marker
+
+    def test_grid_dimensions(self):
+        out = line_chart({"s": ([0, 1], [0.0, 1.0])}, width=30, height=8)
+        grid_rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(grid_rows) == 8
+        assert all(len(row) == 32 for row in grid_rows)  # |...30...|
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart(
+            {"a": ([0, 1], [0, 1]), "b": ([0, 1], [1, 0])}, width=16, height=6
+        )
+        assert "o" in out and "x" in out
+
+    def test_extremes_placed_on_edges(self):
+        out = line_chart({"s": ([0, 10], [0.0, 5.0])}, width=20, height=5)
+        grid = [l for l in out.splitlines() if l.startswith("|")]
+        assert grid[0][-2] == "o"   # max y, max x -> top right
+        assert grid[-1][1] == "o"   # min y, min x -> bottom left
+
+    def test_constant_series_ok(self):
+        out = line_chart({"flat": ([0, 1, 2], [3.0, 3.0, 3.0])})
+        assert "3" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            line_chart({"s": ([0, 1], [1.0])})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            line_chart({"s": ([], [])})
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_too_small_area_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"s": ([0], [0.0])}, width=4, height=2)
+
+
+class TestResultCharts:
+    """The experiment results' render_chart() methods produce sane output."""
+
+    def test_fig3_chart(self):
+        from repro.experiments import run_fig3
+
+        out = run_fig3(duration_s=0.5).render_chart()
+        assert "send" in out and "idle" in out
+
+    def test_fig7_chart(self, dfl):
+        from repro.experiments import run_fig7
+
+        out = run_fig7(network=dfl).render_chart()
+        assert "AAML" in out and "MST" in out
+        assert "reliability" in out

@@ -1,0 +1,213 @@
+"""Tests for repro.baselines (MST, AAML, SPT, random trees)."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.mst import build_mst_tree, mst_cost
+from repro.baselines.random_tree import build_random_tree
+from repro.baselines.spt import build_spt_tree
+from repro.core.errors import DisconnectedNetworkError
+from repro.core.local_search import bfs_tree
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+
+class TestMST:
+    def test_unique_tree_network(self, path_network):
+        tree = build_mst_tree(path_network)
+        assert tree.edges() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_picks_cheapest_links(self, tiny_network):
+        tree = build_mst_tree(tiny_network)
+        # (3, 4) at prr 0.5 and (1, 2) at 0.6 are the two worst links;
+        # the MST avoids both.
+        assert not tree.has_tree_edge(3, 4)
+        assert not tree.has_tree_edge(1, 2)
+
+    def test_matches_networkx_mst_cost(self):
+        for seed in range(10):
+            net = random_graph(14, 0.5, seed=seed)
+            g = net.to_networkx()
+            expected = sum(
+                d["cost"] for _, _, d in nx.minimum_spanning_edges(g, weight="cost", data=True)
+            )
+            assert build_mst_tree(net).cost() == pytest.approx(expected)
+
+    def test_mst_cost_helper(self, tiny_network):
+        assert mst_cost(tiny_network) == pytest.approx(
+            build_mst_tree(tiny_network).cost()
+        )
+
+    def test_disconnected_raises(self):
+        net = Network(3)
+        net.add_link(0, 1, 0.9)
+        with pytest.raises(DisconnectedNetworkError):
+            build_mst_tree(net)
+
+    def test_single_node(self):
+        assert build_mst_tree(Network(1)).edges() == []
+
+    def test_deterministic_under_ties(self):
+        net = Network(4)
+        for u in range(4):
+            for v in range(u + 1, 4):
+                net.add_link(u, v, 0.9)  # all ties
+        a = build_mst_tree(net)
+        b = build_mst_tree(net)
+        assert a == b
+
+    def test_mst_is_global_cost_lower_bound(self):
+        """Any spanning tree costs at least the MST (Section VII's bound)."""
+        net = random_graph(10, 0.7, seed=5)
+        mst = build_mst_tree(net)
+        for seed in range(5):
+            other = build_random_tree(net, seed=seed)
+            assert mst.cost() <= other.cost() + 1e-12
+
+
+class TestAAML:
+    def test_improves_over_bfs_start(self):
+        net = random_graph(16, 0.7, seed=2)
+        start = bfs_tree(net)
+        result = build_aaml_tree(net)
+        assert result.lifetime >= start.lifetime() - 1e-9
+
+    def test_reaches_optimum_on_complete_uniform(self):
+        # Complete graph, uniform energy: optimum is a Hamiltonian path
+        # (every node <= 1 child).
+        net = Network(8, initial_energy=3000.0)
+        for u in range(8):
+            for v in range(u + 1, 8):
+                net.add_link(u, v, 0.9)
+        result = build_aaml_tree(net)
+        assert max(result.tree.n_children(v) for v in range(8)) <= 1
+
+    def test_result_fields_consistent(self, small_random_network):
+        result = build_aaml_tree(small_random_network)
+        assert result.lifetime == pytest.approx(result.tree.lifetime())
+        assert result.iterations >= 0
+
+    def test_custom_initial_tree(self, small_random_network):
+        start = build_random_tree(small_random_network, seed=1)
+        result = build_aaml_tree(small_random_network, initial_tree=start)
+        assert result.lifetime >= start.lifetime() - 1e-9
+
+    def test_initial_tree_network_mismatch_rejected(self, small_random_network):
+        other = random_graph(10, 0.6, seed=321)  # equal but distinct object
+        start = bfs_tree(other)
+        with pytest.raises(ValueError, match="same network"):
+            build_aaml_tree(small_random_network, initial_tree=start)
+
+    def test_link_quality_agnostic(self):
+        """AAML's tree depends only on topology+energy, not on PRRs."""
+        a = random_graph(12, 0.7, seed=9, prr_low=0.95, prr_high=1.0)
+        b = a.copy()
+        # Re-assign all PRRs (same topology).
+        for e in list(b.edges()):
+            b.set_prr(e.u, e.v, 0.5)
+        ta = build_aaml_tree(a).tree.parents
+        tb = build_aaml_tree(b).tree.parents
+        assert ta == tb
+
+    def test_max_iterations_cap(self, small_random_network):
+        result = build_aaml_tree(small_random_network, max_iterations=1)
+        assert result.iterations <= 1
+
+    def test_disconnected_raises(self):
+        net = Network(4)
+        net.add_link(0, 1, 0.9)
+        net.add_link(2, 3, 0.9)
+        with pytest.raises(DisconnectedNetworkError):
+            build_aaml_tree(net)
+
+
+class TestSPT:
+    def test_matches_networkx_dijkstra(self):
+        for seed in range(5):
+            net = random_graph(12, 0.5, seed=seed)
+            tree = build_spt_tree(net)
+            g = net.to_networkx()
+            dist = nx.single_source_dijkstra_path_length(g, 0, weight="cost")
+            for v in range(1, net.n):
+                path_cost = 0.0
+                node = v
+                while node != 0:
+                    parent = tree.parent(node)
+                    path_cost += net.cost(node, parent)
+                    node = parent
+                assert path_cost == pytest.approx(dist[v])
+
+    def test_hop_metric_minimizes_depth(self, tiny_network):
+        tree = build_spt_tree(tiny_network, hop_metric=True)
+        g = tiny_network.to_networkx()
+        hops = nx.single_source_shortest_path_length(g, 0)
+        for v in range(tiny_network.n):
+            assert tree.depth(v) == hops[v]
+
+    def test_disconnected_raises(self):
+        net = Network(3)
+        net.add_link(1, 2, 0.9)
+        with pytest.raises(DisconnectedNetworkError):
+            build_spt_tree(net)
+
+    def test_single_node(self):
+        assert build_spt_tree(Network(1)).edges() == []
+
+    def test_spt_cost_at_least_mst(self):
+        for seed in range(5):
+            net = random_graph(12, 0.6, seed=40 + seed)
+            assert build_mst_tree(net).cost() <= build_spt_tree(net).cost() + 1e-12
+
+
+class TestRandomTree:
+    def test_valid_spanning_tree(self, small_random_network):
+        tree = build_random_tree(small_random_network, seed=0)
+        assert len(tree.edges()) == small_random_network.n - 1
+
+    def test_deterministic_with_seed(self, small_random_network):
+        a = build_random_tree(small_random_network, seed=5)
+        b = build_random_tree(small_random_network, seed=5)
+        assert a == b
+
+    def test_varies_across_seeds(self, small_random_network):
+        trees = {
+            tuple(sorted(build_random_tree(small_random_network, seed=s).edges()))
+            for s in range(10)
+        }
+        assert len(trees) > 1
+
+    def test_single_node(self):
+        assert build_random_tree(Network(1), seed=0).edges() == []
+
+    def test_disconnected_raises(self):
+        net = Network(3)
+        net.add_link(0, 1, 0.9)
+        with pytest.raises(DisconnectedNetworkError):
+            build_random_tree(net, seed=0)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_uses_only_network_links(self, seed):
+        net = random_graph(10, 0.4, seed=seed % 50)
+        tree = build_random_tree(net, seed=seed)
+        for u, v in tree.edges():
+            assert net.has_edge(u, v)
+
+    def test_roughly_uniform_on_triangle(self):
+        """On K3 each of the 3 spanning trees should appear ~1/3 of draws."""
+        net = Network(3)
+        net.add_link(0, 1, 0.9)
+        net.add_link(1, 2, 0.9)
+        net.add_link(0, 2, 0.9)
+        counts = {}
+        for seed in range(600):
+            key = tuple(build_random_tree(net, seed=seed).edges())
+            counts[key] = counts.get(key, 0) + 1
+        assert len(counts) == 3
+        for count in counts.values():
+            assert 120 <= count <= 280  # loose band around 200

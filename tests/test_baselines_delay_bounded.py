@@ -1,0 +1,113 @@
+"""Tests for repro.baselines.delay_bounded."""
+
+import pytest
+
+from repro.baselines.delay_bounded import build_delay_bounded_tree
+from repro.baselines.mst import build_mst_tree
+from repro.baselines.spt import build_spt_tree
+from repro.core.errors import DisconnectedNetworkError
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+
+class TestDepthBound:
+    def test_bound_always_respected(self):
+        for seed in range(8):
+            net = random_graph(14, 0.5, seed=seed)
+            for bound in (2, 3, 5, 13):
+                try:
+                    tree = build_delay_bounded_tree(net, bound)
+                except ValueError:
+                    continue  # bound below the BFS eccentricity
+                assert max(tree.depth(v) for v in range(net.n)) <= bound
+
+    def test_depth_one_is_star_when_possible(self):
+        net = Network(5)
+        for v in range(1, 5):
+            net.add_link(0, v, 0.9)
+        tree = build_delay_bounded_tree(net, 1)
+        assert all(tree.parent(v) == 0 for v in range(1, 5))
+
+    def test_infeasible_bound_raises(self, path_network):
+        with pytest.raises(ValueError, match="infeasible"):
+            build_delay_bounded_tree(path_network, 1)
+
+    def test_bound_at_eccentricity_feasible(self, path_network):
+        tree = build_delay_bounded_tree(path_network, 3)
+        assert max(tree.depth(v) for v in range(4)) == 3
+
+    def test_disconnected_raises(self):
+        net = Network(3)
+        net.add_link(0, 1, 0.9)
+        with pytest.raises(DisconnectedNetworkError):
+            build_delay_bounded_tree(net, 2)
+
+    def test_bad_bound_rejected(self, path_network):
+        with pytest.raises(ValueError, match="max_depth"):
+            build_delay_bounded_tree(path_network, 0)
+
+    def test_single_node(self):
+        assert build_delay_bounded_tree(Network(1), 1).edges() == []
+
+    def test_zero_cost_links_handled(self):
+        net = Network(6)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                net.add_link(u, v, 1.0)  # all cost 0
+        tree = build_delay_bounded_tree(net, 2)
+        assert len(tree.edges()) == 5
+        assert max(tree.depth(v) for v in range(6)) <= 2
+
+
+class TestCost:
+    def test_cost_at_least_mst(self):
+        for seed in range(5):
+            net = random_graph(12, 0.7, seed=seed)
+            tree = build_delay_bounded_tree(net, 4)
+            assert tree.cost() >= build_mst_tree(net).cost() - 1e-12
+
+    def test_local_search_beats_or_matches_the_layered_seed(self):
+        from repro.baselines.delay_bounded import _layered_seed
+
+        for seed in range(5):
+            net = random_graph(14, 0.6, seed=seed + 30)
+            seeded = _layered_seed(net, 6)
+            final = build_delay_bounded_tree(net, 6)
+            assert final.cost() <= seeded.cost() + 1e-12
+
+    def test_loose_bound_approaches_spt(self):
+        """With no effective bound the descent lands at/below SPT cost."""
+        hits = 0
+        for seed in range(6):
+            net = random_graph(14, 0.6, seed=seed + 50)
+            spt = build_spt_tree(net)
+            tree = build_delay_bounded_tree(net, net.n - 1)
+            if tree.cost() <= spt.cost() + 1e-9:
+                hits += 1
+        assert hits >= 4  # greedy local search may rarely stop above SPT
+
+    def test_per_node_latency_never_exceeds_bound(self):
+        net = random_graph(16, 0.5, seed=70)
+        for bound in (3, 4, 6):
+            try:
+                tree = build_delay_bounded_tree(net, bound)
+            except ValueError:
+                continue
+            for v in range(net.n):
+                assert tree.depth(v) <= bound
+
+
+class TestTradeoffKnob:
+    def test_tight_bound_costs_at_least_as_much(self):
+        """On average, shrinking the latency budget raises cost."""
+        total_tight = total_loose = 0.0
+        for seed in range(6):
+            net = random_graph(16, 0.5, seed=seed + 90)
+            try:
+                tight = build_delay_bounded_tree(net, 3)
+            except ValueError:
+                continue
+            loose = build_delay_bounded_tree(net, net.n - 1)
+            total_tight += tight.cost()
+            total_loose += loose.cost()
+        assert total_tight >= total_loose - 1e-9

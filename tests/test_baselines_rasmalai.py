@@ -1,0 +1,86 @@
+"""Tests for repro.baselines.rasmalai (randomized switching)."""
+
+import pytest
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.rasmalai import build_rasmalai_tree
+from repro.core.local_search import bfs_tree
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+
+class TestBasics:
+    def test_never_decreases_lifetime(self):
+        for seed in range(5):
+            net = random_graph(12, 0.6, seed=seed)
+            start = bfs_tree(net)
+            result = build_rasmalai_tree(net, seed=seed)
+            assert result.lifetime >= start.lifetime() - 1e-9
+
+    def test_result_fields(self, small_random_network):
+        result = build_rasmalai_tree(small_random_network, seed=1)
+        assert result.lifetime == pytest.approx(result.tree.lifetime())
+        assert result.attempts >= result.switches
+
+    def test_deterministic_given_seed(self, small_random_network):
+        a = build_rasmalai_tree(small_random_network, seed=4)
+        b = build_rasmalai_tree(small_random_network, seed=4)
+        assert a.tree == b.tree
+        assert a.switches == b.switches
+
+    def test_output_is_spanning_tree(self, small_random_network):
+        result = build_rasmalai_tree(small_random_network, seed=2)
+        assert len(result.tree.edges()) == small_random_network.n - 1
+
+    def test_custom_start(self, small_random_network):
+        start = bfs_tree(small_random_network)
+        result = build_rasmalai_tree(
+            small_random_network, initial_tree=start, seed=3
+        )
+        assert result.lifetime >= start.lifetime() - 1e-9
+
+    def test_network_mismatch_rejected(self, small_random_network):
+        other = random_graph(10, 0.6, seed=321)
+        with pytest.raises(ValueError, match="same network"):
+            build_rasmalai_tree(
+                small_random_network, initial_tree=bfs_tree(other)
+            )
+
+    def test_bad_patience_rejected(self, small_random_network):
+        with pytest.raises(ValueError, match="patience"):
+            build_rasmalai_tree(small_random_network, patience=0)
+
+    def test_max_switches_cap(self, small_random_network):
+        result = build_rasmalai_tree(small_random_network, max_switches=1, seed=5)
+        assert result.switches <= 1
+
+
+class TestVersusAAML:
+    def test_approaches_aaml_lifetime(self):
+        """Randomized switching lands near the deterministic optimum."""
+        hits = 0
+        for seed in range(6):
+            net = random_graph(14, 0.7, seed=seed)
+            aaml = build_aaml_tree(net)
+            ras = build_rasmalai_tree(net, seed=seed, patience=500)
+            assert ras.lifetime <= aaml.lifetime * (1 + 1e-9)
+            if ras.lifetime >= aaml.lifetime * 0.66:
+                hits += 1
+        assert hits >= 4  # near-optimal on most instances
+
+    def test_link_quality_oblivious(self):
+        a = random_graph(12, 0.7, seed=9)
+        b = a.copy()
+        for e in list(b.edges()):
+            b.set_prr(e.u, e.v, 0.5)
+        ta = build_rasmalai_tree(a, seed=11).tree.parents
+        tb = build_rasmalai_tree(b, seed=11).tree.parents
+        assert ta == tb
+
+    def test_complete_uniform_reaches_low_degree(self):
+        net = Network(8, initial_energy=3000.0)
+        for u in range(8):
+            for v in range(u + 1, 8):
+                net.add_link(u, v, 0.9)
+        result = build_rasmalai_tree(net, seed=0, patience=500)
+        assert max(result.tree.n_children(v) for v in range(8)) <= 2

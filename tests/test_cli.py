@@ -1,0 +1,84 @@
+"""Tests for the mrlc CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for name in ("fig1", "fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11", "all"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_flags(self):
+        args = build_parser().parse_args(["fig8", "--trials", "5", "--quick"])
+        assert args.trials == 5
+        assert args.quick
+
+
+class TestMain:
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+
+    def test_fig7_runs(self, capsys):
+        assert main(["fig7"]) == 0
+        assert "AAML" in capsys.readouterr().out
+
+    def test_fig8_quick(self, capsys):
+        assert main(["fig8", "--trials", "3"]) == 0
+        assert "Fig. 8" in capsys.readouterr().out
+
+    def test_fig11_rounds_override(self, capsys):
+        assert main(["fig11", "--rounds", "5"]) == 0
+        assert "msgs/update" in capsys.readouterr().out
+
+    def test_quick_flag_fills_defaults(self, capsys):
+        assert main(["fig2", "--quick", "--trials", "10"]) == 0
+        assert "Tx=19" in capsys.readouterr().out
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig8", "--trials", "0"])
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig11", "--rounds", "-3"])
+
+
+class TestChartAndOutput:
+    def test_chart_flag(self, capsys):
+        assert main(["fig3", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out  # bar chart rendered
+
+    def test_output_flag(self, tmp_path, capsys):
+        path = tmp_path / "fig3.json"
+        assert main(["fig3", "--output", str(path)]) == 0
+        from repro.experiments.io import load_result
+
+        doc = load_result(path)
+        assert doc["result_class"] == "Fig3Result"
+
+    def test_ext_baselines_command(self, capsys):
+        assert main(["ext-baselines", "--trials", "2"]) == 0
+        assert "meets LC" in capsys.readouterr().out
+
+    def test_ext_energyhole_command(self, capsys):
+        assert main(["ext-energyhole"]) == 0
+        assert "bottleneck depth" in capsys.readouterr().out
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Tests for repro.core.lifetime (bounds, L' inflation, LifetimeSpec)."""
+
+import pytest
+
+from repro.core.lifetime import (
+    LifetimeSpec,
+    children_bound,
+    degree_bound,
+    inflated_bound,
+    lifetime_with_children,
+)
+from repro.network.model import Network
+
+
+@pytest.fixture
+def net():
+    """3 nodes, paper energies (3000 J), fully connected."""
+    n = Network(3, initial_energy=3000.0)
+    n.add_link(0, 1, 0.9)
+    n.add_link(0, 2, 0.9)
+    n.add_link(1, 2, 0.9)
+    return n
+
+
+class TestInflatedBound:
+    def test_larger_than_lc(self, net):
+        lc = 1e6
+        assert inflated_bound(net, lc) > lc
+
+    def test_paper_formula(self, net):
+        lc = 1e6
+        rx = net.energy_model.rx
+        expected = 3000.0 * lc / (3000.0 - 2 * rx * lc)
+        assert inflated_bound(net, lc) == pytest.approx(expected)
+
+    def test_small_lc_barely_inflates(self, net):
+        lc = 1.0
+        assert inflated_bound(net, lc) == pytest.approx(lc, rel=1e-6)
+
+    def test_blowup_regime_rejected(self, net):
+        # LC >= I_min / (2 Rx) makes the denominator non-positive.
+        lc = 3000.0 / (2 * net.energy_model.rx)
+        with pytest.raises(ValueError, match="infeasible"):
+            inflated_bound(net, lc)
+
+    def test_uses_minimum_energy(self):
+        n = Network(3, initial_energy=[3000.0, 100.0, 3000.0])
+        lc = 1e5
+        rx = n.energy_model.rx
+        expected = 100.0 * lc / (100.0 - 2 * rx * lc)
+        assert inflated_bound(n, lc) == pytest.approx(expected)
+
+    def test_non_positive_lc_rejected(self, net):
+        with pytest.raises(ValueError):
+            inflated_bound(net, 0.0)
+
+
+class TestBounds:
+    def test_children_bound_inverts_eq1(self, net):
+        for ch in (0, 1, 2, 5):
+            lifetime = lifetime_with_children(net, 1, ch)
+            assert children_bound(net, 1, lifetime) == pytest.approx(ch, abs=1e-9)
+
+    def test_degree_bound_adds_parent_slot(self, net):
+        lifetime = lifetime_with_children(net, 1, 2)
+        assert degree_bound(net, 1, lifetime) == pytest.approx(3.0, abs=1e-9)
+
+    def test_sink_degree_bound_has_no_parent_slot(self, net):
+        lifetime = lifetime_with_children(net, 0, 2)
+        assert degree_bound(net, 0, lifetime) == pytest.approx(2.0, abs=1e-9)
+
+    def test_bound_monotone_in_energy(self):
+        n = Network(2, initial_energy=[1000.0, 4000.0])
+        n.add_link(0, 1, 0.9)
+        assert children_bound(n, 1, 1e6) > children_bound(n, 0, 1e6)
+
+
+class TestLifetimeSpec:
+    def test_resolve(self, net):
+        spec = LifetimeSpec.resolve(net, 1e6)
+        assert spec.lc == 1e6
+        assert spec.l_prime > 1e6
+
+    def test_uninflated(self, net):
+        spec = LifetimeSpec.uninflated(net, 1e6)
+        assert spec.l_prime == spec.lc == 1e6
+
+    def test_lp_degree_bound_uses_l_prime(self, net):
+        strict = LifetimeSpec.resolve(net, 1e6)
+        loose = LifetimeSpec.uninflated(net, 1e6)
+        assert strict.lp_degree_bound(net, 1) < loose.lp_degree_bound(net, 1)
+
+    def test_satisfied_by_degree_matches_eq1(self, net):
+        # LC = lifetime with exactly 2 children.
+        lc = lifetime_with_children(net, 1, 2)
+        spec = LifetimeSpec.uninflated(net, lc)
+        assert spec.satisfied_by_degree(net, 1, 3)  # 2 children + parent
+        assert not spec.satisfied_by_degree(net, 1, 4)  # 3 children
+
+    def test_satisfied_by_degree_sink(self, net):
+        lc = lifetime_with_children(net, 0, 2)
+        spec = LifetimeSpec.uninflated(net, lc)
+        assert spec.satisfied_by_degree(net, 0, 2)  # sink: degree = children
+        assert not spec.satisfied_by_degree(net, 0, 3)
+
+    def test_satisfied_by_degree_zero_degree(self, net):
+        spec = LifetimeSpec.uninflated(net, 1.0)
+        assert spec.satisfied_by_degree(net, 1, 0)
+
+    def test_tree_feasible_degree_floor(self, net):
+        lc = lifetime_with_children(net, 1, 2)
+        spec = LifetimeSpec.uninflated(net, lc)
+        assert spec.tree_feasible_degree(net, 1) == 3
+
+    def test_tree_feasible_degree_never_negative(self, net):
+        # Absurdly long lifetime -> bound clamps at 0.
+        spec = LifetimeSpec.uninflated(net, 1e12)
+        assert spec.tree_feasible_degree(net, 1) == 0

@@ -1,0 +1,141 @@
+"""Tests for repro.core.lp (the cutting-plane LP solver)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.mst import build_mst_tree
+from repro.core.errors import InfeasibleLifetimeError
+from repro.core.lifetime import LifetimeSpec, lifetime_with_children
+from repro.core.lp import LPSolution, MRLCLinearProgram, solve_mrlc_lp
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+#: Cost slack allowed for the deterministic tie-break perturbation.
+PERTURB_SLACK = 1e-3
+
+
+class TestUnconstrainedLP:
+    """With no lifetime rows the LP optimum is the minimum spanning tree."""
+
+    def test_matches_mst_on_random_graphs(self):
+        for seed in range(5):
+            net = random_graph(10, 0.6, seed=seed)
+            solution = solve_mrlc_lp(net, {})
+            assert solution.is_integral()
+            tree = AggregationTree.from_edges(net, solution.support())
+            mst = build_mst_tree(net)
+            assert tree.cost() == pytest.approx(mst.cost(), abs=PERTURB_SLACK)
+
+    def test_support_is_spanning_tree(self, tiny_network):
+        solution = solve_mrlc_lp(tiny_network, {})
+        support = solution.support()
+        assert len(support) == tiny_network.n - 1
+        AggregationTree.from_edges(tiny_network, support)  # must not raise
+
+    def test_objective_close_to_true_cost(self, tiny_network):
+        solution = solve_mrlc_lp(tiny_network, {})
+        true_cost = sum(tiny_network.cost(u, v) for u, v in solution.support())
+        assert solution.objective == pytest.approx(true_cost, abs=PERTURB_SLACK)
+
+    def test_two_node_network(self):
+        net = Network(2)
+        net.add_link(0, 1, 0.9)
+        solution = solve_mrlc_lp(net, {})
+        assert solution.support() == [(0, 1)]
+
+    def test_single_node_network(self):
+        solution = solve_mrlc_lp(Network(1), {})
+        assert solution.support() == []
+        assert solution.objective == 0.0
+
+    def test_degenerate_equal_costs_converge(self):
+        """All-equal costs used to cycle forever; perturbation fixes it."""
+        net = Network(8)
+        for u in range(8):
+            for v in range(u + 1, 8):
+                net.add_link(u, v, 0.9)  # identical costs everywhere
+        solution = solve_mrlc_lp(net, {})
+        assert solution.is_integral()
+        assert len(solution.support()) == 7
+
+
+class TestDegreeConstrainedLP:
+    def test_degree_bounds_respected(self):
+        # Star-tempting network: node 0 adjacent to everything cheaply.
+        net = Network(5)
+        for v in range(1, 5):
+            net.add_link(0, v, 0.99)
+        net.add_link(1, 2, 0.9)
+        net.add_link(3, 4, 0.9)
+        solution = solve_mrlc_lp(net, {0: 2.0})
+        assert solution.fractional_degrees(5)[0] <= 2.0 + 1e-6
+
+    def test_infeasible_bounds_raise(self):
+        net = Network(3)
+        net.add_link(0, 1, 0.9)
+        net.add_link(1, 2, 0.9)
+        # Node 1 must have degree 2 in the only spanning tree.
+        with pytest.raises(InfeasibleLifetimeError):
+            solve_mrlc_lp(net, {1: 1.0})
+
+    def test_no_edges_multi_node(self):
+        with pytest.raises(InfeasibleLifetimeError):
+            MRLCLinearProgram(Network(3), [], {}).solve()
+
+    def test_restricted_edge_set(self, tiny_network):
+        # Force the LP to use only a path's edges.
+        edges = [(0, 1), (1, 2), (2, 4), (1, 3)]
+        solution = solve_mrlc_lp(tiny_network, {}, edges=edges)
+        assert sorted(solution.support()) == sorted(edges)
+
+    def test_carrying_cuts_forward(self, small_random_network):
+        first = solve_mrlc_lp(small_random_network, {})
+        again = solve_mrlc_lp(
+            small_random_network, {}, initial_cuts=first.cuts
+        )
+        assert again.objective == pytest.approx(first.objective, abs=1e-9)
+        # Warm cuts can only reduce the number of LP solves.
+        assert again.n_lp_solves <= first.n_lp_solves
+
+
+class TestLPSolutionHelpers:
+    def test_support_degrees(self):
+        solution = LPSolution(
+            edges=[(0, 1), (1, 2), (0, 2)],
+            x=np.array([1.0, 1.0, 0.0]),
+            objective=0.0,
+        )
+        assert list(solution.support_degrees(3)) == [1, 2, 1]
+
+    def test_fractional_degrees(self):
+        solution = LPSolution(
+            edges=[(0, 1), (1, 2)],
+            x=np.array([0.5, 0.25]),
+            objective=0.0,
+        )
+        assert solution.fractional_degrees(3) == pytest.approx([0.5, 0.75, 0.25])
+
+    def test_is_integral(self):
+        assert LPSolution(edges=[(0, 1)], x=np.array([1.0 - 1e-9]), objective=0).is_integral()
+        assert not LPSolution(edges=[(0, 1)], x=np.array([0.4]), objective=0).is_integral()
+
+    def test_support_thresholds(self):
+        solution = LPSolution(
+            edges=[(0, 1), (1, 2)], x=np.array([1e-9, 0.3]), objective=0.0
+        )
+        assert solution.support() == [(1, 2)]
+
+
+class TestLifetimeIntegration:
+    def test_bounds_from_spec_make_feasible_trees(self):
+        net = random_graph(12, 0.7, seed=77)
+        lc = lifetime_with_children(net, 1, 3)  # generous: 3 children allowed
+        spec = LifetimeSpec.uninflated(net, lc)
+        bounds = {v: spec.lp_degree_bound(net, v) for v in net.nodes}
+        solution = solve_mrlc_lp(net, bounds)
+        degrees = solution.fractional_degrees(net.n)
+        for v in net.nodes:
+            assert degrees[v] <= bounds[v] + 1e-6

@@ -1,0 +1,125 @@
+"""Tests for repro.core.separation (subtour oracle)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.separation import find_violated_subtours, subtour_violation
+
+
+def _triangle():
+    """K3: edges aligned with x vectors in tests."""
+    return 3, [(0, 1), (1, 2), (0, 2)]
+
+
+class TestSubtourViolation:
+    def test_cycle_violates(self):
+        n, edges = _triangle()
+        x = np.array([1.0, 1.0, 1.0])  # a 3-cycle: x(E(S)) = 3 > |S|-1 = 2
+        assert subtour_violation([0, 1, 2], edges, x) == pytest.approx(1.0)
+
+    def test_tree_does_not_violate(self):
+        n, edges = _triangle()
+        x = np.array([1.0, 1.0, 0.0])
+        assert subtour_violation([0, 1, 2], edges, x) <= 0.0
+
+    def test_subset_counts_internal_edges_only(self):
+        n, edges = _triangle()
+        x = np.array([1.0, 1.0, 1.0])
+        assert subtour_violation([0, 1], edges, x) == pytest.approx(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_violated_subtours(3, [(0, 1)], np.array([1.0, 1.0]))
+
+
+class TestFindViolatedSubtours:
+    def test_detects_integral_cycle(self):
+        n, edges = _triangle()
+        # Spanning "tree" constraint would be x sums to 2; here the 3-cycle
+        # with all ones violates S = {0,1,2}.
+        found = find_violated_subtours(n, edges, np.array([1.0, 1.0, 1.0]))
+        assert frozenset({0, 1, 2}) in found
+
+    def test_spanning_tree_point_is_clean(self):
+        n, edges = _triangle()
+        assert find_violated_subtours(n, edges, np.array([1.0, 0.0, 1.0])) == []
+
+    def test_fractional_cycle_detected(self):
+        # Two disjoint fractional cycles on 6 nodes; total = 5 = n - 1, so
+        # the spanning equality holds but each cycle violates its subtour.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        x = np.array([1.0, 1.0, 1.0, 1.0, 1.0, 0.0])
+        found = find_violated_subtours(6, edges, x)
+        assert frozenset({0, 1, 2}) in found
+
+    def test_uniform_fractional_point_ok(self):
+        # x_e = 2/3 on a triangle: x(E(S)) = 2 = |S| - 1 for S = V; subsets
+        # of size 2 have x = 2/3 <= 1.  No violation.
+        n, edges = _triangle()
+        assert find_violated_subtours(n, edges, np.array([2 / 3] * 3)) == []
+
+    def test_violation_just_over_tolerance(self):
+        n, edges = _triangle()
+        x = np.array([1.0, 1.0, 1e-5])
+        found = find_violated_subtours(n, edges, x, tolerance=1e-6)
+        assert frozenset({0, 1, 2}) in found
+
+    def test_violation_under_tolerance_ignored(self):
+        n, edges = _triangle()
+        x = np.array([1.0, 1.0, 1e-9])
+        assert find_violated_subtours(n, edges, x, tolerance=1e-6) == []
+
+    def test_max_sets_cap(self):
+        # Many independent triangles, each violated.
+        edges = []
+        for k in range(5):
+            base = 3 * k
+            edges += [(base, base + 1), (base + 1, base + 2), (base, base + 2)]
+        x = np.ones(len(edges))
+        found = find_violated_subtours(15, edges, x, max_sets=2)
+        assert len(found) == 2
+
+    def test_trivial_sizes(self):
+        assert find_violated_subtours(1, [], np.array([])) == []
+        assert find_violated_subtours(2, [(0, 1)], np.array([1.0])) == []
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_reported_sets_truly_violate(self, seed):
+        """Soundness: every reported set must violate its constraint."""
+        rng = np.random.default_rng(seed)
+        n = 8
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < 0.5]
+        if not edges:
+            return
+        x = rng.uniform(0.0, 1.0, size=len(edges))
+        # Scale to satisfy the spanning equality roughly (not required).
+        found = find_violated_subtours(n, edges, x)
+        for subset in found:
+            assert len(subset) >= 2
+            assert subtour_violation(sorted(subset), edges, x) > 0
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_completeness_against_bruteforce(self, seed):
+        """If brute force finds a violated set, the oracle must find one."""
+        from itertools import combinations
+
+        rng = np.random.default_rng(seed)
+        n = 6
+        edges = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        x = rng.uniform(0.0, 0.9, size=len(edges))
+
+        brute_violation = 0.0
+        for size in range(2, n + 1):
+            for subset in combinations(range(n), size):
+                brute_violation = max(
+                    brute_violation, subtour_violation(subset, edges, x)
+                )
+        found = find_violated_subtours(n, edges, x)
+        if brute_violation > 1e-6:
+            assert found, f"oracle missed a violation of {brute_violation}"
+        if not found:
+            assert brute_violation <= 1e-6

@@ -1,0 +1,141 @@
+"""Tests for repro.distributed.node (SensorNode replicas)."""
+
+import pytest
+
+from repro.core.local_search import bfs_tree
+from repro.distributed.messages import CodeAnnouncement, ParentChange
+from repro.distributed.node import SensorNode
+from repro.network.energy import TELOSB
+from repro.network.model import Network
+from repro.prufer.updates import SequencePair
+
+
+@pytest.fixture
+def net(tiny_network):
+    return tiny_network
+
+
+def _make_node(net, node_id, lc=1.0):
+    return SensorNode(
+        node_id=node_id,
+        energy_model=net.energy_model,
+        energies={v: net.initial_energy(v) for v in net.nodes},
+        lc=lc,
+        link_costs={e.other(node_id): e.cost for e in net.incident_edges(node_id)},
+    )
+
+
+def _announce(net, tree, *nodes):
+    pair = SequencePair.from_tree(tree)
+    msg = CodeAnnouncement(code=pair.code, order=pair.order)
+    for node in nodes:
+        node.on_code_announcement(msg)
+    return pair
+
+
+class TestReplicaState:
+    def test_requires_code_before_queries(self, net):
+        node = _make_node(net, 1)
+        with pytest.raises(RuntimeError, match="no sequence pair"):
+            node.parent()
+
+    def test_code_announcement_installs_pair(self, net):
+        node = _make_node(net, 3)
+        tree = bfs_tree(net)
+        _announce(net, tree, node)
+        assert node.parent() == tree.parent(3)
+
+    def test_sink_has_no_parent(self, net):
+        node = _make_node(net, 0)
+        _announce(net, bfs_tree(net), node)
+        assert node.parent() is None
+
+    def test_parent_change_applied(self, net):
+        node = _make_node(net, 0)
+        tree = bfs_tree(net)  # 3 <- 1, 4 <- 2
+        _announce(net, tree, node)
+        node.on_parent_change(ParentChange(child=4, new_parent=3, serial=0))
+        assert node.pair.parent_map()[4] == 3
+
+    def test_duplicate_serial_ignored(self, net):
+        node = _make_node(net, 0)
+        _announce(net, bfs_tree(net), node)
+        msg = ParentChange(child=4, new_parent=3, serial=0)
+        node.on_parent_change(msg)
+        before = node.pair
+        node.on_parent_change(msg)  # duplicate delivery
+        assert node.pair == before
+
+    def test_gap_in_serials_rejected(self, net):
+        node = _make_node(net, 0)
+        _announce(net, bfs_tree(net), node)
+        with pytest.raises(RuntimeError, match="missed"):
+            node.on_parent_change(ParentChange(child=4, new_parent=3, serial=5))
+
+    def test_change_before_code_rejected(self, net):
+        node = _make_node(net, 0)
+        with pytest.raises(RuntimeError, match="before the code"):
+            node.on_parent_change(ParentChange(child=4, new_parent=3, serial=0))
+
+
+class TestLifetimeChecks:
+    def test_children_counts_from_replica(self, net):
+        node = _make_node(net, 2)
+        tree = bfs_tree(net)
+        _announce(net, tree, node)
+        for v in net.nodes:
+            assert node.n_children(v) == tree.n_children(v)
+
+    def test_can_host_child_thresholds(self, net):
+        tree = bfs_tree(net)
+        # LC exactly the lifetime of a 2-children node: a 1-child node can
+        # host one more, a 2-children node cannot.
+        lc = net.energy_model.lifetime_rounds(net.initial_energy(1), 2)
+        node = _make_node(net, 1, lc=lc)
+        _announce(net, tree, node)
+        assert node.n_children(1) == 1
+        assert node.can_host_child(1)  # 1 -> 2 children still meets lc
+        assert node.n_children(0) == 2
+        assert not node.can_host_child(0)  # 3 children would break lc
+
+
+class TestChooseNewParent:
+    def test_prefers_best_outside_component(self, net):
+        # Tree: 1<-0, 2<-0, 3<-1, 4<-2.  Degrade (1, 3): 3's alternatives
+        # are 4 (via link (3,4), cost of prr 0.5) only; link (1,3) has prr
+        # 0.9.  Make (1,3) terrible so switching pays.
+        tree = bfs_tree(net)
+        node = _make_node(net, 3)
+        _announce(net, tree, node)
+        node.link_costs[1] = 10.0  # degraded estimate
+        assert node.choose_new_parent() == 4
+
+    def test_keeps_parent_when_still_best(self, net):
+        tree = bfs_tree(net)
+        node = _make_node(net, 3)
+        _announce(net, tree, node)
+        assert node.choose_new_parent() is None  # (1,3) at 0.9 beats (3,4) at 0.5
+
+    def test_respects_candidate_capacity(self, net):
+        tree = bfs_tree(net)
+        # LC so tight that no node may take an extra child.
+        lc = net.energy_model.lifetime_rounds(3000.0, 0)
+        node = _make_node(net, 3, lc=lc)
+        _announce(net, tree, node)
+        node.link_costs[1] = 10.0
+        assert node.choose_new_parent() is None
+
+    def test_excludes_own_component(self, net):
+        # Tree where 4 hangs under 3: then 4 is inside 3's component.
+        tree = bfs_tree(net).with_parent(4, 3)
+        node = _make_node(net, 3)
+        _announce(net, tree, node)
+        node.link_costs[1] = 10.0
+        # Only remaining neighbour is 4 (in component) -> no switch.
+        assert node.choose_new_parent() is None
+
+    def test_sink_cannot_choose(self, net):
+        node = _make_node(net, 0)
+        _announce(net, bfs_tree(net), node)
+        with pytest.raises(RuntimeError, match="sink"):
+            node.choose_new_parent()

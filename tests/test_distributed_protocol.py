@@ -1,0 +1,180 @@
+"""Tests for repro.distributed.protocol (handlers + ILU)."""
+
+import pytest
+
+from repro.baselines.mst import build_mst_tree
+from repro.core.local_search import bfs_tree
+from repro.distributed.protocol import DistributedProtocol
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+LOOSE_LC = 1.0  # effectively no lifetime restriction
+
+
+@pytest.fixture
+def net(tiny_network):
+    return tiny_network
+
+
+@pytest.fixture
+def protocol(net):
+    return DistributedProtocol(net, bfs_tree(net), LOOSE_LC)
+
+
+class TestSetup:
+    def test_initial_broadcast_counted(self, protocol):
+        assert protocol.setup_messages > 0
+
+    def test_replicas_consistent_after_setup(self, protocol):
+        protocol.assert_consistent()
+
+    def test_tree_matches_initial(self, net):
+        tree = bfs_tree(net)
+        protocol = DistributedProtocol(net, tree, LOOSE_LC)
+        assert protocol.tree() == tree
+
+    def test_network_mismatch_rejected(self, net):
+        other = net.copy()
+        with pytest.raises(ValueError, match="given network"):
+            DistributedProtocol(net, bfs_tree(other), LOOSE_LC)
+
+
+class TestLinkWorse:
+    def test_switch_on_degraded_tree_link(self, net, protocol):
+        # Tree: 3 <- 1.  Degrade it below the (3, 4) alternative.
+        net.set_prr(1, 3, 0.1)
+        protocol.refresh_link(1, 3)
+        report = protocol.handle_link_worse(1, 3)
+        assert report.did_change
+        assert report.changed == [(3, 4)]
+        assert report.messages > 0
+        protocol.assert_consistent()
+        assert protocol.tree().parent(3) == 4
+
+    def test_no_switch_when_still_best(self, net, protocol):
+        net.set_prr(1, 3, 0.85)  # still better than (3, 4) at 0.5
+        protocol.refresh_link(1, 3)
+        report = protocol.handle_link_worse(1, 3)
+        assert not report.did_change
+        assert report.messages == 0
+
+    def test_non_tree_link_is_noop(self, net, protocol):
+        net.set_prr(3, 4, 0.01)
+        protocol.refresh_link(3, 4)
+        report = protocol.handle_link_worse(3, 4)
+        assert not report.did_change
+
+    def test_child_endpoint_detected_either_order(self, net, protocol):
+        net.set_prr(1, 3, 0.1)
+        protocol.refresh_link(1, 3)
+        # Pass endpoints reversed: handler must find the child itself.
+        report = protocol.handle_link_worse(3, 1)
+        assert report.did_change
+
+    def test_maintained_tree_respects_lc(self, net):
+        # LC allowing 2 children max per node.
+        lc = net.energy_model.lifetime_rounds(3000.0, 2)
+        protocol = DistributedProtocol(net, bfs_tree(net), lc)
+        net.set_prr(1, 3, 0.1)
+        protocol.refresh_link(1, 3)
+        protocol.handle_link_worse(1, 3)
+        assert protocol.tree().lifetime() >= lc * (1 - 1e-9)
+
+
+class TestLinkBetter:
+    def test_pulls_in_improved_link(self, net, protocol):
+        # (1, 2) at 0.6 is not in the BFS tree; boost it above (0, 2) = 0.8.
+        net.set_prr(1, 2, 0.99)
+        protocol.refresh_link(1, 2)
+        report = protocol.handle_link_better(1, 2)
+        assert report.did_change
+        protocol.assert_consistent()
+        assert protocol.tree().has_tree_edge(1, 2)
+
+    def test_ignores_tree_link(self, net, protocol):
+        report = protocol.handle_link_better(0, 1)
+        assert not report.did_change
+        assert report.ilu_steps == 1
+
+    def test_no_change_when_not_profitable(self, net, protocol):
+        # (3, 4) at 0.5 is worse than both endpoints' parent links.
+        report = protocol.handle_link_better(3, 4)
+        assert not report.did_change
+
+    def test_nonexistent_link_is_noop(self, net, protocol):
+        report = protocol.handle_link_better(0, 3)
+        assert not report.did_change
+
+    def test_cascade_strictly_reduces_cost(self):
+        net = random_graph(12, 0.6, seed=17)
+        tree = bfs_tree(net)
+        protocol = DistributedProtocol(net, tree, LOOSE_LC)
+        before = protocol.tree().cost()
+        # Boost every non-tree link of one node and run ILU on each.
+        parent_map = protocol.pair.parent_map()
+        changed_any = False
+        for e in list(net.edges()):
+            if parent_map.get(e.u) != e.v and parent_map.get(e.v) != e.u:
+                net.set_prr(e.u, e.v, 0.9999)
+                protocol.refresh_link(e.u, e.v)
+                report = protocol.handle_link_better(e.u, e.v)
+                changed_any = changed_any or report.did_change
+                parent_map = protocol.pair.parent_map()
+        after = protocol.tree().cost()
+        assert changed_any
+        assert after < before
+        protocol.assert_consistent()
+
+    def test_capacity_gate_respected(self, net):
+        # LC so tight nobody can take another child: ILU must do nothing.
+        lc = net.energy_model.lifetime_rounds(3000.0, 0)
+        tree = bfs_tree(net)
+        protocol = DistributedProtocol(net, tree, lc)
+        net.set_prr(1, 2, 0.9999)
+        protocol.refresh_link(1, 2)
+        report = protocol.handle_link_better(1, 2)
+        assert not report.did_change
+
+
+class TestMessageAccounting:
+    def test_broadcast_cost_is_transmitter_count(self, net, protocol):
+        # BFS tree of tiny_network: children 0:{1,2}, 1:{3}, 2:{4}.
+        # Non-leaves = {0, 1, 2}; a leaf originator adds itself.
+        net.set_prr(1, 3, 0.1)
+        protocol.refresh_link(1, 3)
+        report = protocol.handle_link_worse(1, 3)
+        # After the change the tree is 0:{1,2}, 2:{4}, 4:{3}: transmitters
+        # {0, 2, 4} plus originator 3 -> 4 messages.
+        assert report.messages == 4
+
+    def test_setup_broadcast_counts_nonleaves(self, net):
+        protocol = DistributedProtocol(net, bfs_tree(net), LOOSE_LC)
+        # Non-leaves {0, 1, 2} and originator 0 is among them -> 3.
+        assert protocol.setup_messages == 3
+
+
+class TestControlEnergy:
+    def test_energy_zero_without_changes(self, net, protocol):
+        report = protocol.handle_link_worse(3, 4)  # non-tree link: no-op
+        assert report.control_energy_j(net.energy_model) == 0.0
+
+    def test_energy_counts_tx_and_rx(self, net, protocol):
+        net.set_prr(1, 3, 0.1)
+        protocol.refresh_link(1, 3)
+        report = protocol.handle_link_worse(1, 3)
+        assert report.did_change
+        model = net.energy_model
+        expected = report.messages * model.tx + (net.n - 1) * model.rx
+        assert report.control_energy_j(model) == pytest.approx(expected)
+
+    def test_control_energy_is_tiny_vs_data_plane(self, net, protocol):
+        """One update costs less than a handful of aggregation rounds."""
+        net.set_prr(1, 3, 0.1)
+        protocol.refresh_link(1, 3)
+        report = protocol.handle_link_worse(1, 3)
+        model = net.energy_model
+        per_round = sum(
+            model.round_energy(protocol.tree().n_children(v))
+            for v in net.nodes
+        )
+        assert report.control_energy_j(model) < 3 * per_round

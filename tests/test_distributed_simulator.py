@@ -1,0 +1,121 @@
+"""Tests for repro.distributed.simulator (churn simulation)."""
+
+import pytest
+
+from repro.baselines.mst import build_mst_tree
+from repro.core.ira import build_ira_tree
+from repro.distributed.simulator import ChurnSimulation
+from repro.network.topology import random_graph
+
+
+@pytest.fixture
+def setup():
+    net = random_graph(12, 0.7, seed=10)
+    lc = net.energy_model.lifetime_rounds(3000.0, 3)  # loose-ish bound
+    tree = build_ira_tree(net, lc).tree
+    return net, tree, lc
+
+
+class TestStep:
+    def test_degradation_reduces_prr(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=0, recompute_centralized=False)
+        before = {e.key: e.prr for e in net.edges()}
+        record = sim.step()
+        u, v = record.degraded_edge
+        assert net.prr(u, v) < before[(min(u, v), max(u, v))]
+
+    def test_degraded_edge_was_a_tree_edge(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=1, recompute_centralized=False)
+        record = sim.step()
+        u, v = record.degraded_edge
+        assert tree.has_tree_edge(u, v)
+
+    def test_record_metrics_consistent(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=2)
+        record = sim.step()
+        maintained = sim.protocol.tree()
+        assert record.distributed_cost == pytest.approx(maintained.cost())
+        assert record.distributed_reliability == pytest.approx(
+            maintained.reliability()
+        )
+        assert record.round_index == 1
+
+    def test_centralized_never_worse_than_distributed(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=3)
+        for _ in range(10):
+            record = sim.step()
+            # Perturbation slack: IRA optimizes jittered costs.
+            assert record.centralized_cost <= record.distributed_cost + 1e-3
+
+
+class TestRun:
+    def test_run_length_and_monotone_counters(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=4, recompute_centralized=False)
+        records = sim.run(25)
+        assert len(records) == 25
+        msgs = [r.cumulative_messages for r in records]
+        assert msgs == sorted(msgs)
+        updates = [r.cumulative_updates for r in records]
+        assert updates == sorted(updates)
+
+    def test_costs_trend_upward_under_churn(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=5, recompute_centralized=False)
+        records = sim.run(40)
+        assert records[-1].distributed_cost > records[0].distributed_cost
+
+    def test_replicas_stay_consistent(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=6, recompute_centralized=False)
+        sim.run(15)  # run() asserts consistency internally
+        sim.protocol.assert_consistent()
+
+    def test_maintained_tree_keeps_lifetime_bound(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=7, recompute_centralized=False)
+        sim.run(30)
+        assert sim.protocol.tree().lifetime() >= lc * (1 - 1e-9)
+
+    def test_avg_messages_per_update(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=8, recompute_centralized=False)
+        records = sim.run(40)
+        last = records[-1]
+        if last.cumulative_updates:
+            assert last.avg_messages_per_update == pytest.approx(
+                last.cumulative_messages / last.cumulative_updates
+            )
+        else:
+            assert last.avg_messages_per_update == 0.0
+
+    def test_deterministic_given_seed(self, setup):
+        net, tree, lc = setup
+        a = ChurnSimulation(net.copy() if False else net, tree, lc, seed=9,
+                            recompute_centralized=False)
+        # Build two fresh identical setups (network is mutated in place).
+        net1 = random_graph(12, 0.7, seed=10)
+        tree1 = build_ira_tree(net1, lc).tree
+        net2 = random_graph(12, 0.7, seed=10)
+        tree2 = build_ira_tree(net2, lc).tree
+        r1 = ChurnSimulation(net1, tree1, lc, seed=9, recompute_centralized=False).run(10)
+        r2 = ChurnSimulation(net2, tree2, lc, seed=9, recompute_centralized=False).run(10)
+        assert [x.degraded_edge for x in r1] == [x.degraded_edge for x in r2]
+        assert [x.distributed_cost for x in r1] == [x.distributed_cost for x in r2]
+
+
+class TestValidation:
+    def test_bad_cost_delta(self, setup):
+        net, tree, lc = setup
+        with pytest.raises(ValueError):
+            ChurnSimulation(net, tree, lc, cost_delta=0.0)
+
+    def test_bad_rounds(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(net, tree, lc, seed=0, recompute_centralized=False)
+        with pytest.raises(ValueError):
+            sim.run(0)

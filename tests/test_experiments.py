@@ -1,0 +1,281 @@
+"""Tests for repro.experiments — small-scale runs of every figure module.
+
+Each test runs the real experiment code at reduced scale and asserts the
+*shape* the paper reports, not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_distributed_experiment,
+    run_fig1,
+    run_fig10,
+    run_fig2,
+    run_fig3,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+)
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig1(sizes=(16, 32), qualities=(1.0, 0.5, 0.1), n_rounds=60)
+
+    def test_perfect_quality_needs_n_minus_1(self, result):
+        assert result.expected[16][0] == pytest.approx(15.0)
+        assert result.expected[32][0] == pytest.approx(31.0)
+
+    def test_tenfold_blowup_at_ten_percent(self, result):
+        assert result.expected[16][-1] == pytest.approx(150.0)
+
+    def test_packets_decrease_with_quality(self, result):
+        for n in (16, 32):
+            series = result.simulated[n]
+            assert list(series) == sorted(series)
+
+    def test_larger_networks_cost_more(self, result):
+        for i in range(3):
+            assert result.simulated[32][i] > result.simulated[16][i]
+
+    def test_simulation_tracks_expectation(self, result):
+        for n in (16, 32):
+            for sim, exp in zip(result.simulated[n], result.expected[n]):
+                assert sim == pytest.approx(exp, rel=0.25)
+
+    def test_render_contains_series(self, result):
+        out = result.render()
+        assert "n=16" in out and "n=32" in out
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(n_trials=60)
+
+    def test_prr_decreases_with_distance(self, result):
+        for level, curve in result.curves.items():
+            # Allow small non-monotonicity from trial noise.
+            assert curve[0] >= curve[-1] - 0.05
+
+    def test_higher_power_never_much_worse(self, result):
+        for i in range(len(result.distances_ft)):
+            assert result.curves[19][i] >= result.curves[11][i] - 0.05
+            assert result.curves[11][i] >= result.curves[3][i] - 0.05
+
+    def test_paper_claims(self, result):
+        # Tx=19 usable at 16 ft; Tx=11 collapses over the range.
+        assert result.curves[19][0] > 0.9
+        assert result.curves[11][0] > 0.8
+        assert result.curves[11][-1] < 0.15
+
+    def test_render(self, result):
+        assert "Tx=19" in result.render()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(duration_s=2.0)
+
+    def test_means_match_paper_averages(self, result):
+        assert result.mean_power_w["send"] == pytest.approx(80e-3, rel=1e-6)
+        assert result.mean_power_w["recv"] == pytest.approx(60e-3, rel=1e-6)
+        assert result.mean_power_w["idle"] == pytest.approx(80e-6, rel=1e-6)
+
+    def test_idle_three_orders_below_active(self, result):
+        assert result.idle_to_active_ratio < 0.005
+
+    def test_render(self, result):
+        out = result.render()
+        assert "80.000 mW" in out
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7()
+
+    def test_bar_set_complete(self, result):
+        labels = [e.label for e in result.entries]
+        assert labels[0] == "AAML"
+        assert labels[-1] == "MST"
+        assert "IRA@LC/1" in labels and "IRA@LC/2.5" in labels
+
+    def test_paper_ordering(self, result):
+        """MST <= every IRA <= AAML in cost; reverse in reliability."""
+        mst = result.entry("MST")
+        aaml = result.entry("AAML")
+        for k in ("1", "1.5", "2", "2.5"):
+            ira = result.entry(f"IRA@LC/{k}")
+            assert mst.cost <= ira.cost + 0.01
+            assert ira.cost <= aaml.cost + 0.01
+        assert mst.reliability > aaml.reliability
+
+    def test_ira_cost_decreases_as_bound_relaxes(self, result):
+        costs = [result.entry(f"IRA@LC/{k}").cost for k in ("1", "1.5", "2", "2.5")]
+        for strict, loose in zip(costs, costs[1:]):
+            assert loose <= strict + 0.01
+
+    def test_ira_reaches_mst_when_relaxed(self, result):
+        assert result.entry("IRA@LC/2.5").cost == pytest.approx(
+            result.entry("MST").cost, abs=0.5
+        )
+
+    def test_every_constrained_tree_meets_bound(self, result):
+        for entry in result.entries:
+            assert entry.meets_bound
+
+    def test_headline_improvement(self, result):
+        """Paper: IRA at AAML's lifetime costs a fraction of AAML."""
+        assert result.entry("IRA@LC/1").cost < 0.5 * result.entry("AAML").cost
+
+    def test_render(self, result):
+        assert "AAML" in result.render()
+
+
+class TestFig8And9:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        return run_fig8(n_trials=8)
+
+    @pytest.fixture(scope="class")
+    def fig9(self):
+        return run_fig9(n_trials=8)
+
+    def test_trial_count(self, fig8):
+        assert len(fig8.trials) == 8
+
+    def test_cost_ordering_per_trial(self, fig8, fig9):
+        for result in (fig8, fig9):
+            for t in result.trials:
+                assert t.mst_cost <= t.ira_cost + 0.01
+                assert t.ira_cost <= t.aaml_cost + 0.01
+
+    def test_ira_lifetime_ok_everywhere(self, fig8, fig9):
+        for result in (fig8, fig9):
+            assert all(t.ira_lifetime_ok for t in result.trials)
+
+    def test_paper_band_same_energy(self, fig8):
+        summary = fig8.summary()
+        # Paper: AAML roughly 400-800, IRA roughly 75-250 (paper units).
+        assert 300 <= summary["aaml"]["mean"] <= 900
+        assert 50 <= summary["ira"]["mean"] <= 300
+
+    def test_fig9_heterogeneous_energy_used(self, fig9):
+        # Different energies -> lc varies between trials.
+        lcs = {round(t.lc) for t in fig9.trials}
+        assert len(lcs) > 1
+
+    def test_render(self, fig8, fig9):
+        assert "Fig. 8" in fig8.render()
+        assert "Fig. 9" in fig9.render()
+
+    def test_deterministic(self):
+        a = run_fig8(n_trials=3)
+        b = run_fig8(n_trials=3)
+        assert a.costs("ira") == b.costs("ira")
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig10(probabilities=(0.4, 0.7, 0.9), n_trials=6)
+
+    def test_structure(self, result):
+        assert result.probabilities == (0.4, 0.7, 0.9)
+        assert set(result.averages) == {"aaml", "ira", "mst"}
+        assert all(len(v) == 3 for v in result.averages.values())
+
+    def test_aaml_dominates_everywhere(self, result):
+        for i in range(3):
+            assert result.averages["aaml"][i] > result.averages["ira"][i]
+            assert result.averages["ira"][i] >= result.averages["mst"][i] - 0.01
+
+    def test_ira_improves_with_density(self, result):
+        """Denser graphs offer cheaper links; IRA's cost must not rise."""
+        assert result.averages["ira"][-1] <= result.averages["ira"][0]
+
+    def test_render(self, result):
+        assert "link prob" in result.render()
+
+
+class TestDistributedExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_distributed_experiment(rounds=40, seed=11)
+
+    def test_series_lengths(self, result):
+        dist, cent = result.fig11_series()
+        assert len(dist) == len(cent) == 40
+
+    def test_costs_rise_under_churn(self, result):
+        dist, _ = result.fig11_series()
+        assert dist[-1] > dist[0]
+
+    def test_reliability_falls_under_churn(self, result):
+        dist, _ = result.fig12_series()
+        assert dist[-1] < dist[0]
+
+    def test_distributed_tracks_centralized(self, result):
+        """Paper: cost gap ~25 paper units, reliability gap <= 0.02."""
+        assert result.max_cost_gap < 40.0
+        assert result.max_reliability_gap < 0.03
+
+    def test_message_series_monotone(self, result):
+        total, _ = result.fig13_series()
+        assert list(total) == sorted(total)
+
+    def test_render(self, result):
+        out = result.render()
+        assert "msgs/update" in out
+
+
+class TestChartRendering:
+    """Every figure result's chart renders (smoke level; detailed chart
+    behaviour is covered in tests/test_ascii_chart.py)."""
+
+    def test_fig1_chart(self):
+        result = run_fig1(sizes=(16,), qualities=(1.0, 0.5), n_rounds=5)
+        assert "n=16" in result.render_chart()
+
+    def test_fig2_chart(self):
+        result = run_fig2(n_trials=3)
+        assert "Tx=19" in result.render_chart()
+
+    def test_fig8_chart(self):
+        result = run_fig8(n_trials=3)
+        out = result.render_chart()
+        assert "AAML" in out and "MST" in out
+
+    def test_fig10_chart(self):
+        result = run_fig10(probabilities=(0.7,), n_trials=2)
+        assert "link probability" in result.render_chart()
+
+    def test_distributed_chart(self):
+        result = run_distributed_experiment(rounds=5, seed=11)
+        out = result.render_chart()
+        assert "Fig. 11" in out and "Fig. 13" in out
+
+
+class TestSummarize:
+    def test_summarize_statistics(self):
+        from repro.experiments.common import summarize
+
+        stats = summarize([4.0, 1.0, 3.0, 2.0])
+        assert stats["mean"] == pytest.approx(2.5)
+        assert stats["median"] == pytest.approx(2.5)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 4.0
+
+    def test_odd_median(self):
+        from repro.experiments.common import summarize
+
+        assert summarize([3.0, 1.0, 2.0])["median"] == 2.0
+
+    def test_empty_rejected(self):
+        from repro.experiments.common import summarize
+
+        with pytest.raises(ValueError):
+            summarize([])

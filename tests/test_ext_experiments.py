@@ -1,0 +1,212 @@
+"""Tests for the extension experiments (wide panel, energy hole)."""
+
+import pytest
+
+from repro.experiments.ext_baselines import run_ext_baselines
+from repro.experiments.ext_energy_hole import run_energy_hole
+from repro.network.topology import unit_disk_graph
+
+
+class TestExtBaselines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ext_baselines(n_trials=5)
+
+    def test_all_algorithms_present(self, result):
+        names = [s.name for s in result.summaries]
+        assert names == ["MST", "SPT", "random", "RaSMaLai", "AAML", "IRA", "optimal"]
+
+    def test_ira_and_optimal_always_meet_lc(self, result):
+        assert result.summary("IRA").meets_lc_fraction == 1.0
+        assert result.summary("optimal").meets_lc_fraction == 1.0
+
+    def test_optimal_never_above_ira_cost(self, result):
+        assert (
+            result.summary("optimal").mean_cost
+            <= result.summary("IRA").mean_cost + 1e-9
+        )
+
+    def test_mst_is_global_cost_floor(self, result):
+        mst = result.summary("MST").mean_cost
+        for s in result.summaries:
+            assert s.mean_cost >= mst - 1e-9
+
+    def test_lifetime_algorithms_beat_cost_algorithms_on_lifetime(self, result):
+        assert (
+            result.summary("AAML").mean_lifetime
+            > result.summary("SPT").mean_lifetime
+        )
+
+    def test_random_is_the_worst_cost(self, result):
+        rnd = result.summary("random").mean_cost
+        for name in ("MST", "SPT", "IRA", "optimal"):
+            assert result.summary(name).mean_cost < rnd
+
+    def test_without_exact(self):
+        result = run_ext_baselines(n_trials=2, include_exact=False)
+        assert all(s.name != "optimal" for s in result.summaries)
+
+    def test_render_and_chart(self, result):
+        assert "meets LC" in result.render()
+        assert "mean reliability" in result.render_chart()
+
+    def test_bad_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_ext_baselines(n_trials=0)
+
+
+class TestEnergyHole:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_energy_hole()
+
+    def test_all_profiles_present(self, result):
+        names = [p.name for p in result.profiles]
+        assert names == ["BFS", "SPT", "MST", "AAML", "IRA"]
+
+    def test_bfs_concentrates_load_at_sink(self, result):
+        """The energy hole: BFS depth-0 load dwarfs everyone else's."""
+        bfs = result.profile("BFS").mean_children_by_depth[0]
+        ira = result.profile("IRA").mean_children_by_depth[0]
+        assert bfs > 3 * ira
+
+    def test_lifetime_ordering(self, result):
+        assert result.profile("AAML").lifetime >= result.profile("BFS").lifetime
+        assert result.profile("IRA").lifetime >= result.profile("MST").lifetime
+
+    def test_profiles_cover_every_node(self, result):
+        for p in result.profiles:
+            # Mean children weighted by bin sizes must average to (n-1)/n.
+            assert 0 in p.mean_children_by_depth
+
+    def test_custom_network(self):
+        net = unit_disk_graph(20, 40.0, 20.0, seed=5)
+        result = run_energy_hole(network=net, lc_fraction=0.9)
+        assert result.profile("IRA").lifetime > 0
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            run_energy_hole(lc_fraction=0.0)
+
+    def test_render_and_chart(self, result):
+        out = result.render()
+        assert "ch@d0" in out and "bottleneck depth" in out
+        assert "lifetime" in result.render_chart()
+
+
+class TestExtLatency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.ext_latency import run_ext_latency
+
+        return run_ext_latency(n_rounds=400)
+
+    def test_entries_present(self, result):
+        names = [e.name for e in result.entries]
+        for expected in ("SPT", "MST", "AAML", "IRA@0.8L"):
+            assert expected in names
+
+    def test_latency_equals_depth_slots(self, result):
+        for e in result.entries:
+            assert e.latency_s == pytest.approx(
+                e.depth * result.slot_duration
+            )
+
+    def test_empirical_tracks_closed_form(self, result):
+        for e in result.entries:
+            assert e.empirical_reliability == pytest.approx(
+                e.reliability, abs=0.06
+            )
+
+    def test_delay_budgets_respected(self, result):
+        for e in result.entries:
+            if e.name.startswith("delay<="):
+                budget = int(e.name.split("<=")[1])
+                assert e.depth <= budget
+
+    def test_spt_never_deeper_than_mst(self, result):
+        assert result.entry("SPT").depth <= result.entry("MST").depth
+
+    def test_lifetime_algorithms_live_longest(self, result):
+        spt_life = result.entry("SPT").lifetime
+        assert result.entry("AAML").lifetime >= spt_life
+        assert result.entry("IRA@0.8L").lifetime >= 0.8 * spt_life
+
+    def test_render_and_chart(self, result):
+        assert "latency ms" in result.render()
+        assert "round latency" in result.render_chart()
+
+    def test_bad_rounds_rejected(self):
+        from repro.experiments.ext_latency import run_ext_latency
+
+        with pytest.raises(ValueError):
+            run_ext_latency(n_rounds=0)
+
+
+class TestExtEstimation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.ext_estimation import run_ext_estimation
+
+        return run_ext_estimation(budgets=(10, 100, 1000), n_draws=8)
+
+    def test_regret_decreases_with_budget(self, result):
+        regrets = [p.mean_regret for p in result.points]
+        assert regrets[0] > regrets[-1]
+
+    def test_estimation_error_decreases_with_budget(self, result):
+        errors = [p.mean_estimation_error for p in result.points]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_thousand_beacons_near_oracle(self, result):
+        """The paper's 1000-beacon choice loses under ~2% reliability."""
+        assert result.point(1000).mean_regret < 0.02
+
+    def test_regrets_are_valid_fractions(self, result):
+        for p in result.points:
+            assert 0.0 <= p.mean_regret <= 1.0
+            assert p.mean_regret <= p.max_regret + 1e-12
+
+    def test_render_and_chart(self, result):
+        assert "mean regret" in result.render()
+        assert "log10" in result.render_chart()
+
+    def test_validation(self):
+        from repro.experiments.ext_estimation import run_ext_estimation
+
+        with pytest.raises(ValueError):
+            run_ext_estimation(n_draws=0)
+        with pytest.raises(ValueError):
+            run_ext_estimation(budgets=(0,), n_draws=1)
+
+
+class TestExtStability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.ext_stability import run_ext_stability
+
+        return run_ext_stability(n_draws=5)
+
+    def test_algorithms_present(self, result):
+        assert set(result.reports) == {"MST", "SPT", "IRA", "AAML"}
+
+    def test_aaml_is_perfectly_stable(self, result):
+        """AAML never reads link estimates, so it cannot churn."""
+        assert result.report("AAML").mean_pairwise_distance == 0.0
+
+    def test_estimate_driven_algorithms_churn(self, result):
+        assert result.report("MST").mean_pairwise_distance > 0
+
+    def test_quality_stays_flat_despite_churn(self, result):
+        for name in ("MST", "SPT", "IRA"):
+            assert result.report(name).reliability_spread < 0.05
+
+    def test_aaml_pays_in_reliability(self, result):
+        assert (
+            result.report("AAML").mean_true_reliability
+            < result.report("MST").mean_true_reliability
+        )
+
+    def test_render_and_chart(self, result):
+        assert "mean churn" in result.render()
+        assert "structural churn" in result.render_chart()

@@ -1,0 +1,103 @@
+"""Tests for the mixed-churn extension of ChurnSimulation."""
+
+import pytest
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.core.ira import build_ira_tree
+from repro.distributed.simulator import ChurnSimulation
+from repro.network.dfl import dfl_network
+from repro.network.topology import random_graph
+
+
+@pytest.fixture
+def setup():
+    net = dfl_network().copy()
+    lc = build_aaml_tree(net.filtered(0.95)).lifetime / 1.5
+    tree = build_ira_tree(net, lc).tree
+    return net, tree, lc
+
+
+class TestMixedChurn:
+    def test_improvement_events_fire(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(
+            net, tree, lc,
+            improve_probability=1.0,
+            improve_delta=0.05,
+            seed=3,
+            recompute_centralized=False,
+        )
+        sim.run(30)
+        # With strong improvements every round, ILU must act at least once.
+        assert sim.records[-1].cumulative_updates > 0
+
+    def test_replicas_consistent_under_mixed_churn(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(
+            net, tree, lc, improve_probability=0.5, seed=4,
+            recompute_centralized=False,
+        )
+        sim.run(40)
+        sim.protocol.assert_consistent()
+
+    def test_lifetime_bound_survives_mixed_churn(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(
+            net, tree, lc, improve_probability=0.5, seed=5,
+            recompute_centralized=False,
+        )
+        sim.run(40)
+        assert sim.protocol.tree().lifetime() >= lc * (1 - 1e-9)
+
+    def test_improvements_slow_cost_growth(self, setup):
+        """Improvement events let the tree recover some degradation."""
+        net1, tree1, lc = setup
+        pure = ChurnSimulation(
+            net1, tree1, lc, seed=6, recompute_centralized=False
+        )
+        pure_final = pure.run(60)[-1].distributed_cost
+
+        net2 = dfl_network().copy()
+        lc2 = build_aaml_tree(net2.filtered(0.95)).lifetime / 1.5
+        tree2 = build_ira_tree(net2, lc2).tree
+        mixed = ChurnSimulation(
+            net2, tree2, lc2,
+            improve_probability=1.0,
+            improve_delta=2e-3,
+            seed=6,
+            recompute_centralized=False,
+        )
+        mixed_final = mixed.run(60)[-1].distributed_cost
+        assert mixed_final <= pure_final + 1e-9
+
+    def test_improve_respects_caps(self):
+        net = random_graph(10, 0.7, seed=20)
+        lc = net.energy_model.lifetime_rounds(3000.0, 1)  # tight: <=1 child
+        tree = build_ira_tree(net, lc).tree
+        sim = ChurnSimulation(
+            net, tree, lc, improve_probability=1.0, improve_delta=0.1,
+            seed=7, recompute_centralized=False,
+        )
+        sim.run(25)
+        maintained = sim.protocol.tree()
+        assert max(maintained.n_children(v) for v in range(net.n)) <= 1
+
+    def test_validation(self, setup):
+        net, tree, lc = setup
+        with pytest.raises(ValueError, match="improve_probability"):
+            ChurnSimulation(net, tree, lc, improve_probability=1.5)
+        with pytest.raises(ValueError, match="improve_delta"):
+            ChurnSimulation(net, tree, lc, improve_delta=0.0)
+
+    def test_improve_random_non_tree_link_returns_edge(self, setup):
+        net, tree, lc = setup
+        sim = ChurnSimulation(
+            net, tree, lc, improve_probability=1.0, seed=8,
+            recompute_centralized=False,
+        )
+        before = {e.key: e.prr for e in net.edges()}
+        edge = sim.improve_random_non_tree_link()
+        assert edge is not None
+        u, v = edge
+        assert not tree.has_tree_edge(u, v)
+        assert net.prr(u, v) >= before[(min(u, v), max(u, v))]

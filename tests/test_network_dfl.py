@@ -1,0 +1,110 @@
+"""Tests for repro.network.dfl (the DFL testbed substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.network.dfl import (
+    DFL_N_NODES,
+    DFL_SIDE_M,
+    DFL_SPACING_M,
+    DFLLinkModel,
+    dfl_network,
+    dfl_positions,
+)
+
+
+class TestPositions:
+    def test_sixteen_nodes(self):
+        assert dfl_positions().shape == (16, 2)
+
+    def test_on_perimeter(self):
+        for x, y in dfl_positions():
+            on_edge = (
+                abs(x) < 1e-9
+                or abs(y) < 1e-9
+                or abs(x - DFL_SIDE_M) < 1e-9
+                or abs(y - DFL_SIDE_M) < 1e-9
+            )
+            assert on_edge
+
+    def test_adjacent_spacing(self):
+        pos = dfl_positions()
+        for i in range(16):
+            d = np.linalg.norm(pos[i] - pos[(i + 1) % 16])
+            assert d == pytest.approx(DFL_SPACING_M)
+
+    def test_sink_at_origin(self):
+        assert dfl_positions()[0] == pytest.approx((0.0, 0.0))
+
+    def test_all_distinct(self):
+        pos = dfl_positions()
+        assert len({tuple(p) for p in pos.round(9)}) == 16
+
+
+class TestDFLLinkModel:
+    def test_monotone_mean(self):
+        model = DFLLinkModel()
+        assert model.prr(0.9) > model.prr(3.0) > model.prr(5.0)
+
+    def test_clipping(self):
+        model = DFLLinkModel(alpha=0.5, beta=2.0)
+        assert model.prr(100.0) == model.floor
+
+    def test_noise_draws_vary(self):
+        model = DFLLinkModel()
+        rng = np.random.default_rng(0)
+        draws = {round(model.prr(2.0, rng), 9) for _ in range(5)}
+        assert len(draws) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DFLLinkModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            DFLLinkModel(floor=0.99, ceiling=0.9)
+        with pytest.raises(ValueError):
+            DFLLinkModel(noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            DFLLinkModel().prr(0.0)
+
+
+class TestDFLNetwork:
+    def test_complete_topology(self, dfl):
+        assert dfl.n == DFL_N_NODES
+        assert dfl.n_edges == 16 * 15 // 2
+        assert dfl.is_connected()
+
+    def test_paper_batteries(self, dfl):
+        assert np.all(dfl.initial_energies == 3000.0)
+
+    def test_prrs_in_plausible_band(self, dfl):
+        for e in dfl.edges():
+            assert 0.85 <= e.prr <= 1.0
+
+    def test_deterministic_default_instance(self):
+        a = dfl_network()
+        b = dfl_network()
+        assert [e.prr for e in a.edges()] == [e.prr for e in b.edges()]
+
+    def test_beacon_estimation_quantizes(self):
+        net = dfl_network(n_beacons=1000)
+        # Estimated PRRs are multiples of 1/1000.
+        for e in net.edges():
+            assert (e.prr * 1000) == pytest.approx(round(e.prr * 1000), abs=1e-9)
+
+    def test_ground_truth_mode(self):
+        truth = dfl_network(estimate_with_beacons=False)
+        est = dfl_network(estimate_with_beacons=True)
+        diffs = [
+            abs(t.prr - est.prr(t.u, t.v))
+            for t in truth.edges()
+            if est.has_edge(t.u, t.v)
+        ]
+        assert any(d > 0 for d in diffs)
+
+    def test_custom_energy(self):
+        net = dfl_network(initial_energy=1234.0)
+        assert net.initial_energy(5) == 1234.0
+
+    def test_positions_attached(self, dfl):
+        assert dfl.positions is not None
+        assert dfl.positions.shape == (16, 2)

@@ -1,0 +1,148 @@
+"""Tests for repro.network.dynamics (Gilbert-Elliott, drift)."""
+
+import numpy as np
+import pytest
+
+from repro.network.dynamics import (
+    DynamicLinkSimulator,
+    GilbertElliottLink,
+    LinkDriftModel,
+)
+from repro.network.topology import random_graph
+
+
+class TestGilbertElliottLink:
+    def test_from_average_hits_target_mean(self):
+        for target in (0.5, 0.8, 0.95):
+            chain = GilbertElliottLink.from_average(target)
+            assert chain.stationary_prr == pytest.approx(target, abs=1e-9)
+
+    def test_long_run_delivery_matches_stationary(self):
+        chain = GilbertElliottLink.from_average(0.8, burst_length=10)
+        rng = np.random.default_rng(0)
+        delivered = 0
+        n = 60_000
+        for _ in range(n):
+            chain.step(rng)
+            delivered += chain.deliver(rng)
+        assert delivered / n == pytest.approx(0.8, abs=0.02)
+
+    def test_losses_are_bursty(self):
+        """BAD-state sojourns produce loss runs far beyond Bernoulli."""
+        chain = GilbertElliottLink.from_average(0.8, burst_length=50)
+        rng = np.random.default_rng(1)
+        longest_run = run = 0
+        for _ in range(40_000):
+            chain.step(rng)
+            if chain.deliver(rng):
+                run = 0
+            else:
+                run += 1
+                longest_run = max(longest_run, run)
+        # Bernoulli(0.8) losses almost never run past ~8; bursts do.
+        assert longest_run > 10
+
+    def test_perfect_average_never_leaves_good(self):
+        chain = GilbertElliottLink.from_average(0.99, prr_good=0.99)
+        assert chain.p_good_to_bad == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLink(0.1, 0.1, prr_good=0.5, prr_bad=0.9)
+        with pytest.raises(ValueError):
+            GilbertElliottLink.from_average(0.1)  # below prr_bad
+        with pytest.raises(ValueError):
+            GilbertElliottLink.from_average(0.8, burst_length=0.5)
+
+    def test_state_transitions_happen(self):
+        chain = GilbertElliottLink(0.5, 0.5)
+        rng = np.random.default_rng(2)
+        states = {chain.in_good}
+        for _ in range(100):
+            chain.step(rng)
+            states.add(chain.in_good)
+        assert states == {True, False}
+
+
+class TestLinkDriftModel:
+    def test_stays_in_bounds(self):
+        model = LinkDriftModel(sigma=0.05, floor=0.5, ceiling=0.99)
+        rng = np.random.default_rng(3)
+        prr = 0.9
+        for _ in range(2000):
+            prr = model.step(prr, rng)
+            assert 0.5 <= prr <= 0.99
+
+    def test_zero_sigma_is_identity(self):
+        model = LinkDriftModel(sigma=0.0)
+        rng = np.random.default_rng(4)
+        assert model.step(0.9, rng) == 0.9
+
+    def test_actually_moves(self):
+        model = LinkDriftModel(sigma=0.01)
+        rng = np.random.default_rng(5)
+        values = {round(model.step(0.9, rng), 6) for _ in range(10)}
+        assert len(values) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkDriftModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            LinkDriftModel(floor=0.9, ceiling=0.8)
+
+
+class TestDynamicLinkSimulator:
+    def test_step_updates_network(self):
+        net = random_graph(8, 0.7, seed=0)
+        before = {e.key: e.prr for e in net.edges()}
+        sim = DynamicLinkSimulator(
+            net, drift=LinkDriftModel(sigma=0.05), seed=1
+        )
+        sim.step()
+        after = {e.key: e.prr for e in net.edges()}
+        assert any(before[k] != after[k] for k in before)
+
+    def test_changed_links_reported_above_threshold(self):
+        net = random_graph(8, 0.7, seed=1)
+        sim = DynamicLinkSimulator(
+            net,
+            drift=LinkDriftModel(sigma=0.05),
+            change_threshold=0.02,
+            seed=2,
+        )
+        changed = sim.step()
+        for key, new in changed.items():
+            assert net.prr(*key) == pytest.approx(new)
+
+    def test_no_drift_no_changes(self):
+        net = random_graph(8, 0.7, seed=2)
+        sim = DynamicLinkSimulator(net, drift=None, burst_length=10, seed=3)
+        assert sim.step() == {}
+
+    def test_bursty_delivery_mean(self):
+        net = random_graph(6, 1.0, prr_low=0.75, prr_high=0.85, seed=3)
+        sim = DynamicLinkSimulator(net, drift=None, burst_length=5, seed=4)
+        u, v = next(iter(net.edges())).key
+        target = sim.mean_prr(u, v)
+        hits = sum(sim.deliver(u, v) for _ in range(30_000))
+        # Without chain steps the state is frozen; step it along.
+        sim2 = DynamicLinkSimulator(net.copy(), drift=None, burst_length=5, seed=5)
+        hits = 0
+        n = 30_000
+        for _ in range(n):
+            sim2.step()
+            hits += sim2.deliver(u, v)
+        assert hits / n == pytest.approx(target, abs=0.05)
+
+    def test_deliver_without_bursts_is_bernoulli_mean(self):
+        net = random_graph(6, 1.0, prr_low=0.6, prr_high=0.7, seed=6)
+        sim = DynamicLinkSimulator(net, drift=None, burst_length=None, seed=7)
+        u, v = next(iter(net.edges())).key
+        mean = sim.mean_prr(u, v)
+        hits = sum(sim.deliver(u, v) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(mean, abs=0.02)
+
+    def test_validation(self):
+        net = random_graph(6, 0.7, seed=8)
+        with pytest.raises(ValueError):
+            DynamicLinkSimulator(net, change_threshold=0.0)

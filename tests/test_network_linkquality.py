@@ -1,0 +1,164 @@
+"""Tests for repro.network.linkquality."""
+
+import numpy as np
+import pytest
+
+from repro.network.linkquality import (
+    CC2420_TX_POWER_DBM,
+    EmpiricalPRRModel,
+    LogNormalShadowingModel,
+    TxPowerSetting,
+    UniformPRRModel,
+    prr_vs_distance_curve,
+)
+
+
+class TestTxPowerSetting:
+    def test_known_levels(self):
+        assert TxPowerSetting(31).dbm == 0.0
+        assert TxPowerSetting(3).dbm == -25.0
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="PA_LEVEL"):
+            TxPowerSetting(30)
+
+    def test_monotone_in_level(self):
+        levels = sorted(CC2420_TX_POWER_DBM)
+        dbms = [CC2420_TX_POWER_DBM[l] for l in levels]
+        assert dbms == sorted(dbms)
+
+
+class TestLogNormalShadowingModel:
+    def setup_method(self):
+        self.model = LogNormalShadowingModel()
+
+    def test_path_loss_increases_with_distance(self):
+        assert self.model.path_loss_db(10.0) > self.model.path_loss_db(1.0)
+
+    def test_path_loss_at_reference(self):
+        assert self.model.path_loss_db(1.0) == pytest.approx(55.0)
+
+    def test_shadowing_draw_changes_loss(self):
+        rng = np.random.default_rng(0)
+        values = {round(self.model.path_loss_db(5.0, rng), 6) for _ in range(5)}
+        assert len(values) > 1
+
+    def test_ber_decreases_with_snr(self):
+        bers = [self.model.bit_error_rate(snr) for snr in (-10, -3, 0, 3, 10)]
+        assert bers == sorted(bers, reverse=True)
+        assert bers[-1] < 1e-9  # high SNR: essentially error-free
+
+    def test_ber_bounded(self):
+        assert 0.0 <= self.model.bit_error_rate(-100.0) <= 0.5
+
+    def test_prr_monotone_decreasing_in_distance(self):
+        prrs = [self.model.prr(d, -10.0) for d in (1.0, 5.0, 10.0, 20.0, 40.0)]
+        assert all(a >= b - 1e-12 for a, b in zip(prrs, prrs[1:]))
+
+    def test_prr_monotone_increasing_in_power(self):
+        prrs = [self.model.prr(20.0, p) for p in (-25.0, -15.0, -10.0, 0.0)]
+        assert all(b >= a - 1e-12 for a, b in zip(prrs, prrs[1:]))
+
+    def test_prr_in_unit_interval(self):
+        for d in (0.5, 5.0, 100.0):
+            assert 0.0 <= self.model.prr(d, -10.0) <= 1.0
+
+    def test_prr_level_matches_dbm(self):
+        assert self.model.prr_level(5.0, 19) == pytest.approx(
+            self.model.prr(5.0, -5.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(path_loss_exponent=0)
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(shadowing_sigma_db=-1)
+        with pytest.raises(ValueError):
+            LogNormalShadowingModel(frame_bytes=0)
+        with pytest.raises(ValueError):
+            self.model.path_loss_db(0.0)
+
+
+class TestPrrVsDistanceCurve:
+    def test_deterministic_mean_curve(self):
+        model = LogNormalShadowingModel(reference_loss_db=70.0)
+        curve = prr_vs_distance_curve(model, 15, np.array([4.0, 16.0]))
+        assert curve[0] > curve[1]
+
+    def test_trials_average_reproducible(self):
+        model = LogNormalShadowingModel(reference_loss_db=70.0)
+        a = prr_vs_distance_curve(model, 11, np.array([8.0]), n_trials=50, seed=4)
+        b = prr_vs_distance_curve(model, 11, np.array([8.0]), n_trials=50, seed=4)
+        assert np.array_equal(a, b)
+
+    def test_rejects_non_positive_distance(self):
+        model = LogNormalShadowingModel()
+        with pytest.raises(ValueError):
+            prr_vs_distance_curve(model, 19, np.array([0.0, 4.0]))
+
+    def test_fig2_shape(self):
+        """The paper's qualitative Fig. 2 claims hold for the default model."""
+        from repro.experiments.fig2_distance import FIG2_MODEL
+
+        dists = np.array([4.0, 16.0])
+        # Tx=19 stays usable at 16 ft...
+        high = prr_vs_distance_curve(FIG2_MODEL, 19, dists)
+        assert high[0] > 0.9
+        assert high[1] > 0.3
+        # ...Tx=11 collapses across the range...
+        low = prr_vs_distance_curve(FIG2_MODEL, 11, dists)
+        assert low[0] > 0.9
+        assert low[1] < 0.1
+        # ...and lower power is never better.
+        assert np.all(high >= low - 1e-12)
+
+
+class TestEmpiricalPRRModel:
+    def test_monotone_decreasing(self):
+        model = EmpiricalPRRModel()
+        prrs = [model.prr(d) for d in (1.0, 5.0, 10.0, 30.0)]
+        assert all(a >= b for a, b in zip(prrs, prrs[1:]))
+
+    def test_clipping(self):
+        model = EmpiricalPRRModel(alpha=0.5, beta=2.0, floor=0.1, ceiling=0.9)
+        assert model.prr(0.001) == 0.9
+        assert model.prr(100.0) == 0.1
+
+    def test_noise_requires_rng(self):
+        model = EmpiricalPRRModel(noise_sigma=0.05)
+        assert model.prr(5.0) == model.prr(5.0)  # deterministic without rng
+        rng = np.random.default_rng(0)
+        draws = {round(model.prr(5.0, rng=rng), 9) for _ in range(5)}
+        assert len(draws) > 1
+
+    def test_tx_power_argument_ignored(self):
+        model = EmpiricalPRRModel()
+        assert model.prr(5.0, -25.0) == model.prr(5.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalPRRModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            EmpiricalPRRModel(floor=0.9, ceiling=0.8)
+        with pytest.raises(ValueError):
+            EmpiricalPRRModel(noise_sigma=-0.1)
+
+
+class TestUniformPRRModel:
+    def test_samples_in_interval(self):
+        model = UniformPRRModel(0.95, 1.0)
+        rng = np.random.default_rng(0)
+        draws = model.sample(rng, size=1000)
+        assert np.all(draws > 0.95)
+        assert np.all(draws < 1.0)
+
+    def test_scalar_sample(self):
+        model = UniformPRRModel()
+        value = model.sample(np.random.default_rng(1))
+        assert 0.95 < value < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformPRRModel(0.99, 0.95)
+        with pytest.raises(ValueError):
+            UniformPRRModel(-0.1, 0.5)

@@ -1,0 +1,143 @@
+"""Tests for repro.network.topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.network.linkquality import EmpiricalPRRModel
+from repro.network.topology import (
+    grid_graph,
+    random_energies,
+    random_graph,
+    unit_disk_graph,
+)
+
+
+class TestRandomGraph:
+    def test_paper_defaults(self):
+        net = random_graph(seed=0)
+        assert net.n == 16
+        assert net.is_connected()
+        for e in net.edges():
+            assert 0.95 < e.prr < 1.0
+
+    def test_deterministic(self):
+        a = random_graph(12, 0.5, seed=9)
+        b = random_graph(12, 0.5, seed=9)
+        assert [e.key for e in a.edges()] == [e.key for e in b.edges()]
+        assert [e.prr for e in a.edges()] == [e.prr for e in b.edges()]
+
+    def test_edge_count_scales_with_probability(self):
+        sparse = random_graph(20, 0.2, seed=3, ensure_connected=False)
+        dense = random_graph(20, 0.9, seed=3, ensure_connected=False)
+        assert dense.n_edges > sparse.n_edges
+
+    def test_full_probability_is_complete(self):
+        net = random_graph(8, 1.0, seed=1)
+        assert net.n_edges == 8 * 7 // 2
+
+    def test_custom_prr_range(self):
+        net = random_graph(10, 0.8, prr_low=0.5, prr_high=0.6, seed=2)
+        for e in net.edges():
+            assert 0.5 < e.prr < 0.6
+
+    def test_per_node_energy_passthrough(self):
+        energies = np.linspace(1000, 2000, 10)
+        net = random_graph(10, 0.8, initial_energy=energies, seed=4)
+        assert net.initial_energy(9) == pytest.approx(2000.0)
+
+    def test_connectivity_failure_raises(self):
+        with pytest.raises(RuntimeError, match="connected"):
+            random_graph(30, 0.0, seed=0, max_attempts=3)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            random_graph(10, 1.5)
+
+
+class TestUnitDiskGraph:
+    def test_connected_and_positioned(self):
+        net = unit_disk_graph(20, 40.0, 20.0, seed=5)
+        assert net.is_connected()
+        assert net.positions is not None
+        assert net.positions.shape == (20, 2)
+
+    def test_sink_at_center(self):
+        net = unit_disk_graph(15, 50.0, 30.0, seed=6)
+        assert net.positions[0] == pytest.approx((25.0, 25.0))
+
+    def test_links_respect_range(self):
+        net = unit_disk_graph(25, 40.0, 12.0, seed=7)
+        for e in net.edges():
+            dist = np.linalg.norm(net.positions[e.u] - net.positions[e.v])
+            assert dist <= 12.0 + 1e-9
+
+    def test_min_prr_filter(self):
+        net = unit_disk_graph(
+            25, 60.0, 22.0, tx_power_dbm=-8.0, min_prr=0.3, seed=8
+        )
+        for e in net.edges():
+            assert e.prr >= 0.3
+
+    def test_empirical_model_accepted(self):
+        net = unit_disk_graph(
+            15, 30.0, 15.0, link_model=EmpiricalPRRModel(), seed=9
+        )
+        assert net.is_connected()
+
+    def test_impossible_connectivity_raises(self):
+        with pytest.raises(RuntimeError):
+            unit_disk_graph(30, 1000.0, 1.0, seed=0, max_attempts=2)
+
+
+class TestGridGraph:
+    def test_shape_and_positions(self):
+        net = grid_graph(3, 4, spacing_m=2.0, seed=1)
+        assert net.n == 12
+        assert net.positions[0] == pytest.approx((0.0, 0.0))
+        assert net.positions[11] == pytest.approx((6.0, 4.0))
+
+    def test_connected(self):
+        assert grid_graph(4, 4, seed=2).is_connected()
+
+    def test_edge_count_without_diagonals(self):
+        net = grid_graph(3, 3, include_diagonals=False, seed=3)
+        # 3x3 grid: 2*3 horizontal + 2*3 vertical = 12 edges.
+        assert net.n_edges == 12
+
+    def test_edge_count_with_diagonals(self):
+        net = grid_graph(3, 3, include_diagonals=True, seed=3)
+        # + 2 diagonals per inner square: 12 + 8 = 20.
+        assert net.n_edges == 20
+
+    def test_single_row(self):
+        net = grid_graph(1, 5, seed=4)
+        assert net.n_edges == 4
+        assert net.is_connected()
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+    def test_deterministic(self):
+        a = grid_graph(3, 3, seed=11)
+        b = grid_graph(3, 3, seed=11)
+        assert [e.prr for e in a.edges()] == [e.prr for e in b.edges()]
+
+
+class TestRandomEnergies:
+    def test_in_range(self):
+        energies = random_energies(100, 1500.0, 5000.0, seed=0)
+        assert energies.shape == (100,)
+        assert np.all(energies >= 1500.0)
+        assert np.all(energies <= 5000.0)
+
+    def test_deterministic(self):
+        a = random_energies(10, 1.0, 2.0, seed=5)
+        b = random_energies(10, 1.0, 2.0, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            random_energies(10, 5.0, 1.0)
+        with pytest.raises(ValueError):
+            random_energies(10, 0.0, 1.0)

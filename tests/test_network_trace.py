@@ -1,0 +1,121 @@
+"""Tests for repro.network.trace (beacon estimation, EWMA)."""
+
+import numpy as np
+import pytest
+
+from repro.network.model import Network
+from repro.network.trace import BeaconTraceEstimator, EWMALinkEstimator, LinkTrace
+
+
+class TestLinkTrace:
+    def test_prr_ratio(self):
+        assert LinkTrace(sent=1000, received=950).prr == 0.95
+
+    def test_zero_sent_is_zero_prr(self):
+        assert LinkTrace(sent=0, received=0).prr == 0.0
+
+    def test_received_cannot_exceed_sent(self):
+        with pytest.raises(ValueError):
+            LinkTrace(sent=10, received=11)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTrace(sent=-1, received=0)
+
+
+class TestBeaconTraceEstimator:
+    def test_collect_counts(self, tiny_network):
+        estimator = BeaconTraceEstimator(n_beacons=500)
+        traces = estimator.collect(tiny_network, seed=0)
+        assert set(traces) == {e.key for e in tiny_network.edges()}
+        for trace in traces.values():
+            assert trace.sent == 500
+            assert 0 <= trace.received <= 500
+
+    def test_estimate_close_to_ground_truth(self, tiny_network):
+        estimator = BeaconTraceEstimator(n_beacons=20_000)
+        est = estimator.estimate(tiny_network, seed=1)
+        for e in tiny_network.edges():
+            assert est.prr(e.u, e.v) == pytest.approx(e.prr, abs=0.02)
+
+    def test_estimate_has_binomial_noise(self, tiny_network):
+        estimator = BeaconTraceEstimator(n_beacons=100)
+        est = estimator.estimate(tiny_network, seed=2)
+        diffs = [
+            abs(est.prr(e.u, e.v) - e.prr)
+            for e in tiny_network.edges()
+            if est.has_edge(e.u, e.v)
+        ]
+        assert any(d > 0 for d in diffs)  # estimation is not a copy
+
+    def test_perfect_link_estimates_perfect(self):
+        net = Network(2)
+        net.add_link(0, 1, 1.0)
+        est = BeaconTraceEstimator(n_beacons=100).estimate(net, seed=3)
+        assert est.prr(0, 1) == 1.0
+
+    def test_dead_link_dropped(self):
+        net = Network(3)
+        net.add_link(0, 1, 1.0)
+        net.add_link(1, 2, 1e-9)  # will receive ~0 beacons
+        est = BeaconTraceEstimator(n_beacons=100).estimate(net, seed=4)
+        assert not est.has_edge(1, 2)
+
+    def test_structure_preserved(self, tiny_network):
+        est = BeaconTraceEstimator().estimate(tiny_network, seed=5)
+        assert est.n == tiny_network.n
+        assert np.array_equal(est.initial_energies, tiny_network.initial_energies)
+
+    def test_deterministic(self, tiny_network):
+        a = BeaconTraceEstimator().estimate(tiny_network, seed=6)
+        b = BeaconTraceEstimator().estimate(tiny_network, seed=6)
+        assert [e.prr for e in a.edges()] == [e.prr for e in b.edges()]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BeaconTraceEstimator(n_beacons=0)
+        with pytest.raises(ValueError):
+            BeaconTraceEstimator(min_prr=2.0)
+
+
+class TestEWMALinkEstimator:
+    def test_first_observation_sets_estimate(self):
+        est = EWMALinkEstimator(alpha=0.3)
+        value = est.observe(0, 1, sent=10, received=5)
+        assert value == 0.5
+        assert est.estimate(0, 1) == 0.5
+
+    def test_smoothing(self):
+        est = EWMALinkEstimator(alpha=0.5)
+        est.observe(0, 1, 10, 10)  # 1.0
+        value = est.observe(0, 1, 10, 0)  # window 0.0
+        assert value == pytest.approx(0.5)
+
+    def test_unobserved_is_none(self):
+        assert EWMALinkEstimator().estimate(0, 1) is None
+
+    def test_undirected_keying(self):
+        est = EWMALinkEstimator()
+        est.observe(3, 1, 10, 7)
+        assert est.estimate(1, 3) == pytest.approx(0.7)
+
+    def test_seed_from_network(self, tiny_network):
+        est = EWMALinkEstimator()
+        est.seed_from_network(tiny_network)
+        assert est.estimate(0, 2) == pytest.approx(0.8)
+
+    def test_observe_window_converges(self, tiny_network):
+        est = EWMALinkEstimator(alpha=0.3)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            est.observe_window(tiny_network, 2, 4, 50, seed=rng)
+        assert est.estimate(2, 4) == pytest.approx(0.7, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMALinkEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMALinkEstimator(alpha=1.5)
+        est = EWMALinkEstimator()
+        with pytest.raises(ValueError):
+            est.observe_window(Network(2), 0, 1, 0)

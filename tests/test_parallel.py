@@ -1,0 +1,51 @@
+"""Tests for repro.experiments.parallel."""
+
+import math
+
+import pytest
+
+from repro.experiments.fig8_same_energy import run_fig8
+from repro.experiments.parallel import default_workers, parallel_map
+
+
+def _square(i: int) -> int:
+    return i * i
+
+
+class TestParallelMap:
+    def test_empty(self):
+        assert parallel_map(_square, 0) == []
+
+    def test_serial_path(self):
+        assert parallel_map(_square, 5) == [0, 1, 4, 9, 16]
+
+    def test_parallel_matches_serial(self):
+        serial = parallel_map(_square, 40, n_jobs=1)
+        parallel = parallel_map(_square, 40, n_jobs=2)
+        assert parallel == serial
+
+    def test_small_inputs_stay_serial(self):
+        # Below the pool threshold the result is the same either way.
+        assert parallel_map(_square, 4, n_jobs=4) == [0, 1, 4, 9]
+
+    def test_chunking_preserves_order(self):
+        out = parallel_map(_square, 30, n_jobs=3, chunk_size=4)
+        assert out == [i * i for i in range(30)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, -1)
+        with pytest.raises(ValueError):
+            parallel_map(_square, 5, n_jobs=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestParallelExperiments:
+    def test_fig8_parallel_bitwise_identical(self):
+        serial = run_fig8(n_trials=10, n_jobs=1)
+        parallel = run_fig8(n_trials=10, n_jobs=2)
+        assert serial.costs("ira") == parallel.costs("ira")
+        assert serial.costs("aaml") == parallel.costs("aaml")
+        assert [t.lc for t in serial.trials] == [t.lc for t in parallel.trials]

@@ -1,0 +1,66 @@
+"""Tests for repro.analysis.profiling."""
+
+import time
+
+import pytest
+
+from repro.analysis.profiling import StageTimer, scaling_study
+
+
+class TestStageTimer:
+    def test_accumulates_time_and_counts(self):
+        timer = StageTimer()
+        for _ in range(3):
+            with timer.stage("work"):
+                time.sleep(0.002)
+        assert timer.counts()["work"] == 3
+        assert timer.totals()["work"] >= 0.005
+
+    def test_multiple_stages(self):
+        timer = StageTimer()
+        with timer.stage("a"):
+            pass
+        with timer.stage("b"):
+            pass
+        assert set(timer.totals()) == {"a", "b"}
+
+    def test_exception_still_recorded(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                raise RuntimeError
+        assert timer.counts()["boom"] == 1
+
+    def test_render(self):
+        timer = StageTimer()
+        with timer.stage("x"):
+            pass
+        assert "seconds" in timer.render()
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return scaling_study(sizes=(8, 12, 16))
+
+    def test_row_per_size(self, study):
+        assert [r.n_nodes for r in study.rows] == [8, 12, 16]
+
+    def test_timings_positive(self, study):
+        for r in study.rows:
+            assert r.mst_s > 0
+            assert r.aaml_s > 0
+            assert r.ira_s > 0
+            assert r.ira_lp_solves >= 1
+
+    def test_edges_grow_with_size(self, study):
+        edges = [r.n_edges for r in study.rows]
+        assert edges == sorted(edges)
+
+    def test_render(self, study):
+        out = study.render()
+        assert "IRA ms" in out and "LP solves" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaling_study(sizes=(8,), lc_divisor=0)

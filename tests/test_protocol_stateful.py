@@ -1,0 +1,82 @@
+"""Stateful fuzzing of the distributed protocol (hypothesis RuleBasedStateMachine).
+
+Random interleavings of link-degrade and link-improve events must never
+break the protocol's global invariants:
+
+* every replica holds the identical (P, D) pair;
+* the maintained structure is always a valid spanning tree of the network;
+* the tree always satisfies the lifetime bound;
+* the pair's children counts (Eq. 23) always match the materialised tree.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.ira import build_ira_tree
+from repro.network.topology import random_graph
+
+#: Lifetime bound allowing up to 3 children anywhere (loose but active).
+def _lc(net):
+    return net.energy_model.lifetime_rounds(3000.0, 3)
+
+
+class ProtocolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        from repro.distributed.protocol import DistributedProtocol
+
+        self.net = random_graph(10, 0.8, seed=424242)
+        self.lc = _lc(self.net)
+        tree = build_ira_tree(self.net, self.lc).tree
+        self.protocol = DistributedProtocol(self.net, tree, self.lc)
+        self.edge_list = [e.key for e in self.net.edges()]
+
+    @rule(idx=st.integers(0, 10_000), factor=st.floats(0.3, 0.95))
+    def degrade_link(self, idx, factor):
+        u, v = self.edge_list[idx % len(self.edge_list)]
+        new_prr = max(self.net.prr(u, v) * factor, 1e-6)
+        self.net.set_prr(u, v, new_prr)
+        self.protocol.refresh_link(u, v)
+        self.protocol.handle_link_worse(u, v)
+
+    @rule(idx=st.integers(0, 10_000), boost=st.floats(1.01, 1.5))
+    def improve_link(self, idx, boost):
+        u, v = self.edge_list[idx % len(self.edge_list)]
+        new_prr = min(self.net.prr(u, v) * boost, 0.9999)
+        self.net.set_prr(u, v, new_prr)
+        self.protocol.refresh_link(u, v)
+        self.protocol.handle_link_better(u, v)
+
+    @invariant()
+    def replicas_agree(self):
+        self.protocol.assert_consistent()
+
+    @invariant()
+    def tree_is_spanning(self):
+        tree = self.protocol.tree()  # construction validates spanning+acyclic
+        assert len(tree.edges()) == self.net.n - 1
+
+    @invariant()
+    def lifetime_bound_holds(self):
+        assert self.protocol.tree().lifetime() >= self.lc * (1 - 1e-9)
+
+    @invariant()
+    def eq23_children_counts_match(self):
+        pair = self.protocol.pair
+        tree = pair.to_tree(self.net)
+        counts = pair.children_counts()
+        for v in range(self.net.n):
+            assert counts[v] == tree.n_children(v)
+
+    @invariant()
+    def tree_cost_is_finite(self):
+        assert math.isfinite(self.protocol.tree().cost())
+
+
+TestProtocolStateful = ProtocolMachine.TestCase
+TestProtocolStateful.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)

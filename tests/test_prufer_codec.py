@@ -1,0 +1,151 @@
+"""Tests for repro.prufer.codec (Algorithms 2 and 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.random_tree import build_random_tree
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.network.topology import random_graph
+from repro.prufer.codec import (
+    children_counts_from_code,
+    code_is_valid,
+    decode,
+    encode,
+)
+
+
+def _paper_tree():
+    """The 9-node tree of the paper's Fig. 5(a)."""
+    net = Network(9)
+    edges = [(7, 0), (6, 2), (5, 8), (3, 4), (2, 4), (4, 0), (1, 8), (8, 0)]
+    for u, v in edges:
+        net.add_link(u, v, 0.9)
+    return AggregationTree.from_edges(net, edges)
+
+
+class TestPaperExample:
+    def test_encode_matches_paper(self):
+        assert encode(_paper_tree()) == [0, 2, 8, 4, 4, 0, 8]
+
+    def test_decode_matches_paper(self):
+        assert decode([0, 2, 8, 4, 4, 0, 8], 9) == [7, 6, 5, 3, 2, 4, 1, 8, 0]
+
+    def test_eq23_children_counts(self):
+        tree = _paper_tree()
+        counts = children_counts_from_code(encode(tree), 9)
+        for v in range(9):
+            assert counts[v] == tree.n_children(v)
+
+
+class TestEncode:
+    def test_two_node_tree(self):
+        net = Network(2)
+        net.add_link(0, 1, 0.9)
+        assert encode(AggregationTree(net, {1: 0})) == []
+
+    def test_path_tree(self, path_network):
+        tree = AggregationTree(path_network, {1: 0, 2: 1, 3: 2})
+        # Largest leaf is always the path end 3... encoding removes 3, 2.
+        assert encode(tree) == [2, 1]
+
+    def test_star_tree(self):
+        net = Network(5)
+        for v in range(1, 5):
+            net.add_link(0, v, 0.9)
+        tree = AggregationTree(net, {v: 0 for v in range(1, 5)})
+        assert encode(tree) == [0, 0, 0]
+
+    def test_single_node_rejected(self):
+        with pytest.raises(ValueError, match="n >= 2"):
+            encode(AggregationTree(Network(1), {}))
+
+
+class TestDecode:
+    def test_star(self):
+        assert decode([0, 0, 0], 5) == [4, 3, 2, 1, 0]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            decode([0, 0], 5)
+
+    def test_out_of_range_entry_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            decode([0, 9, 0], 5)
+
+    def test_sink_always_last(self):
+        assert decode([3, 2, 1], 5)[-1] == 0
+
+    def test_last_two_entries_form_sink_edge(self):
+        order = decode([0, 2, 8, 4, 4, 0, 8], 9)
+        assert order[-1] == 0
+        assert order[-2] == 8
+
+    def test_code_is_valid_helper(self):
+        assert code_is_valid([0, 0, 0], 5)
+        assert not code_is_valid([0, 0], 5)
+        assert not code_is_valid([0, 7, 0], 5)
+
+
+class TestChildrenCounts:
+    def test_sink_gets_plus_one(self):
+        counts = children_counts_from_code([0, 0, 0], 5)
+        assert counts[0] == 4  # 3 occurrences + 1
+
+    def test_range_checked(self):
+        with pytest.raises(ValueError):
+            children_counts_from_code([9], 5)
+
+    def test_total_children_is_n_minus_1(self):
+        counts = children_counts_from_code([0, 2, 8, 4, 4, 0, 8], 9)
+        assert sum(counts) == 8
+
+
+class TestRoundTrip:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode_identity_on_random_trees(self, seed):
+        """decode(encode(T)) reproduces T's parent map exactly."""
+        net = random_graph(12, 0.6, seed=seed % 200)
+        tree = build_random_tree(net, seed=seed)
+        code = encode(tree)
+        order = decode(code, net.n)
+        parents = {order[i]: code[i] for i in range(net.n - 2)}
+        parents[order[-2]] = order[-1]
+        assert parents == tree.parents
+
+    @given(
+        code=st.lists(st.integers(0, 9), min_size=8, max_size=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_every_code_decodes_to_a_tree(self, code):
+        """Prüfer bijection: every sequence in [0,n)^{n-2} is a tree."""
+        n = 10
+        order = decode(code, n)
+        assert sorted(order) == list(range(n))
+        parents = {order[i]: code[i] for i in range(n - 2)}
+        parents[order[-2]] = order[-1]
+        # Every non-sink node has a parent and parent pointers reach 0.
+        assert set(parents) == set(range(1, n))
+        for start in range(1, n):
+            seen = set()
+            v = start
+            while v != 0:
+                assert v not in seen, "cycle in decoded parents"
+                seen.add(v)
+                v = parents[v]
+
+    @given(code=st.lists(st.integers(0, 9), min_size=8, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_decode_encode_identity_on_codes(self, code):
+        """encode(decode(P)) == P — full bijection check."""
+        n = 10
+        order = decode(code, n)
+        parents = {order[i]: code[i] for i in range(n - 2)}
+        parents[order[-2]] = order[-1]
+        net = Network(n)
+        for v, p in parents.items():
+            net.add_link(v, p, 0.9)
+        tree = AggregationTree(net, parents)
+        assert encode(tree) == list(code)

@@ -1,0 +1,158 @@
+"""Tests for repro.prufer.updates (the (P, D) sequence pair)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.random_tree import build_random_tree
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.network.topology import random_graph
+from repro.prufer.updates import SequencePair
+
+
+def _paper_tree_and_net():
+    net = Network(9)
+    edges = [(7, 0), (6, 2), (5, 8), (3, 4), (2, 4), (4, 0), (1, 8), (8, 0)]
+    for u, v in edges:
+        net.add_link(u, v, 0.9)
+    # The update example also needs the new link (4, 7).
+    net.add_link(4, 7, 0.95)
+    return AggregationTree.from_edges(net, edges), net
+
+
+class TestConstruction:
+    def test_from_tree_is_canonical(self):
+        tree, _ = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree)
+        assert list(pair.code) == [0, 2, 8, 4, 4, 0, 8]
+        assert list(pair.order) == [7, 6, 5, 3, 2, 4, 1, 8, 0]
+
+    def test_from_parent_map(self):
+        tree, _ = _paper_tree_and_net()
+        pair = SequencePair.from_parent_map(tree.parents, 9)
+        assert pair.parent_map() == tree.parents
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sink"):
+            SequencePair(code=(0,), order=(2, 0, 1))
+        with pytest.raises(ValueError, match="permutation"):
+            SequencePair(code=(0,), order=(2, 2, 0))
+        with pytest.raises(ValueError, match="length"):
+            SequencePair(code=(0, 0), order=(2, 1, 0))
+        with pytest.raises(ValueError, match="at least 2"):
+            SequencePair(code=(), order=(0,))
+
+    def test_from_parent_map_rejects_disconnected(self):
+        with pytest.raises(ValueError, match="connect"):
+            SequencePair.from_parent_map({1: 2, 2: 1}, 3)
+
+
+class TestViews:
+    def test_parent_map(self):
+        tree, _ = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree)
+        assert pair.parent_map() == tree.parents
+
+    def test_children_counts_match_tree(self):
+        tree, _ = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree)
+        counts = pair.children_counts()
+        for v in range(9):
+            assert counts[v] == tree.n_children(v)
+
+    def test_to_tree_roundtrip(self):
+        tree, net = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree)
+        assert pair.to_tree(net) == tree
+
+    def test_component_is_subtree(self):
+        tree, _ = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree)
+        assert pair.component(4) == {6, 3, 2, 4}
+        assert pair.component(8) == {5, 1, 8}
+        assert pair.component(7) == {7}
+
+    def test_component_of_sink_rejected(self):
+        tree, _ = _paper_tree_and_net()
+        with pytest.raises(ValueError, match="sink"):
+            SequencePair.from_tree(tree).component(0)
+
+
+class TestChangeParent:
+    def test_paper_example_splice(self):
+        """Section VI-B1's worked example: node 4 moves from 0 to 7."""
+        tree, _ = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree)
+        updated = pair.change_parent(4, 7)
+        assert list(updated.order) == [6, 3, 2, 4, 7, 5, 1, 8, 0]
+        assert list(updated.code) == [2, 4, 4, 7, 0, 8, 8]
+        assert updated.parent_map()[4] == 7
+
+    def test_edge_set_updated_correctly(self):
+        tree, net = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree).change_parent(4, 7)
+        new_tree = pair.to_tree(net)
+        assert new_tree.parent(4) == 7
+        # All other parents unchanged.
+        for v, p in tree.parents.items():
+            if v != 4:
+                assert new_tree.parent(v) == p
+
+    def test_sink_cannot_move(self):
+        tree, _ = _paper_tree_and_net()
+        with pytest.raises(ValueError, match="sink"):
+            SequencePair.from_tree(tree).change_parent(0, 4)
+
+    def test_cycle_rejected(self):
+        tree, _ = _paper_tree_and_net()
+        pair = SequencePair.from_tree(tree)
+        with pytest.raises(ValueError, match="subtree"):
+            pair.change_parent(4, 6)  # 6 is inside 4's subtree
+
+    def test_self_parent_rejected(self):
+        tree, _ = _paper_tree_and_net()
+        with pytest.raises(ValueError):
+            SequencePair.from_tree(tree).change_parent(4, 4)
+
+    def test_tail_fixup_when_component_swallows_sink_child(self):
+        # Path 0-1-2-3: move 1 (whose subtree is {1,2,3} and includes the
+        # old D's second-to-last entry) to hang off 0 via another link.
+        net = Network(4)
+        net.add_link(0, 1, 0.9)
+        net.add_link(1, 2, 0.9)
+        net.add_link(2, 3, 0.9)
+        net.add_link(0, 3, 0.9)
+        tree = AggregationTree(net, {1: 0, 2: 1, 3: 2})
+        pair = SequencePair.from_tree(tree)
+        updated = pair.change_parent(3, 0)
+        assert updated.order[-1] == 0
+        assert updated.parent_map()[updated.order[-2]] == 0
+        new_tree = updated.to_tree(net)
+        assert new_tree.parent(3) == 0
+
+    @given(seed=st.integers(0, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_splice_equals_direct_mutation(self, seed):
+        """change_parent on the pair == with_parent on the tree."""
+        net = random_graph(10, 0.7, seed=seed % 100)
+        tree = build_random_tree(net, seed=seed)
+        pair = SequencePair.from_tree(tree)
+        # Pick a movable (child, new_parent) combination deterministically.
+        for child in range(1, net.n):
+            subtree = tree.subtree(child)
+            candidates = [
+                p for p in net.neighbors(child)
+                if p not in subtree and p != tree.parent(child)
+            ]
+            if candidates:
+                new_parent = candidates[seed % len(candidates)]
+                updated = pair.change_parent(child, new_parent)
+                expected = tree.with_parent(child, new_parent)
+                assert updated.parent_map() == expected.parents
+                # Pair invariants survive the splice.
+                assert updated.order[-1] == 0
+                counts = updated.children_counts()
+                for v in range(net.n):
+                    assert counts[v] == expected.n_children(v)
+                return

@@ -1,0 +1,63 @@
+"""Meta-tests: the public API surface is importable and consistent."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.distributed",
+    "repro.experiments",
+    "repro.network",
+    "repro.prufer",
+    "repro.simulation",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_names_resolve(package):
+    """Every name in __all__ is an actual attribute."""
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__")
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_is_sorted_unique(package):
+    module = importlib.import_module(package)
+    names = list(module.__all__)
+    assert len(names) == len(set(names)), f"duplicates in {package}.__all__"
+
+
+def test_every_submodule_imports():
+    """No module in the tree has import-time errors."""
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        if not hasattr(pkg, "__path__"):
+            continue
+        for info in pkgutil.iter_modules(pkg.__path__):
+            importlib.import_module(f"{pkg_name}.{info.name}")
+
+
+def test_every_public_callable_has_docstring():
+    """Every public item exported at the top level is documented."""
+    for name in repro.__all__:
+        if name.startswith("__"):
+            continue
+        obj = getattr(repro, name)
+        if callable(obj) or isinstance(obj, type):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+def test_version_is_pep440ish():
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts[:2])

@@ -1,0 +1,67 @@
+"""Regression pins: the canonical numbers documented in EXPERIMENTS.md.
+
+These tests freeze the exact headline values of the canonical (seeded)
+instances.  If an intentional change moves them, update EXPERIMENTS.md and
+these pins together — that is the point: documented numbers and code cannot
+drift apart silently.
+"""
+
+import pytest
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.mst import build_mst_tree
+from repro.core.ira import build_ira_tree
+from repro.core.tree import PAPER_COST_SCALE, AggregationTree
+
+
+class TestFig7CanonicalNumbers:
+    """The Fig. 7 table in EXPERIMENTS.md, to one decimal."""
+
+    @pytest.fixture(scope="class")
+    def parts(self, dfl, dfl_aaml):
+        aaml_tree = AggregationTree(dfl, dfl_aaml.tree.parents)
+        mst = build_mst_tree(dfl)
+        return dfl, dfl_aaml, aaml_tree, mst
+
+    def test_aaml_pin(self, parts):
+        _, _, aaml_tree, _ = parts
+        assert aaml_tree.cost() * PAPER_COST_SCALE == pytest.approx(554.6, abs=0.1)
+        assert aaml_tree.reliability() == pytest.approx(0.6809, abs=1e-3)
+
+    def test_mst_pin(self, parts):
+        *_, mst = parts
+        assert mst.cost() * PAPER_COST_SCALE == pytest.approx(60.7, abs=0.1)
+        assert mst.reliability() == pytest.approx(0.9588, abs=1e-3)
+
+    def test_ira_strict_pin(self, parts):
+        dfl, dfl_aaml, _, _ = parts
+        result = build_ira_tree(dfl, dfl_aaml.lifetime)
+        assert result.tree.cost() * PAPER_COST_SCALE == pytest.approx(
+            88.4, abs=0.5
+        )
+        assert result.tree.reliability() == pytest.approx(0.9406, abs=2e-3)
+
+    def test_ira_relaxed_reaches_mst(self, parts):
+        dfl, dfl_aaml, _, mst = parts
+        result = build_ira_tree(dfl, dfl_aaml.lifetime / 2.5)
+        assert result.tree.cost() == pytest.approx(mst.cost(), abs=1e-9)
+
+    def test_l_aaml_pin(self, parts):
+        _, dfl_aaml, _, _ = parts
+        # 3000 J at one child: 3000 / 2.8e-4 rounds.
+        assert dfl_aaml.lifetime == pytest.approx(3000.0 / 2.8e-4, rel=1e-9)
+
+
+class TestHeadlineClaims:
+    def test_reliability_improvement_at_same_lifetime(self, dfl, dfl_aaml):
+        """EXPERIMENTS.md reports +38% (paper: +24%)."""
+        aaml_tree = AggregationTree(dfl, dfl_aaml.tree.parents)
+        ira = build_ira_tree(dfl, dfl_aaml.lifetime)
+        gain = ira.tree.reliability() / aaml_tree.reliability() - 1.0
+        assert gain == pytest.approx(0.38, abs=0.02)
+
+    def test_ira_cost_fraction_of_aaml(self, dfl, dfl_aaml):
+        aaml_tree = AggregationTree(dfl, dfl_aaml.tree.parents)
+        ira = build_ira_tree(dfl, dfl_aaml.lifetime)
+        fraction = ira.tree.cost() / aaml_tree.cost()
+        assert fraction < 0.2  # paper: 18%; ours ~16%

@@ -1,0 +1,178 @@
+"""Tests for repro.simulation.events (DES kernel + TDMA collection)."""
+
+import pytest
+
+from repro.core.local_search import bfs_tree
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.simulation.events import EventQueue, TDMACollectionSimulator
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        log = []
+        q.schedule(2.0, lambda: log.append("b"))
+        q.schedule(1.0, lambda: log.append("a"))
+        q.schedule(3.0, lambda: log.append("c"))
+        q.run()
+        assert log == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_at_equal_times(self):
+        q = EventQueue()
+        log = []
+        for tag in ("first", "second", "third"):
+            q.schedule(1.0, lambda t=tag: log.append(t))
+        q.run()
+        assert log == ["first", "second", "third"]
+
+    def test_callbacks_can_schedule(self):
+        q = EventQueue()
+        log = []
+
+        def chain():
+            log.append(q.now)
+            if q.now < 3:
+                q.schedule(1.0, chain)
+
+        q.schedule(1.0, chain)
+        q.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_run_until(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda: log.append(1))
+        q.schedule(5.0, lambda: log.append(5))
+        executed = q.run(until=2.0)
+        assert executed == 1
+        assert log == [1]
+        assert q.now == 2.0
+        q.run()
+        assert log == [1, 5]
+
+    def test_absolute_scheduling(self):
+        q = EventQueue()
+        log = []
+        q.at(4.0, lambda: log.append(4))
+        q.run()
+        assert q.now == 4.0
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError, match="past"):
+            q.at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1.0, lambda: None)
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule(1.0, forever)
+
+        q.schedule(1.0, forever)
+        executed = q.run(max_events=10)
+        assert executed == 10
+
+    def test_processed_counter(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        q.run()
+        assert q.processed == 2
+
+
+@pytest.fixture
+def star_tree():
+    net = Network(4)
+    net.add_link(0, 1, 1.0)
+    net.add_link(0, 2, 1.0)
+    net.add_link(0, 3, 1.0)
+    return AggregationTree(net, {1: 0, 2: 0, 3: 0})
+
+
+@pytest.fixture
+def path_tree(path_network):
+    return bfs_tree(path_network)
+
+
+class TestTDMACollection:
+    def test_latency_equals_depth_slots(self, star_tree, path_tree):
+        star_sim = TDMACollectionSimulator(star_tree, slot_duration=0.1, seed=0)
+        star_sim.run_rounds(5)
+        assert star_sim.mean_latency() == pytest.approx(0.1)
+
+        path_sim = TDMACollectionSimulator(path_tree, slot_duration=0.1, seed=0)
+        path_sim.run_rounds(5)
+        assert path_sim.mean_latency() == pytest.approx(0.3)
+
+    def test_reliability_converges_to_q(self, path_tree):
+        sim = TDMACollectionSimulator(path_tree, slot_duration=0.01, seed=1)
+        sim.run_rounds(3000)
+        assert sim.empirical_reliability() == pytest.approx(
+            path_tree.reliability(), abs=0.03
+        )
+
+    def test_perfect_star_always_complete(self, star_tree):
+        sim = TDMACollectionSimulator(star_tree, seed=2)
+        records = sim.run_rounds(50)
+        assert all(r.complete for r in records)
+
+    def test_rounds_are_periodic(self, path_tree):
+        sim = TDMACollectionSimulator(
+            path_tree, slot_duration=0.01, period=0.1, seed=3
+        )
+        records = sim.run_rounds(4)
+        starts = [r.start_time for r in records]
+        assert starts == pytest.approx([0.0, 0.1, 0.2, 0.3])
+
+    def test_consecutive_run_calls_continue_clock(self, path_tree):
+        sim = TDMACollectionSimulator(path_tree, slot_duration=0.01, seed=4)
+        first = sim.run_rounds(3)
+        second = sim.run_rounds(3)
+        assert second[0].start_time >= first[-1].end_time - 1e-12
+        assert [r.index for r in first + second] == list(range(6))
+
+    def test_energy_matches_round_engine(self, path_tree):
+        sim = TDMACollectionSimulator(path_tree, seed=5)
+        sim.run_rounds(10)
+        model = path_tree.network.energy_model
+        spent = path_tree.network.initial_energies - sim.ledger.remaining
+        for v in range(path_tree.n):
+            expected = 10 * model.round_energy(path_tree.n_children(v))
+            assert spent[v] == pytest.approx(expected)
+
+    def test_too_short_period_rejected(self, path_tree):
+        with pytest.raises(ValueError, match="period"):
+            TDMACollectionSimulator(path_tree, slot_duration=0.1, period=0.1)
+
+    def test_bad_round_count(self, star_tree):
+        sim = TDMACollectionSimulator(star_tree)
+        with pytest.raises(ValueError):
+            sim.run_rounds(0)
+        with pytest.raises(ValueError):
+            sim.empirical_reliability()
+
+    def test_deep_trees_pay_latency(self):
+        """The lifetime/latency trade-off: path trees are slow."""
+        net = Network(6)
+        for u in range(6):
+            for v in range(u + 1, 6):
+                net.add_link(u, v, 0.99)
+        star = AggregationTree(net, {v: 0 for v in range(1, 6)})
+        path = AggregationTree(net, {1: 0, 2: 1, 3: 2, 4: 3, 5: 4})
+        star_sim = TDMACollectionSimulator(star, slot_duration=0.01, seed=6)
+        path_sim = TDMACollectionSimulator(path, slot_duration=0.01, seed=6)
+        star_sim.run_rounds(3)
+        path_sim.run_rounds(3)
+        assert path_sim.mean_latency() == pytest.approx(
+            5 * star_sim.mean_latency()
+        )
+        # ... but the path's lifetime is 3x the star hub's.
+        assert path.lifetime() > star.lifetime()

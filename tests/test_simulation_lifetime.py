@@ -1,0 +1,74 @@
+"""Tests for repro.simulation.lifetime (run-to-death measurement)."""
+
+import math
+
+import pytest
+
+from repro.core.local_search import bfs_tree
+from repro.core.tree import AggregationTree
+from repro.network.energy import EnergyModel
+from repro.network.model import Network
+from repro.simulation.lifetime import (
+    analytic_lifetime_rounds,
+    simulate_lifetime,
+)
+
+
+def _small_budget_tree(rounds_leaf=50, rounds_hub=10):
+    """Tree 0 <- 1 <- {2, 3} where node 1 dies after ~rounds_hub rounds."""
+    model = EnergyModel(tx=1.0, rx=1.0)
+    # Node 1 has 2 children: drain 3 J/round.  Node energies sized so node 1
+    # is the bottleneck by a wide margin.
+    energies = [1000.0, rounds_hub * 3.0, rounds_leaf * 1.0, 1000.0]
+    net = Network(4, initial_energy=energies, energy_model=model)
+    net.add_link(0, 1, 1.0)
+    net.add_link(1, 2, 1.0)
+    net.add_link(1, 3, 1.0)
+    return AggregationTree(net, {1: 0, 2: 1, 3: 1})
+
+
+class TestAnalytic:
+    def test_floor_of_eq1(self):
+        tree = _small_budget_tree()
+        assert analytic_lifetime_rounds(tree) == math.floor(tree.lifetime())
+
+    def test_exact_division(self):
+        tree = _small_budget_tree(rounds_hub=10)
+        assert analytic_lifetime_rounds(tree) == 10
+
+
+class TestSimulateLifetime:
+    def test_pure_analytic_path(self):
+        tree = _small_budget_tree()
+        result = simulate_lifetime(tree)
+        assert result.rounds == result.predicted_rounds == 10
+        assert result.first_dead == 1
+
+    def test_executed_rounds_match_analytic(self):
+        tree = _small_budget_tree()
+        for budget in (0, 3, 10, 50):
+            result = simulate_lifetime(tree, max_rounds=budget, seed=1)
+            assert result.rounds == 10, f"budget {budget}"
+            assert result.first_dead == 1
+
+    def test_losses_do_not_change_drain(self):
+        """Under the paper's model a lost packet costs the same energy."""
+        model = EnergyModel(tx=1.0, rx=1.0)
+        net = Network(2, initial_energy=[100.0, 20.0], energy_model=model)
+        net.add_link(0, 1, 0.3)  # very lossy
+        tree = AggregationTree(net, {1: 0})
+        result = simulate_lifetime(tree, max_rounds=10, seed=2)
+        assert result.rounds == result.predicted_rounds == 20
+
+    def test_bottleneck_identification(self):
+        tree = _small_budget_tree(rounds_leaf=5, rounds_hub=10)
+        result = simulate_lifetime(tree)
+        assert result.first_dead == 2  # the starving leaf dies first
+        assert result.rounds == 5
+
+    def test_real_scale_dfl_numbers(self, dfl):
+        """3000 J + TelosB constants: lifetimes in the millions of rounds."""
+        tree = bfs_tree(dfl)
+        result = simulate_lifetime(tree, max_rounds=100, seed=3)
+        assert result.rounds == result.predicted_rounds
+        assert result.rounds > 1_000_000

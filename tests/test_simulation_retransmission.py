@@ -1,0 +1,75 @@
+"""Tests for repro.simulation.retransmission (Fig. 1 regime)."""
+
+import pytest
+
+from repro.core.local_search import bfs_tree
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.simulation.retransmission import (
+    average_packets,
+    expected_packets_per_round,
+    simulate_retransmission_round,
+)
+
+
+@pytest.fixture
+def uniform_tree():
+    """3-link path with uniform PRR 0.5 -> ETX 2 per link."""
+    net = Network(4)
+    net.add_link(0, 1, 0.5)
+    net.add_link(1, 2, 0.5)
+    net.add_link(2, 3, 0.5)
+    return bfs_tree(net)
+
+
+class TestClosedForm:
+    def test_sum_of_etx(self, uniform_tree):
+        assert expected_packets_per_round(uniform_tree) == pytest.approx(6.0)
+
+    def test_perfect_links_need_n_minus_1(self):
+        net = Network(3)
+        net.add_link(0, 1, 1.0)
+        net.add_link(1, 2, 1.0)
+        assert expected_packets_per_round(bfs_tree(net)) == pytest.approx(2.0)
+
+    def test_paper_fig1_endpoints(self):
+        """16 nodes: 15 packets at q=1.0, 150 at q=0.1 (paper's numbers)."""
+        for q, expected in ((1.0, 15.0), (0.1, 150.0)):
+            net = Network(16)
+            for v in range(1, 16):
+                net.add_link(v - 1, v, q)
+            tree = bfs_tree(net)
+            assert expected_packets_per_round(tree) == pytest.approx(expected)
+
+
+class TestSimulation:
+    def test_each_link_attempts_at_least_once(self, uniform_tree):
+        outcome = simulate_retransmission_round(uniform_tree, seed=0)
+        assert len(outcome.per_link_attempts) == 3
+        assert all(a >= 1 for a in outcome.per_link_attempts)
+        assert outcome.packets == sum(outcome.per_link_attempts)
+
+    def test_perfect_links_exactly_once(self):
+        net = Network(3)
+        net.add_link(0, 1, 1.0)
+        net.add_link(1, 2, 1.0)
+        outcome = simulate_retransmission_round(bfs_tree(net), seed=1)
+        assert outcome.packets == 2
+
+    def test_average_converges_to_expectation(self, uniform_tree):
+        measured = average_packets(uniform_tree, 3000, seed=2)
+        assert measured == pytest.approx(6.0, rel=0.1)
+
+    def test_deterministic_given_seed(self, uniform_tree):
+        a = simulate_retransmission_round(uniform_tree, seed=5)
+        b = simulate_retransmission_round(uniform_tree, seed=5)
+        assert a == b
+
+    def test_rejects_bad_round_count(self, uniform_tree):
+        with pytest.raises(ValueError):
+            average_packets(uniform_tree, 0)
+
+    def test_single_node_tree_needs_no_packets(self):
+        tree = AggregationTree(Network(1), {})
+        assert expected_packets_per_round(tree) == 0.0
+        assert simulate_retransmission_round(tree, seed=0).packets == 0

@@ -1,0 +1,109 @@
+"""Tests for repro.simulation.rounds (aggregation-round engine)."""
+
+import numpy as np
+import pytest
+
+from repro.core.local_search import bfs_tree
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+from repro.simulation.rounds import AggregationSimulator, EnergyLedger
+
+
+@pytest.fixture
+def perfect_tree():
+    net = Network(4)
+    net.add_link(0, 1, 1.0)
+    net.add_link(1, 2, 1.0)
+    net.add_link(1, 3, 1.0)
+    return AggregationTree(net, {1: 0, 2: 1, 3: 1})
+
+
+@pytest.fixture
+def lossy_tree(path_network):
+    return bfs_tree(path_network)  # path 0-1-2-3, prr 0.9/0.8/0.7
+
+
+class TestRoundOutcome:
+    def test_perfect_links_always_complete(self, perfect_tree):
+        sim = AggregationSimulator(perfect_tree, seed=0)
+        for _ in range(20):
+            outcome = sim.run_round()
+            assert outcome.complete
+            assert outcome.delivered == frozenset(range(4))
+            assert outcome.losses == ()
+            assert outcome.delivery_ratio == 1.0
+
+    def test_transmissions_one_per_non_sink(self, perfect_tree):
+        outcome = AggregationSimulator(perfect_tree, seed=1).run_round()
+        assert outcome.transmissions == 3
+
+    def test_loss_drops_whole_subtree(self):
+        # 0 <- 1 <- 2: if (0,1) fails nothing but the sink is delivered.
+        net = Network(3)
+        net.add_link(0, 1, 1e-6)  # essentially always fails
+        net.add_link(1, 2, 1.0)
+        tree = AggregationTree(net, {1: 0, 2: 1})
+        outcome = AggregationSimulator(tree, seed=2).run_round()
+        assert outcome.delivered == frozenset({0})
+        assert not outcome.complete
+        assert (0, 1) in outcome.losses
+        assert outcome.delivery_ratio == pytest.approx(1 / 3)
+
+    def test_sink_always_delivered(self, lossy_tree):
+        sim = AggregationSimulator(lossy_tree, seed=3)
+        for _ in range(30):
+            assert 0 in sim.run_round().delivered
+
+    def test_deterministic_given_seed(self, lossy_tree):
+        a = [AggregationSimulator(lossy_tree, seed=7).run_round().delivered
+             for _ in range(1)]
+        b = [AggregationSimulator(lossy_tree, seed=7).run_round().delivered
+             for _ in range(1)]
+        assert a == b
+
+
+class TestReliabilityEstimation:
+    def test_converges_to_q_t(self, lossy_tree):
+        sim = AggregationSimulator(lossy_tree, seed=4)
+        estimate = sim.estimate_reliability(4000)
+        assert estimate == pytest.approx(lossy_tree.reliability(), abs=0.03)
+
+    def test_single_node_tree(self):
+        tree = AggregationTree(Network(1), {})
+        sim = AggregationSimulator(tree, seed=5)
+        assert sim.estimate_reliability(10) == 1.0
+
+    def test_rejects_bad_round_count(self, lossy_tree):
+        with pytest.raises(ValueError):
+            AggregationSimulator(lossy_tree).estimate_reliability(0)
+
+
+class TestEnergyLedger:
+    def test_round_debits_tx_and_rx(self, perfect_tree):
+        net = perfect_tree.network
+        ledger = EnergyLedger.for_tree(perfect_tree)
+        AggregationSimulator(perfect_tree, seed=6).run_round(ledger)
+        model = net.energy_model
+        spent = net.initial_energies - ledger.remaining
+        # Eq. 1 drain: every node pays Tx plus Rx per child.
+        assert spent[2] == pytest.approx(model.tx)
+        assert spent[3] == pytest.approx(model.tx)
+        assert spent[1] == pytest.approx(model.tx + 2 * model.rx)
+        assert spent[0] == pytest.approx(model.tx + model.rx)
+
+    def test_receiver_pays_even_on_loss(self):
+        net = Network(2)
+        net.add_link(0, 1, 1e-9)
+        tree = AggregationTree(net, {1: 0})
+        ledger = EnergyLedger.for_tree(tree)
+        AggregationSimulator(tree, seed=7).run_round(ledger)
+        spent_sink = net.initial_energy(0) - ledger.remaining[0]
+        assert spent_sink == pytest.approx(
+            net.energy_model.rx + net.energy_model.tx
+        )
+
+    def test_alive_and_first_dead(self):
+        ledger = EnergyLedger(remaining=np.array([1.0, 0.0, 2.0]))
+        assert not ledger.alive()
+        assert ledger.first_dead() == 1
+        assert EnergyLedger(remaining=np.array([1.0, 1.0])).first_dead() is None

@@ -1,0 +1,190 @@
+"""Cross-size / cross-regime stress tests for the core pipeline.
+
+Broader-than-unit sweeps that pin the library's global invariants over many
+instance shapes: sparse and dense graphs, homogeneous and skewed energies,
+loose and extreme lifetime bounds, larger node counts.
+"""
+
+import pytest
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.baselines.mst import build_mst_tree
+from repro.core.errors import InfeasibleLifetimeError
+from repro.core.ira import build_ira_tree
+from repro.core.lifetime import lifetime_with_children
+from repro.distributed.protocol import DistributedProtocol
+from repro.network.topology import random_energies, random_graph, unit_disk_graph
+from repro.prufer.updates import SequencePair
+
+PERTURB_SLACK = 1e-3
+
+
+class TestIRAAcrossShapes:
+    @pytest.mark.parametrize("n_nodes", [4, 8, 16, 24])
+    @pytest.mark.parametrize("p", [0.3, 0.7])
+    def test_invariants_hold(self, n_nodes, p):
+        net = random_graph(n_nodes, p, seed=n_nodes * 100 + int(p * 10))
+        aaml = build_aaml_tree(net)
+        mst = build_mst_tree(net)
+        result = build_ira_tree(net, aaml.lifetime)
+        tree = result.tree
+        assert len(tree.edges()) == n_nodes - 1
+        assert result.lifetime_satisfied
+        assert tree.lifetime() >= aaml.lifetime * (1 - 1e-9)
+        assert mst.cost() - PERTURB_SLACK <= tree.cost()
+        assert tree.cost() <= aaml.tree.cost() + PERTURB_SLACK
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_skewed_energies(self, seed):
+        energies = random_energies(16, 200.0, 6000.0, seed=seed)
+        net = random_graph(16, 0.6, initial_energy=energies, seed=seed)
+        aaml = build_aaml_tree(net)
+        result = build_ira_tree(net, aaml.lifetime)
+        assert result.lifetime_satisfied
+        # Low-energy nodes must carry few children.
+        for v in net.nodes:
+            bound = lifetime_with_children(
+                net, v, result.tree.n_children(v)
+            )
+            assert bound >= aaml.lifetime * (1 - 1e-9)
+
+    def test_unit_disk_field(self):
+        net = unit_disk_graph(
+            30, 50.0, 20.0, tx_power_dbm=-8.0, seed=3, max_attempts=100
+        )
+        aaml = build_aaml_tree(net)
+        result = build_ira_tree(net, 0.9 * aaml.lifetime)
+        assert result.lifetime_satisfied
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_extremely_loose_bound_equals_mst(self, seed):
+        net = random_graph(14, 0.6, seed=500 + seed)
+        result = build_ira_tree(net, 1e-6)
+        assert result.tree.cost() == pytest.approx(
+            build_mst_tree(net).cost(), abs=PERTURB_SLACK
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_just_past_optimum_is_infeasible(self, seed):
+        net = random_graph(12, 0.7, seed=600 + seed)
+        aaml = build_aaml_tree(net)
+        # AAML is near-optimal; 3x its lifetime exceeds any leaf's budget.
+        with pytest.raises(InfeasibleLifetimeError):
+            build_ira_tree(net, aaml.lifetime * 3)
+
+
+class TestProtocolAcrossShapes:
+    @pytest.mark.parametrize("n_nodes", [6, 12, 20])
+    def test_full_degradation_sweep(self, n_nodes):
+        """Degrade every tree link once; all invariants must survive."""
+        net = random_graph(n_nodes, 0.7, seed=n_nodes)
+        lc = lifetime_with_children(net, 0, 3)
+        tree = build_ira_tree(net, lc).tree
+        protocol = DistributedProtocol(net, tree, lc)
+        for u, v in list(tree.edges()):
+            net.set_prr(u, v, max(net.prr(u, v) * 0.4, 1e-6))
+            protocol.refresh_link(u, v)
+            protocol.handle_link_worse(u, v)
+            protocol.assert_consistent()
+        maintained = protocol.tree()
+        assert maintained.lifetime() >= lc * (1 - 1e-9)
+        assert len(maintained.edges()) == n_nodes - 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pair_tree_roundtrip_through_many_updates(self, seed):
+        net = random_graph(14, 0.8, seed=700 + seed)
+        lc = lifetime_with_children(net, 0, 4)
+        tree = build_ira_tree(net, lc).tree
+        protocol = DistributedProtocol(net, tree, lc)
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        edges = [e.key for e in net.edges()]
+        for _ in range(30):
+            u, v = edges[int(rng.integers(0, len(edges)))]
+            if rng.random() < 0.5:
+                net.set_prr(u, v, max(net.prr(u, v) * 0.7, 1e-6))
+                protocol.refresh_link(u, v)
+                protocol.handle_link_worse(u, v)
+            else:
+                net.set_prr(u, v, min(net.prr(u, v) * 1.2, 0.9999))
+                protocol.refresh_link(u, v)
+                protocol.handle_link_better(u, v)
+        protocol.assert_consistent()
+        pair = protocol.pair
+        rebuilt = SequencePair.from_tree(pair.to_tree(net))
+        assert rebuilt.parent_map() == pair.parent_map()
+
+
+class TestDeterminism:
+    """Whole-pipeline determinism: identical inputs -> identical outputs."""
+
+    def test_ira_is_deterministic(self):
+        net1 = random_graph(16, 0.7, seed=42)
+        net2 = random_graph(16, 0.7, seed=42)
+        lc = build_aaml_tree(net1).lifetime
+        a = build_ira_tree(net1, lc)
+        b = build_ira_tree(net2, lc)
+        assert a.tree.parents == b.tree.parents
+        assert a.iterations == b.iterations
+
+    def test_experiments_are_seed_stable(self):
+        from repro.experiments import run_fig7
+
+        a = run_fig7()
+        b = run_fig7()
+        assert [e.cost for e in a.entries] == [e.cost for e in b.entries]
+
+
+class TestNodeFailure:
+    """Node death handled through the existing link-worse machinery.
+
+    A dead node's radio is gone: every incident link collapses.  Children
+    re-parent away via the protocol; the dead node remains in the labelled
+    tree as a leaf (the Prüfer format needs all labels) but carries no
+    traffic once nothing hangs under it.
+    """
+
+    def _kill_node(self, net, protocol, victim):
+        for nbr in list(net.neighbors(victim)):
+            net.set_prr(victim, nbr, 1e-9)
+            protocol.refresh_link(victim, nbr)
+            protocol.handle_link_worse(victim, nbr)
+
+    def test_children_evacuate_a_dead_relay(self):
+        net = random_graph(12, 0.8, seed=900)
+        lc = lifetime_with_children(net, 0, 4)
+        tree = build_ira_tree(net, lc).tree
+        protocol = DistributedProtocol(net, tree, lc)
+        # Pick a relay with children that is not the sink.
+        victim = max(
+            (v for v in range(1, net.n)),
+            key=lambda v: protocol.tree().n_children(v),
+        )
+        if protocol.tree().n_children(victim) == 0:
+            pytest.skip("no non-sink relay in this instance")
+        self._kill_node(net, protocol, victim)
+        protocol.assert_consistent()
+        after = protocol.tree()
+        # Every child that had an alternative parent has left the victim.
+        for child in after.children(victim):
+            alternatives = [
+                p for p in net.neighbors(child)
+                if p != victim and net.prr(child, p) > 1e-6
+            ]
+            assert not alternatives, (
+                f"child {child} stayed under dead node despite alternatives"
+            )
+        assert after.lifetime() >= lc * (1 - 1e-9)
+
+    def test_dead_leaf_is_harmless(self):
+        net = random_graph(10, 0.8, seed=901)
+        lc = lifetime_with_children(net, 0, 4)
+        tree = build_ira_tree(net, lc).tree
+        protocol = DistributedProtocol(net, tree, lc)
+        victim = protocol.tree().leaves()[-1]
+        if victim == 0:
+            pytest.skip("sink is a leaf in this instance")
+        self._kill_node(net, protocol, victim)
+        protocol.assert_consistent()
+        assert len(protocol.tree().edges()) == net.n - 1

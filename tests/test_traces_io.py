@@ -1,0 +1,127 @@
+"""Tests for repro.network.traces_io (churn trace record/replay)."""
+
+import pytest
+
+from repro.core.ira import build_ira_tree
+from repro.distributed.protocol import DistributedProtocol
+from repro.network.dynamics import DynamicLinkSimulator, LinkDriftModel
+from repro.network.topology import random_graph
+from repro.network.traces_io import ChurnEvent, ChurnTrace, record_churn_trace
+
+
+@pytest.fixture
+def net():
+    return random_graph(8, 0.8, seed=12)
+
+
+@pytest.fixture
+def trace(net):
+    dynamics = DynamicLinkSimulator(
+        net.copy(), drift=LinkDriftModel(sigma=0.03), seed=4
+    )
+    return record_churn_trace(net, 20, dynamics=dynamics)
+
+
+class TestRecord:
+    def test_initial_untouched(self, net):
+        before = {e.key: e.prr for e in net.edges()}
+        record_churn_trace(net, 10, seed=1)
+        after = {e.key: e.prr for e in net.edges()}
+        assert before == after
+
+    def test_events_reference_known_links(self, net, trace):
+        for event in trace.events:
+            assert net.has_edge(event.u, event.v)
+
+    def test_events_ordered_by_epoch(self, trace):
+        epochs = [e.epoch for e in trace.events]
+        assert epochs == sorted(epochs)
+
+    def test_some_churn_recorded(self, trace):
+        assert len(trace.events) > 0
+
+    def test_validation(self, net):
+        with pytest.raises(ValueError):
+            record_churn_trace(net, 0)
+        with pytest.raises(ValueError, match="epoch"):
+            ChurnTrace(
+                initial=net,
+                events=(ChurnEvent(5, 0, 1, 0.9),),
+                n_epochs=3,
+            )
+        with pytest.raises(ValueError, match="ordered"):
+            ChurnTrace(
+                initial=net,
+                events=(
+                    ChurnEvent(2, *next(iter(net.edges())).key, 0.9),
+                    ChurnEvent(1, *next(iter(net.edges())).key, 0.8),
+                ),
+                n_epochs=3,
+            )
+
+
+class TestReplay:
+    def test_replay_reaches_final_state(self, trace):
+        *_, (last_epoch, net) = trace.replay()
+        assert last_epoch == trace.n_epochs - 1
+        final = trace.final_network()
+        assert [e.prr for e in net.edges()] == [e.prr for e in final.edges()]
+
+    def test_replay_is_deterministic(self, trace):
+        a = [
+            tuple(e.prr for e in net.edges())
+            for _, net in trace.replay()
+        ]
+        b = [
+            tuple(e.prr for e in net.edges())
+            for _, net in trace.replay()
+        ]
+        assert a == b
+
+    def test_on_change_hook_sees_every_event(self, trace):
+        seen = []
+        for _ in trace.replay(on_change=lambda u, v, prr: seen.append((u, v, prr))):
+            pass
+        assert len(seen) == len(trace.events)
+
+    def test_two_algorithms_see_identical_channel(self, trace):
+        """The point of traces: replays are bit-identical across consumers."""
+        finals = []
+        for _ in range(2):
+            *_, (_, net) = trace.replay()
+            finals.append(tuple(e.prr for e in net.edges()))
+        assert finals[0] == finals[1]
+
+    def test_replay_drives_protocol(self, net, trace):
+        lc = net.energy_model.lifetime_rounds(3000.0, 3)
+        replay_net = trace.initial.copy()
+        tree = build_ira_tree(replay_net, lc).tree
+        protocol = DistributedProtocol(replay_net, tree, lc)
+
+        def on_change(u, v, prr):
+            replay_net.set_prr(u, v, prr)
+            protocol.refresh_link(u, v)
+            protocol.handle_link_worse(u, v)
+
+        for _ in trace.replay(on_change=on_change):
+            pass
+        protocol.assert_consistent()
+        assert protocol.tree().lifetime() >= lc * (1 - 1e-9)
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        loaded = ChurnTrace.load(path)
+        assert loaded.n_epochs == trace.n_epochs
+        assert loaded.events == trace.events
+        assert [e.prr for e in loaded.initial.edges()] == [
+            e.prr for e in trace.initial.edges()
+        ]
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "other"}')
+        with pytest.raises(ValueError, match="format"):
+            ChurnTrace.load(path)

@@ -1,0 +1,55 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert lines[1].startswith("--")
+        assert len(lines) == 4
+
+    def test_title_prepended(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[1.23456789]], float_fmt=".3f")
+        assert "1.235" in out
+
+    def test_bool_rendering(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_wide_cell_wins_column_width(self):
+        out = format_table(["a"], [["wide-value"]])
+        header, sep, row = out.splitlines()
+        assert len(sep) == len("wide-value")
+
+    def test_strings_pass_through(self):
+        out = format_table(["name"], [["hello"]])
+        assert "hello" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("cost", [1, 2], [10.0, 20.0])
+        assert "cost" in out
+        assert "10" in out and "20" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="x values"):
+            format_series("y", [1, 2], [1.0])

@@ -1,0 +1,116 @@
+"""Tests for repro.utils.unionfind."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        uf = UnionFind()
+        assert len(uf) == 0
+        assert uf.n_sets == 0
+
+    def test_initial_elements_are_singletons(self):
+        uf = UnionFind(range(4))
+        assert len(uf) == 4
+        assert uf.n_sets == 4
+
+    def test_lazy_add_on_find(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert len(uf) == 1
+        assert uf.n_sets == 1
+
+    def test_union_merges(self):
+        uf = UnionFind(range(3))
+        assert uf.union(0, 1) is True
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_sets == 2
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind(range(3))
+        uf.union(0, 1)
+        assert uf.union(1, 0) is False
+        assert uf.n_sets == 2
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+
+    def test_cycle_detection_usage(self):
+        """Adding tree edges via union: the closing edge returns False."""
+        uf = UnionFind(range(4))
+        edges = [(0, 1), (1, 2), (2, 3)]
+        assert all(uf.union(u, v) for u, v in edges)
+        assert uf.union(3, 0) is False  # would close a cycle
+
+    def test_sets_partition(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(3, 4)
+        sets = uf.sets()
+        assert sorted(len(s) for s in sets) == [1, 2, 3]
+        assert set().union(*sets) == set(range(6))
+
+    def test_hashable_non_int_elements(self):
+        uf = UnionFind()
+        uf.union(("a", 1), ("b", 2))
+        assert uf.connected(("a", 1), ("b", 2))
+
+    def test_iteration_yields_all_elements(self):
+        uf = UnionFind([3, 1, 2])
+        assert sorted(uf) == [1, 2, 3]
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_partition(self, unions):
+        """Union-find must agree with a naive set-merging implementation."""
+        uf = UnionFind(range(31))
+        naive = [{i} for i in range(31)]
+
+        def naive_find(x):
+            for group in naive:
+                if x in group:
+                    return group
+            raise AssertionError
+
+        for a, b in unions:
+            uf.union(a, b)
+            ga, gb = naive_find(a), naive_find(b)
+            if ga is not gb:
+                ga |= gb
+                naive.remove(gb)
+
+        assert uf.n_sets == len(naive)
+        for a in range(31):
+            for b in range(31):
+                assert uf.connected(a, b) == (naive_find(a) is naive_find(b))
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_n_sets_plus_merges_is_constant(self, unions):
+        uf = UnionFind(range(21))
+        merges = sum(1 for a, b in unions if uf.union(a, b))
+        assert uf.n_sets == 21 - merges

@@ -1,0 +1,94 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckFinite:
+    def test_accepts_and_coerces(self):
+        assert check_finite(3, "x") == 3.0
+        assert isinstance(check_finite(3, "x"), float)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_finite(math.inf, "x")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError, match="real number"):
+            check_finite(object(), "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="my_param"):
+            check_finite(math.nan, "my_param")
+
+
+class TestCheckPositive:
+    @pytest.mark.parametrize("value", [1e-12, 1, 3.5])
+    def test_accepts(self, value):
+        assert check_positive(value, "x") == float(value)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.001])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError, match="positive"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative(-1e-9, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0, 0.5, 1])
+    def test_accepts_closed_interval(self, value):
+        assert check_probability(value, "p") == float(value)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            check_probability(1.0001, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_zero_rejected_when_disallowed(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            check_probability(0.0, "p", allow_zero=False)
+
+    def test_open_lower_accepts_tiny(self):
+        assert check_probability(1e-12, "p", allow_zero=False) == 1e-12
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range(5, "x", 5, 10) == 5.0
+        assert check_in_range(10, "x", 5, 10) == 10.0
+
+    def test_exclusive_lower(self):
+        with pytest.raises(ValueError, match=r"\(5"):
+            check_in_range(5, "x", 5, 10, low_inclusive=False)
+
+    def test_exclusive_upper(self):
+        with pytest.raises(ValueError, match=r"10\)"):
+            check_in_range(10, "x", 5, 10, high_inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_in_range(11, "x", 5, 10)
