@@ -4,64 +4,28 @@
 a size sweep so complexity regressions are visible and users can size their
 deployments.  The paper claims polynomial termination for IRA and AAML;
 :func:`scaling_study` shows the constants.
+
+:class:`StageTimer` now lives in the unified instrumentation layer
+(:mod:`repro.obs.stagetimer`) and is re-exported here for compatibility;
+fine-grained algorithm statistics (LP solves, cuts, messages) come from
+:mod:`repro.obs` rather than wall clocks.
 """
 
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.aaml import build_aaml_tree
 from repro.baselines.mst import build_mst_tree
 from repro.core.ira import build_ira_tree
 from repro.network.topology import random_graph
+from repro.obs.stagetimer import StageTimer
 from repro.utils.rng import stable_hash_seed
 from repro.utils.tables import format_table
 
 __all__ = ["StageTimer", "ScalingRow", "ScalingStudy", "scaling_study"]
-
-
-class StageTimer:
-    """Accumulate wall-clock time per named stage.
-
-    Usage::
-
-        timer = StageTimer()
-        with timer.stage("lp"):
-            ...
-        timer.totals()  # {"lp": seconds}
-    """
-
-    def __init__(self) -> None:
-        self._totals: Dict[str, float] = {}
-        self._counts: Dict[str, int] = {}
-
-    @contextmanager
-    def stage(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._totals[name] = self._totals.get(name, 0.0) + elapsed
-            self._counts[name] = self._counts.get(name, 0) + 1
-
-    def totals(self) -> Dict[str, float]:
-        """Accumulated seconds per stage."""
-        return dict(self._totals)
-
-    def counts(self) -> Dict[str, int]:
-        """Invocations per stage."""
-        return dict(self._counts)
-
-    def render(self) -> str:
-        rows = [
-            [name, self._counts[name], round(self._totals[name], 4)]
-            for name in sorted(self._totals, key=self._totals.get, reverse=True)
-        ]
-        return format_table(["stage", "calls", "seconds"], rows)
 
 
 @dataclass(frozen=True)

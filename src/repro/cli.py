@@ -8,9 +8,12 @@ Usage (installed as ``mrlc`` or via ``python -m repro``)::
     mrlc fig8 --output r.json # archive the raw result as JSON
     mrlc fig11 --rounds 50    # churn experiment (prints Figs. 11-13 series)
     mrlc all --quick          # every figure at reduced scale
+    mrlc obs ira --nodes 50   # instrumented run (see repro.obs.cli)
 
 Output is the plain-text table of the same rows/series the paper's figure
-plots (costs in the paper's −1000·log2 q units).
+plots (costs in the paper's −1000·log2 q units).  The ``obs`` subcommand
+(also installed as ``repro obs``) dispatches to the instrumentation layer's
+own CLI before the figure parser runs.
 """
 
 from __future__ import annotations
@@ -171,6 +174,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        # Instrumented runs live in their own sub-CLI so the figure parser
+        # stays a plain positional-choice interface.
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.quick:

@@ -62,6 +62,7 @@ from repro.core.local_search import (
 from repro.core.lp import SUPPORT_EPS, LPSolution, MRLCLinearProgram
 from repro.core.tree import AggregationTree
 from repro.network.model import Network
+from repro.obs import OBS
 from repro.utils.unionfind import UnionFind
 
 __all__ = ["IRAResult", "IterativeRelaxation", "build_ira_tree"]
@@ -200,6 +201,11 @@ class IterativeRelaxation:
         iterations = 0
         lp_solves = 0
         forced: List[int] = []
+        prev_objective: Optional[float] = None
+        if OBS.enabled:
+            OBS.tracer.event(
+                "ira.start", n=n, lc=spec.lc, inflation=label, edges=len(active_edges)
+            )
 
         while w:
             iterations += 1
@@ -234,10 +240,52 @@ class IterativeRelaxation:
                 w.discard(victim)
                 forced.append(victim)
 
+            if OBS.enabled:
+                reg = OBS.registry
+                reg.counter("ira.iterations", inflation=label).inc()
+                reg.counter("ira.lp_solves", inflation=label).inc(
+                    solution.n_lp_solves
+                )
+                reg.counter("ira.edges_removed", inflation=label).inc(
+                    edges_removed
+                )
+                reg.counter("ira.constraints_dropped", inflation=label).inc(
+                    len(droppable)
+                )
+                OBS.tracer.event(
+                    "ira.iteration",
+                    iteration=iterations,
+                    inflation=label,
+                    objective=solution.objective,
+                    cost_delta=(
+                        solution.objective - prev_objective
+                        if prev_objective is not None
+                        else 0.0
+                    ),
+                    edges_removed=edges_removed,
+                    constraints_dropped=len(droppable),
+                    constrained_remaining=len(w),
+                )
+                prev_objective = solution.objective
+
         tree = self._min_spanning_tree(active_edges)
+        if OBS.enabled and forced:
+            OBS.registry.counter("ira.forced_relaxations", inflation=label).inc(
+                len(forced)
+            )
         if forced and not tree.meets_lifetime(spec.lc):
             tree = self._repair_lifetime(tree, spec)
         satisfied = tree.meets_lifetime(spec.lc)
+        if OBS.enabled:
+            OBS.tracer.event(
+                "ira.done",
+                inflation=label,
+                iterations=iterations,
+                lp_solves=lp_solves,
+                cuts=len(cuts),
+                cost=tree.cost(),
+                lifetime_satisfied=satisfied,
+            )
         return IRAResult(
             tree=tree,
             spec=spec,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.tree import AggregationTree
+from repro.obs import OBS
 
 __all__ = [
     "bfs_tree",
@@ -83,6 +84,7 @@ def maximize_lifetime(
     network = tree.network
     current_vec = lifetime_vector(tree)
     moves = 0
+    evaluated = 0
     improved = True
     while improved and moves < max_moves:
         improved = False
@@ -98,6 +100,7 @@ def maximize_lifetime(
                         continue
                     trial = tree.with_parent(child, candidate)
                     vec = lifetime_vector(trial)
+                    evaluated += 1
                     if vec > best_vec:
                         best_vec = vec
                         best_move = (child, candidate)
@@ -109,6 +112,12 @@ def maximize_lifetime(
             current_vec = best_vec
             moves += 1
             improved = True
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter("local_search.moves_accepted", op="maximize_lifetime").inc(moves)
+        reg.counter("local_search.moves_evaluated", op="maximize_lifetime").inc(
+            evaluated
+        )
     return tree, moves
 
 
@@ -128,6 +137,7 @@ def repair_overload(
     """
     network = tree.network
     current = tree
+    moves = 0
     while _total_excess(current, caps) > 0:
         best: Optional[Tuple[float, int, int]] = None
         overloaded = [
@@ -145,8 +155,17 @@ def repair_overload(
                     if best is None or delta < best[0]:
                         best = (delta, child, cand)
         if best is None:
+            if OBS.enabled and moves:
+                OBS.registry.counter(
+                    "local_search.moves_accepted", op="repair_overload"
+                ).inc(moves)
             return None
         current = current.with_parent(best[1], best[2])
+        moves += 1
+    if OBS.enabled and moves:
+        OBS.registry.counter(
+            "local_search.moves_accepted", op="repair_overload"
+        ).inc(moves)
     return current
 
 
@@ -262,6 +281,10 @@ def improve_hamiltonian_path(
             moves += 1
             improved = True
 
+    if OBS.enabled and moves:
+        OBS.registry.counter(
+            "local_search.moves_accepted", op="improve_hamiltonian_path"
+        ).inc(moves)
     parents = {order[k + 1]: order[k] for k in range(n - 1)}
     return AggregationTree(network, parents)
 
@@ -293,7 +316,11 @@ def reduce_cost_under_caps(
                 if delta < -1e-15 and (best is None or delta < best[0]):
                     best = (delta, child, cand)
         if best is None:
-            return tree
+            break
         tree = tree.with_parent(best[1], best[2])
         moves += 1
+    if OBS.enabled and moves:
+        OBS.registry.counter(
+            "local_search.moves_accepted", op="reduce_cost_under_caps"
+        ).inc(moves)
     return tree

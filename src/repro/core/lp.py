@@ -19,6 +19,7 @@ requires.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -28,6 +29,7 @@ from scipy.optimize import linprog
 from repro.core.errors import InfeasibleLifetimeError, LPSolverError
 from repro.core.separation import find_violated_subtours
 from repro.network.model import Network
+from repro.obs import OBS
 from repro.utils.rng import stable_hash_seed
 
 __all__ = ["LPSolution", "MRLCLinearProgram", "solve_mrlc_lp"]
@@ -186,6 +188,10 @@ class MRLCLinearProgram:
                 return LPSolution(edges=[], x=np.zeros(0), objective=0.0)
             raise InfeasibleLifetimeError("no edges remain but n > 1")
 
+        enabled = OBS.enabled
+        initial_cut_count = len(self.cuts)
+        loop_start = time.perf_counter() if enabled else 0.0
+
         n_solves = 0
         for _ in range(MAX_CUT_ROUNDS):
             a_ub, b_ub, a_eq, b_eq = self._build_rows()
@@ -200,6 +206,9 @@ class MRLCLinearProgram:
             )
             n_solves += 1
             if result.status == 2:
+                if enabled:
+                    OBS.registry.counter("lp.solves").inc(n_solves)
+                    OBS.registry.counter("lp.infeasible").inc()
                 raise InfeasibleLifetimeError(
                     "LP(G, L', W) infeasible: no data aggregation tree can "
                     "meet the lifetime bound on the remaining edges"
@@ -210,6 +219,25 @@ class MRLCLinearProgram:
             x = np.asarray(result.x, dtype=float)
             violated = find_violated_subtours(self.network.n, self.edges, x)
             if not violated:
+                if enabled:
+                    reg = OBS.registry
+                    reg.counter("lp.solves").inc(n_solves)
+                    reg.counter("lp.cut_rounds").inc(n_solves - 1)
+                    reg.counter("lp.cuts_added").inc(
+                        len(self.cuts) - initial_cut_count
+                    )
+                    reg.histogram("lp.solve_seconds").observe(
+                        time.perf_counter() - loop_start
+                    )
+                    OBS.tracer.event(
+                        "lp.solve",
+                        n_vars=n_vars,
+                        n_constrained=len(self.degree_bounds),
+                        n_solves=n_solves,
+                        cuts_total=len(self.cuts),
+                        cuts_added=len(self.cuts) - initial_cut_count,
+                        objective=float(result.fun),
+                    )
                 return LPSolution(
                     edges=list(self.edges),
                     x=x,

@@ -34,6 +34,7 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import OBS
 from repro.utils.maxflow import DinicMaxFlow
 
 __all__ = ["find_violated_subtours", "subtour_violation"]
@@ -116,7 +117,9 @@ def find_violated_subtours(
     # so augmentation can stop early at the threshold.
     cutoff = 1.0 - tolerance - offset_base
 
+    probes = 0
     for root in range(n):
+        probes += 1
         net.reset_flow()
         net.set_capacity(root_arcs[root], _BIG)
         result = net.solve(source, sink, cutoff=cutoff)
@@ -132,4 +135,17 @@ def find_violated_subtours(
                         break  # enough cuts for this round
 
     ranked = sorted(found.items(), key=lambda item: -item[1])
-    return [subset for subset, _ in ranked[:max_sets]]
+    result_sets = [subset for subset, _ in ranked[:max_sets]]
+    if OBS.enabled:
+        reg = OBS.registry
+        reg.counter("separation.calls").inc()
+        reg.counter("separation.root_probes").inc(probes)
+        reg.counter("separation.violated_sets").inc(len(result_sets))
+        if result_sets:
+            OBS.tracer.event(
+                "separation.cuts",
+                n=n,
+                violated=len(result_sets),
+                worst_violation=ranked[0][1],
+            )
+    return result_sets

@@ -4,6 +4,11 @@ The protocol is deliberately thin: after the sink's initial code broadcast,
 the only steady-state traffic is Parent-Changing announcements — "4 only
 needs to broadcast a Parent-Changing information to other nodes and every
 node could get the same P' and D'".
+
+Each message knows its encoded wire size (``size_bytes``) under a simple
+TelosB-style model — 16-bit node ids, a 32-bit serial, a 1-byte type tag —
+so the instrumentation layer can report maintenance overhead in bytes as
+well as transmissions (the unit Fig. 13 counts in).
 """
 
 from __future__ import annotations
@@ -11,7 +16,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
-__all__ = ["CodeAnnouncement", "ParentChange"]
+__all__ = [
+    "CodeAnnouncement",
+    "ParentChange",
+    "HEADER_BYTES",
+    "NODE_ID_BYTES",
+    "SERIAL_BYTES",
+]
+
+#: 1-byte message-type tag.
+HEADER_BYTES = 1
+#: Node ids fit 16 bits (WSN deployments are well under 65k nodes).
+NODE_ID_BYTES = 2
+#: 32-bit monotone serial on parent-change announcements.
+SERIAL_BYTES = 4
 
 
 @dataclass(frozen=True)
@@ -25,6 +43,10 @@ class CodeAnnouncement:
 
     code: Tuple[int, ...]
     order: Tuple[int, ...]
+
+    def size_bytes(self) -> int:
+        """Encoded size: type tag + both sequences at 2 bytes per id."""
+        return HEADER_BYTES + NODE_ID_BYTES * (len(self.code) + len(self.order))
 
 
 @dataclass(frozen=True)
@@ -45,3 +67,7 @@ class ParentChange:
     child: int
     new_parent: int
     serial: int
+
+    def size_bytes(self) -> int:
+        """Encoded size: type tag + two node ids + the serial."""
+        return HEADER_BYTES + 2 * NODE_ID_BYTES + SERIAL_BYTES

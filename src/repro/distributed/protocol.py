@@ -27,6 +27,7 @@ from repro.core.tree import AggregationTree
 from repro.distributed.messages import CodeAnnouncement, ParentChange
 from repro.distributed.node import SensorNode
 from repro.network.model import Network
+from repro.obs import OBS
 from repro.prufer.updates import SequencePair
 
 __all__ = ["DistributedProtocol", "UpdateReport"]
@@ -104,7 +105,20 @@ class DistributedProtocol:
         announcement = CodeAnnouncement(code=pair.code, order=pair.order)
         for node in self.nodes:
             node.on_code_announcement(announcement)
-        return self._broadcast_cost(pair, origin=0)
+        cost = self._broadcast_cost(pair, origin=0)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("protocol.messages", type="code_announcement").inc(cost)
+            reg.counter("protocol.bytes", type="code_announcement").inc(
+                cost * announcement.size_bytes()
+            )
+            OBS.tracer.event(
+                "protocol.code_broadcast",
+                n=len(self.nodes),
+                messages=cost,
+                bytes=cost * announcement.size_bytes(),
+            )
+        return cost
 
     def _broadcast_cost(self, pair: SequencePair, origin: int) -> int:
         """Transmissions to flood one message over the tree.
@@ -122,7 +136,24 @@ class DistributedProtocol:
         self._serial += 1
         for node in self.nodes:
             node.on_parent_change(msg)
-        return self._broadcast_cost(self.pair, origin=child)
+        cost = self._broadcast_cost(self.pair, origin=child)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("protocol.messages", type="parent_change").inc(cost)
+            reg.counter("protocol.bytes", type="parent_change").inc(
+                cost * msg.size_bytes()
+            )
+            reg.counter("protocol.parent_changes").inc()
+            reg.histogram("protocol.messages_per_update").observe(cost)
+            OBS.tracer.event(
+                "protocol.parent_change",
+                child=child,
+                new_parent=new_parent,
+                serial=msg.serial,
+                messages=cost,
+                bytes=cost * msg.size_bytes(),
+            )
+        return cost
 
     def _record_announcement(
         self, report: UpdateReport, child: int, new_parent: int
@@ -130,6 +161,8 @@ class DistributedProtocol:
         report.messages += self._announce_parent_change(child, new_parent)
         report.receptions += len(self.nodes) - 1  # everyone else hears it
         report.changed.append((child, new_parent))
+        if OBS.enabled:
+            OBS.registry.counter("protocol.receptions").inc(len(self.nodes) - 1)
 
     @property
     def pair(self) -> SequencePair:
@@ -173,6 +206,8 @@ class DistributedProtocol:
         need no action.
         """
         report = UpdateReport()
+        if OBS.enabled:
+            OBS.registry.counter("protocol.updates", trigger="link_worse").inc()
         parents = self.pair.parent_map()
         if parents.get(u) == v:
             child = u
@@ -198,11 +233,15 @@ class DistributedProtocol:
         steps (never reached — each accepted move strictly decreases cost).
         """
         report = UpdateReport()
+        if OBS.enabled:
+            OBS.registry.counter("protocol.updates", trigger="link_better").inc()
         edge: Optional[Tuple[int, int]] = (u, v)
         max_steps = 3 * self.network.n
         while edge is not None and report.ilu_steps < max_steps:
             report.ilu_steps += 1
             edge = self._ilu_step(edge, report)
+        if OBS.enabled:
+            OBS.registry.counter("protocol.ilu_steps").inc(report.ilu_steps)
         return report
 
     def _ilu_step(

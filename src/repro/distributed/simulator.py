@@ -24,6 +24,7 @@ from repro.core.ira import build_ira_tree
 from repro.core.tree import AggregationTree
 from repro.distributed.protocol import DistributedProtocol
 from repro.network.model import Network
+from repro.obs import OBS
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["MaintenanceRecord", "ChurnSimulation"]
@@ -155,14 +156,33 @@ class ChurnSimulation:
         self._cumulative_messages += report.messages
         if report.did_change:
             self._cumulative_updates += 1
+        round_messages = report.messages
 
         if self.improve_probability and self.rng.random() < self.improve_probability:
             improved = self.improve_random_non_tree_link()
             if improved is not None:
                 better = self.protocol.handle_link_better(*improved)
                 self._cumulative_messages += better.messages
+                round_messages += better.messages
                 if better.did_change:
                     self._cumulative_updates += 1
+                if OBS.enabled:
+                    OBS.registry.counter("churn.improvements").inc()
+
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("churn.rounds").inc()
+            reg.counter("churn.degradations").inc()
+            reg.gauge("churn.cumulative_messages").set(self._cumulative_messages)
+            reg.gauge("churn.cumulative_updates").set(self._cumulative_updates)
+            reg.histogram("churn.messages_per_round").observe(round_messages)
+            OBS.tracer.event(
+                "churn.round",
+                round=len(self.records) + 1,
+                degraded=list(edge),
+                messages=round_messages,
+                changed=report.did_change,
+            )
 
         maintained = self.protocol.tree()
         if self.recompute_centralized:

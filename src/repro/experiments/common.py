@@ -19,11 +19,18 @@ comparable with the published figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.tree import PAPER_COST_SCALE
+from repro.obs import OBS, ObsSession, instrument
 
-__all__ = ["PAPER_COST_SCALE", "paper_cost", "summarize"]
+__all__ = [
+    "PAPER_COST_SCALE",
+    "metrics_snapshot",
+    "paper_cost",
+    "run_instrumented",
+    "summarize",
+]
 
 
 def paper_cost(natural_cost: float) -> float:
@@ -44,3 +51,44 @@ def summarize(values: Sequence[float]) -> Dict[str, float]:
         "min": ordered[0],
         "max": ordered[-1],
     }
+
+
+def metrics_snapshot() -> Optional[Dict[str, Dict[str, Any]]]:
+    """Snapshot of the active instrumentation registry, if one is enabled.
+
+    ``None`` when instrumentation is off — callers attach it to result
+    artifacts only when there is something to attach.
+    """
+    if not OBS.enabled:
+        return None
+    return OBS.registry.snapshot()
+
+
+def run_instrumented(
+    fn: Callable[..., Any],
+    *args: Any,
+    obs_seed: Optional[int] = None,
+    obs_params: Optional[Dict[str, Any]] = None,
+    **kwargs: Any,
+) -> Tuple[Any, ObsSession]:
+    """Run *fn* under a fresh instrumentation session.
+
+    All positional and keyword arguments except ``obs_seed`` / ``obs_params``
+    are forwarded to *fn* untouched (so an experiment's own ``seed`` kwarg
+    passes through).  Returns ``(result, session)``; the session carries the
+    metrics registry, the structured trace, and the run manifest.
+    ``obs_params`` defaults to the forwarded keyword arguments, so the
+    manifest records how the experiment was parameterized without extra
+    plumbing::
+
+        result, session = run_instrumented(run_fig8, n_trials=20)
+        save_result(result, "fig8.json",
+                    manifest=session.manifest, metrics=session.registry.snapshot())
+    """
+    manifest_params = obs_params if obs_params is not None else dict(kwargs)
+    if obs_seed is None:
+        forwarded = kwargs.get("seed")
+        obs_seed = forwarded if isinstance(forwarded, int) else None
+    with instrument(seed=obs_seed, params=manifest_params) as session:
+        result = fn(*args, **kwargs)
+    return result, session

@@ -6,10 +6,14 @@ diffed, or plotted later without re-running the sweep, and loads them back
 as plain dictionaries.
 
 The export is deliberately *schema-light*: each document records the result
-class name, the library version, and the recursively-converted payload.
-Loading returns the dict — downstream analysis works on the data, not on
-reconstructed objects (the objects can always be regenerated from the
-recorded experiment module + seed).
+class name, the library version, the recursively-converted payload, and —
+since the instrumentation layer landed — a **run manifest** (seed, parameter
+dict, git revision, tool versions) so archived artifacts are reproducible
+and diffable, not just raw series.  When an instrumentation session is
+active (or a snapshot is passed explicitly) the document also carries the
+run's metrics.  Loading returns the dict — downstream analysis works on the
+data, not on reconstructed objects (the objects can always be regenerated
+from the recorded experiment module + seed).
 """
 
 from __future__ import annotations
@@ -17,9 +21,12 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 import numpy as np
+
+from repro.obs import RunManifest, collect_manifest
+from repro.obs.runtime import OBS
 
 __all__ = ["result_to_dict", "save_result", "load_result"]
 
@@ -51,25 +58,56 @@ def _convert(value: Any, depth: int = 0) -> Any:
     )
 
 
-def result_to_dict(result: Any) -> Dict:
-    """Wrap *result* (a harness result dataclass) into an export document."""
+def result_to_dict(
+    result: Any,
+    *,
+    manifest: Optional[RunManifest] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> Dict:
+    """Wrap *result* (a harness result dataclass) into an export document.
+
+    Args:
+        result: The harness result dataclass to export.
+        manifest: Reproducibility record to embed; collected automatically
+            (seed unknown, current environment) when not supplied.
+        metrics: Metrics snapshot to embed; defaults to the active
+            instrumentation session's registry when one is enabled.
+    """
     from repro import __version__
 
     if not dataclasses.is_dataclass(result):
         raise TypeError(
             f"expected a result dataclass, got {type(result).__name__}"
         )
-    return {
+    if manifest is None:
+        manifest = collect_manifest()
+    if metrics is None and OBS.enabled:
+        metrics = OBS.registry.snapshot()
+    doc = {
         "format": _FORMAT,
         "library_version": __version__,
         "result_class": type(result).__name__,
+        "manifest": manifest.to_dict(),
         "data": _convert(result),
     }
+    if metrics is not None:
+        doc["metrics"] = _convert(metrics)
+    return doc
 
 
-def save_result(result: Any, path: Union[str, Path]) -> None:
-    """Write *result* to *path* as a JSON document."""
-    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+def save_result(
+    result: Any,
+    path: Union[str, Path],
+    *,
+    manifest: Optional[RunManifest] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write *result* to *path* as a JSON document (manifest included)."""
+    Path(path).write_text(
+        json.dumps(
+            result_to_dict(result, manifest=manifest, metrics=metrics), indent=2
+        )
+    )
 
 
 def load_result(path: Union[str, Path]) -> Dict:

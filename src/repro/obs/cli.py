@@ -1,0 +1,284 @@
+"""``repro obs`` — run builders/experiments with instrumentation on.
+
+Examples::
+
+    repro obs ira --nodes 50 --seed 1          # instrumented IRA build
+    repro obs aaml --nodes 30 --seed 2         # instrumented AAML build
+    repro obs churn --rounds 20                # protocol churn on the DFL net
+    repro obs rounds --nodes 20 --rounds 200   # aggregation-round simulation
+    repro obs fig fig3                         # any figure experiment
+    repro obs ira --nodes 20 --dump-trace      # print the JSONL trace
+
+Every run prints the metrics tables (counters / gauges / histograms with
+p50/p90/max bars) and writes three artifacts under ``--out`` (default
+``obs-out/``): ``trace.jsonl``, ``manifest.json``, ``metrics.json``.
+``--no-write`` keeps the run print-only.  The same subcommand with the same
+seed reproduces the same counters — that is the point.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.metrics import metric_key
+from repro.obs.runtime import ObsSession, instrument
+from repro.utils.ascii_chart import histogram_summary
+
+__all__ = ["obs_main", "build_obs_parser"]
+
+#: Figure/extension experiments runnable under ``repro obs fig``.
+_FIG_NAMES = (
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "ext-baselines",
+    "ext-energyhole",
+    "ext-estimation",
+    "ext-latency",
+    "ext-stability",
+)
+
+
+def _add_graph_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--nodes", type=int, default=30, help="network size (default 30)"
+    )
+    parser.add_argument(
+        "--link-prob",
+        type=float,
+        default=0.5,
+        help="G(n,p) link probability (default 0.5)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="topology/run seed (default 0)"
+    )
+
+
+def _add_output_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--out",
+        type=str,
+        default="obs-out",
+        help="directory for trace.jsonl / manifest.json / metrics.json "
+        "(default obs-out)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print metrics only; write no artifacts",
+    )
+    parser.add_argument(
+        "--dump-trace",
+        action="store_true",
+        help="print the JSONL trace to stdout",
+    )
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description=(
+            "Run a tree builder or experiment with the instrumentation layer "
+            "enabled and report its internal statistics."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in (
+        ("ira", "instrumented IRA build on a random graph"),
+        ("aaml", "instrumented AAML build on a random graph"),
+        ("mst", "instrumented MST build on a random graph"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_graph_options(p)
+        _add_output_options(p)
+        if name == "ira":
+            p.add_argument(
+                "--lc-divisor",
+                type=float,
+                default=2.0,
+                help="LC = L_AAML / divisor (default 2.0)",
+            )
+
+    p = sub.add_parser(
+        "rounds", help="aggregation-round simulation over an IRA tree"
+    )
+    _add_graph_options(p)
+    _add_output_options(p)
+    p.add_argument(
+        "--rounds", type=int, default=200, help="rounds to simulate (default 200)"
+    )
+
+    p = sub.add_parser(
+        "churn", help="distributed-protocol churn on the DFL network"
+    )
+    _add_output_options(p)
+    p.add_argument(
+        "--rounds", type=int, default=20, help="churn rounds (default 20)"
+    )
+    p.add_argument("--seed", type=int, default=11, help="churn seed (default 11)")
+    p.add_argument(
+        "--centralized",
+        action="store_true",
+        help="also recompute the centralized IRA tree each round (slow)",
+    )
+
+    p = sub.add_parser("fig", help="any figure/extension experiment")
+    p.add_argument("name", choices=_FIG_NAMES, help="experiment to run")
+    p.add_argument("--trials", type=int, default=None, help="trial count")
+    p.add_argument("--rounds", type=int, default=None, help="round count")
+    p.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for sweeps"
+    )
+    _add_output_options(p)
+
+    return parser
+
+
+def _positive(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    for attr in ("nodes", "rounds", "trials"):
+        value = getattr(args, attr, None)
+        if value is not None and value <= 0:
+            parser.error(f"--{attr} must be positive")
+    if getattr(args, "lc_divisor", 1.0) <= 0:
+        parser.error("--lc-divisor must be positive")
+    prob = getattr(args, "link_prob", 0.5)
+    if not 0.0 < prob <= 1.0:
+        parser.error("--link-prob must be in (0, 1]")
+
+
+def _run_builder(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.baselines.aaml import build_aaml_tree
+    from repro.baselines.mst import build_mst_tree
+    from repro.core.ira import build_ira_tree
+    from repro.network.topology import random_graph
+
+    net = random_graph(args.nodes, args.link_prob, seed=args.seed)
+    if args.command == "mst":
+        tree = build_mst_tree(net)
+        return {"cost": tree.cost(), "reliability": tree.reliability()}
+    aaml = build_aaml_tree(net)
+    if args.command == "aaml":
+        return {"cost": aaml.tree.cost(), "lifetime": aaml.lifetime}
+    lc = aaml.lifetime / args.lc_divisor
+    result = build_ira_tree(net, lc)
+    return {
+        "cost": result.tree.cost(),
+        "lc": lc,
+        "iterations": result.iterations,
+        "lp_solves": result.lp_solves,
+        "lifetime_satisfied": result.lifetime_satisfied,
+    }
+
+
+def _run_rounds(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.baselines.aaml import build_aaml_tree
+    from repro.core.ira import build_ira_tree
+    from repro.network.topology import random_graph
+    from repro.simulation.rounds import AggregationSimulator
+
+    net = random_graph(args.nodes, args.link_prob, seed=args.seed)
+    aaml = build_aaml_tree(net)
+    tree = build_ira_tree(net, aaml.lifetime / 2.0).tree
+    sim = AggregationSimulator(tree, seed=args.seed)
+    reliability = sim.estimate_reliability(args.rounds)
+    return {"empirical_reliability": reliability, "closed_form": tree.reliability()}
+
+
+def _run_churn(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.baselines.aaml import build_aaml_tree
+    from repro.core.ira import build_ira_tree
+    from repro.distributed.simulator import ChurnSimulation
+    from repro.experiments.fig7_dfl import AAML_PRR_FILTER
+    from repro.network.dfl import dfl_network
+
+    net = dfl_network()
+    aaml = build_aaml_tree(net.filtered(AAML_PRR_FILTER))
+    lc = aaml.lifetime / 1.5
+    initial = build_ira_tree(net, lc)
+    sim = ChurnSimulation(
+        net,
+        initial.tree,
+        lc,
+        recompute_centralized=args.centralized,
+        seed=args.seed,
+    )
+    records = sim.run(args.rounds)
+    return {
+        "rounds": len(records),
+        "updates": records[-1].cumulative_updates,
+        "messages": records[-1].cumulative_messages,
+    }
+
+
+def _run_fig(args: argparse.Namespace) -> Dict[str, object]:
+    import repro.cli as main_cli
+
+    result = main_cli._COMMANDS[args.name](args)
+    print(result.render())
+    print()
+    return {"experiment": args.name, "result_class": type(result).__name__}
+
+
+def _params_of(args: argparse.Namespace) -> Dict[str, object]:
+    skip = {"command", "out", "no_write", "dump_trace"}
+    return {
+        k: v for k, v in sorted(vars(args).items()) if k not in skip and v is not None
+    }
+
+
+def _report(session: ObsSession, args: argparse.Namespace) -> None:
+    print(session.registry.render())
+    for hist in session.registry.histograms():
+        if hist.count >= 2:
+            print()
+            print(
+                histogram_summary(
+                    hist.values,
+                    title=metric_key(hist.name, dict(hist.labels)),
+                )
+            )
+    if args.dump_trace:
+        print()
+        print(session.tracer.to_jsonl(), end="")
+    if not args.no_write:
+        paths = session.write(args.out)
+        print()
+        print(
+            "[wrote "
+            + ", ".join(str(paths[k]) for k in ("trace", "manifest", "metrics"))
+            + "]"
+        )
+
+
+_RUNNERS: Dict[str, Callable[[argparse.Namespace], Dict[str, object]]] = {
+    "ira": _run_builder,
+    "aaml": _run_builder,
+    "mst": _run_builder,
+    "rounds": _run_rounds,
+    "churn": _run_churn,
+    "fig": _run_fig,
+}
+
+
+def obs_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro obs ...``; returns the process exit code."""
+    parser = build_obs_parser()
+    args = parser.parse_args(argv)
+    _positive(parser, args)
+
+    seed = getattr(args, "seed", None)
+    with instrument(seed=seed, params=_params_of(args)) as session:
+        summary = _RUNNERS[args.command](args)
+
+    headline = ", ".join(f"{k}={v}" for k, v in summary.items())
+    print(f"[obs {args.command}] {headline}")
+    print()
+    _report(session, args)
+    return 0

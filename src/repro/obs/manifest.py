@@ -1,0 +1,137 @@
+"""Run manifests: everything needed to reproduce (and diff) a run.
+
+A manifest pins the inputs a result depends on — seed, parameter dict, the
+code revision, and the tool versions — so two experiment artifacts can be
+compared knowing whether they came from the same world.  The experiment
+exporter (:mod:`repro.experiments.io`) embeds one in every saved document;
+the ``repro obs`` CLI writes one next to each trace.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["RunManifest", "collect_manifest", "git_revision"]
+
+MANIFEST_FORMAT = "repro-run-manifest"
+
+
+def git_revision() -> Optional[str]:
+    """Short git revision of the working tree this package runs from.
+
+    ``None`` when the package is not inside a git checkout (installed
+    wheels, stripped containers) or git is unavailable.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _tool_versions() -> Dict[str, str]:
+    import numpy
+    import scipy
+
+    from repro import __version__
+
+    versions = {
+        "repro": __version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "scipy": scipy.__version__,
+    }
+    try:
+        import networkx
+
+        versions["networkx"] = networkx.__version__
+    except ImportError:  # optional at runtime for most of the library
+        pass
+    return versions
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Reproducibility record for one run.
+
+    Attributes:
+        created_utc: ISO-8601 creation time (UTC).
+        seed: The run's root seed, if it had one.
+        params: The parameter dict that defined the run.
+        command: The invoking command line (``sys.argv`` or caller-supplied).
+        git_revision: Short revision of the source checkout, if known.
+        versions: Tool versions (repro, python, numpy, scipy, ...).
+        platform: ``platform.platform()`` of the host.
+    """
+
+    created_utc: str
+    seed: Optional[int] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    command: Optional[str] = None
+    git_revision: Optional[str] = None
+    versions: Dict[str, str] = field(default_factory=dict)
+    platform: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": MANIFEST_FORMAT,
+            "created_utc": self.created_utc,
+            "seed": self.seed,
+            "params": dict(self.params),
+            "command": self.command,
+            "git_revision": self.git_revision,
+            "versions": dict(self.versions),
+            "platform": self.platform,
+        }
+
+    def write(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "RunManifest":
+        doc = json.loads(Path(path).read_text())
+        if doc.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                f"not a {MANIFEST_FORMAT} document (format={doc.get('format')!r})"
+            )
+        return RunManifest(
+            created_utc=doc["created_utc"],
+            seed=doc.get("seed"),
+            params=doc.get("params") or {},
+            command=doc.get("command"),
+            git_revision=doc.get("git_revision"),
+            versions=doc.get("versions") or {},
+            platform=doc.get("platform") or "",
+        )
+
+
+def collect_manifest(
+    *,
+    seed: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+    command: Optional[str] = None,
+) -> RunManifest:
+    """Build a :class:`RunManifest` for the current process/environment."""
+    return RunManifest(
+        created_utc=datetime.now(timezone.utc).isoformat(),
+        seed=seed,
+        params=dict(params or {}),
+        command=command if command is not None else " ".join(sys.argv),
+        git_revision=git_revision(),
+        versions=_tool_versions(),
+        platform=platform.platform(),
+    )

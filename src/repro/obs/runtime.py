@@ -1,0 +1,134 @@
+"""The instrumentation switchboard: one process-local enable flag.
+
+Hot code imports the :data:`OBS` singleton once and guards every report::
+
+    from repro.obs import OBS
+
+    if OBS.enabled:
+        OBS.registry.counter("lp.solves").inc()
+        OBS.tracer.event("lp.solve", n_vars=n_vars)
+
+With instrumentation off (the default) the guard costs one attribute load
+and a branch — the null backends behind it are never reached — which is what
+keeps the tier-1 suite at its uninstrumented runtime.  Enabling is scoped::
+
+    from repro.obs import instrument
+
+    with instrument(seed=1, params={"n": 50}) as session:
+        build_ira_tree(net, lc)
+    print(session.registry.render())
+    session.tracer.write_jsonl("trace.jsonl")
+
+Sessions nest: the previous backend triple is restored on exit, so a caller
+that is itself instrumented can run a scoped sub-session.  The switchboard
+is deliberately process-local (no thread-local indirection): the library's
+parallelism is process-based (:mod:`repro.experiments.parallel`), and a
+per-call thread-local lookup would cost more than the entire null path.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.obs.manifest import RunManifest, collect_manifest
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+__all__ = ["OBS", "ObsSession", "instrument", "is_enabled"]
+
+
+class _ObsState:
+    """Mutable singleton holding the active backends."""
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.registry: MetricsRegistry = NULL_REGISTRY
+        self.tracer: Tracer = NULL_TRACER
+
+
+#: The process-local instrumentation state; import this, check ``.enabled``.
+OBS = _ObsState()
+
+
+def is_enabled() -> bool:
+    """Whether an instrumentation session is currently active."""
+    return OBS.enabled
+
+
+@dataclass
+class ObsSession:
+    """The bundle one :func:`instrument` block produces.
+
+    Attributes:
+        registry: Metrics recorded during the block.
+        tracer: Structured events recorded during the block.
+        manifest: Reproducibility record collected at block entry.
+    """
+
+    registry: MetricsRegistry
+    tracer: Tracer
+    manifest: RunManifest
+
+    def write(self, directory: Union[str, Path]) -> Dict[str, Path]:
+        """Write trace.jsonl / manifest.json / metrics.json under *directory*.
+
+        Returns the mapping of artifact name to written path.  The directory
+        is created if needed.
+        """
+        import json
+
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "trace": out / "trace.jsonl",
+            "manifest": out / "manifest.json",
+            "metrics": out / "metrics.json",
+        }
+        self.tracer.write_jsonl(paths["trace"])
+        self.manifest.write(paths["manifest"])
+        paths["metrics"].write_text(
+            json.dumps(self.registry.snapshot(), indent=2, sort_keys=True)
+        )
+        return paths
+
+
+@contextmanager
+def instrument(
+    *,
+    seed: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+    command: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+) -> Iterator[ObsSession]:
+    """Enable instrumentation for the duration of the block.
+
+    Args:
+        seed: Root seed of the run, recorded in the manifest.
+        params: Parameter dict of the run, recorded in the manifest.
+        command: Command line to record (defaults to ``sys.argv``).
+        registry: Use an existing registry instead of a fresh one (lets a
+            caller accumulate several blocks into one snapshot).
+        tracer: Use an existing tracer instead of a fresh one.
+
+    The previous state (including a previously active session's backends)
+    is restored when the block exits, normally or by exception.
+    """
+    session = ObsSession(
+        registry=registry if registry is not None else MetricsRegistry(),
+        tracer=tracer if tracer is not None else Tracer(),
+        manifest=collect_manifest(seed=seed, params=params, command=command),
+    )
+    prev = (OBS.enabled, OBS.registry, OBS.tracer)
+    OBS.enabled = True
+    OBS.registry = session.registry
+    OBS.tracer = session.tracer
+    try:
+        yield session
+    finally:
+        OBS.enabled, OBS.registry, OBS.tracer = prev

@@ -1,0 +1,80 @@
+"""Wall-clock stage accumulation (absorbed from ``analysis.profiling``).
+
+:class:`StageTimer` predates the metrics registry and remains the right tool
+for coarse "how long did each build stage take" questions; it is re-exported
+from :mod:`repro.analysis.profiling` for compatibility.
+
+Semantics (pinned by ``tests/test_profiling.py``):
+
+* sequential ``stage(name)`` blocks accumulate time and count invocations;
+* an exception inside a stage still records that stage's elapsed time and
+  its invocation, then propagates;
+* *nested* re-entry of the **same** stage name records the stage once, with
+  the outermost elapsed time — the naive implementation counted the inner
+  time twice (once for the inner block, again inside the outer block's
+  elapsed), silently double-counting whenever exception-handling or helper
+  code re-entered a stage;
+* nesting *different* stage names records both (the inner time is part of
+  the outer stage's total by design — totals answer "time spent under this
+  label", not a flame-graph decomposition).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulate wall-clock time per named stage.
+
+    Usage::
+
+        timer = StageTimer()
+        with timer.stage("lp"):
+            ...
+        timer.totals()  # {"lp": seconds}
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._active_depth: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        depth = self._active_depth.get(name, 0)
+        self._active_depth[name] = depth + 1
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            remaining = self._active_depth[name] - 1
+            if remaining:
+                self._active_depth[name] = remaining
+            else:
+                del self._active_depth[name]
+            if depth == 0:  # only the outermost frame of a name records
+                elapsed = time.perf_counter() - start
+                self._totals[name] = self._totals.get(name, 0.0) + elapsed
+                self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        """Accumulated seconds per stage."""
+        return dict(self._totals)
+
+    def counts(self) -> Dict[str, int]:
+        """Invocations per stage."""
+        return dict(self._counts)
+
+    def render(self) -> str:
+        from repro.utils.tables import format_table
+
+        rows = [
+            [name, self._counts[name], round(self._totals[name], 4)]
+            for name in sorted(self._totals, key=self._totals.get, reverse=True)
+        ]
+        return format_table(["stage", "calls", "seconds"], rows)

@@ -1,0 +1,170 @@
+"""Structured run traces: JSONL events and spans with monotonic timestamps.
+
+The tracer is the narrative half of the instrumentation layer: where the
+metrics registry answers "how many", the trace answers "in what order and
+how long".  Every record is one JSON object per line so traces stream, diff,
+and grep well:
+
+``{"t": 0.00123, "name": "lp.solve", "kind": "event", "fields": {...}}``
+
+* ``t`` — seconds since the tracer was created, from
+  :func:`time.perf_counter` (monotonic; immune to wall-clock steps);
+* ``name`` — dotted event name (``layer.what``), e.g. ``ira.iteration``;
+* ``kind`` — ``"event"`` for points, ``"span"`` for timed regions;
+* ``dur`` — span duration in seconds (spans only);
+* ``fields`` — free-form JSON payload (numbers, strings, bools).
+
+The wall-clock epoch of ``t == 0`` is recorded once in the header line
+(``kind == "trace_start"``) so traces can be correlated across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce a field value to something ``json.dumps`` accepts."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    try:  # numpy scalars expose item() without importing numpy here
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes:
+        name: Dotted event name (``layer.what``).
+        kind: ``"event"``, ``"span"``, or ``"trace_start"``.
+        t: Monotonic seconds since the tracer's epoch.
+        dur: Span duration in seconds (``None`` for point events).
+        fields: Free-form payload.
+    """
+
+    name: str
+    kind: str
+    t: float
+    dur: Optional[float] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        doc: Dict[str, Any] = {"t": round(self.t, 9), "name": self.name, "kind": self.kind}
+        if self.dur is not None:
+            doc["dur"] = round(self.dur, 9)
+        if self.fields:
+            doc["fields"] = {k: _json_safe(v) for k, v in self.fields.items()}
+        return json.dumps(doc, sort_keys=True)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against a monotonic epoch."""
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self.started_utc = datetime.now(timezone.utc).isoformat()
+        self.events: List[TraceEvent] = [
+            TraceEvent(
+                name="trace",
+                kind="trace_start",
+                t=0.0,
+                fields={"started_utc": self.started_utc},
+            )
+        ]
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point event at the current monotonic time."""
+        self.events.append(
+            TraceEvent(name=name, kind="event", t=self._now(), fields=fields)
+        )
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[Dict[str, Any]]:
+        """Record a timed region; yields the mutable fields dict.
+
+        The span's entry time and duration are recorded even when the body
+        raises (the exception type is added as an ``error`` field), so
+        traces of failed runs stay complete.
+        """
+        start = self._now()
+        payload = dict(fields)
+        try:
+            yield payload
+        except BaseException as exc:
+            payload.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self.events.append(
+                TraceEvent(
+                    name=name,
+                    kind="span",
+                    t=start,
+                    dur=self._now() - start,
+                    fields=payload,
+                )
+            )
+
+    def to_jsonl(self) -> str:
+        """The full trace as JSON-lines text (trailing newline included)."""
+        return "\n".join(e.to_json() for e in self.events) + "\n"
+
+    def write_jsonl(self, path: Union[str, Path]) -> None:
+        """Write the trace to *path* as JSONL."""
+        Path(path).write_text(self.to_jsonl())
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, spans are pass-throughs."""
+
+    def __init__(self) -> None:  # no clock read, no header event
+        self.started_utc = ""
+        self.events = []
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **fields: Any) -> Iterator[Dict[str, Any]]:
+        yield {}
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+#: Shared null tracer installed while instrumentation is off.
+NULL_TRACER = NullTracer()
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into a list of record dicts.
+
+    Raises ``ValueError`` if any non-empty line is not a JSON object with
+    the mandatory ``t`` / ``name`` / ``kind`` keys.
+    """
+    records: List[Dict[str, Any]] = []
+    for i, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        doc = json.loads(line)
+        if not isinstance(doc, dict) or not {"t", "name", "kind"} <= doc.keys():
+            raise ValueError(f"line {i} is not a trace record: {line[:80]!r}")
+        records.append(doc)
+    return records

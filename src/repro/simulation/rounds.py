@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from repro.core.tree import AggregationTree
+from repro.obs import OBS
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["RoundOutcome", "AggregationSimulator"]
@@ -120,9 +121,21 @@ class AggregationSimulator:
             ledger.remaining[tree.sink] -= model.tx
 
         delivered = frozenset(delivered_below[tree.sink])
+        complete = len(delivered) == tree.n
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("sim.rounds").inc()
+            reg.counter(
+                "sim.rounds_by_outcome",
+                outcome="complete" if complete else "incomplete",
+            ).inc()
+            reg.counter("sim.transmissions").inc(transmissions)
+            reg.counter("sim.deliveries").inc(len(delivered))
+            reg.counter("sim.delivery_failures").inc(tree.n - len(delivered))
+            reg.counter("sim.link_losses").inc(len(losses))
         return RoundOutcome(
             delivered=delivered,
-            complete=len(delivered) == tree.n,
+            complete=complete,
             transmissions=transmissions,
             losses=tuple(losses),
             delivery_ratio=len(delivered) / tree.n,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["bar_chart", "line_chart"]
+__all__ = ["bar_chart", "histogram_summary", "line_chart"]
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
 _MARKERS = "ox+*#@%&"
@@ -46,6 +46,77 @@ def bar_chart(
         lines.append(
             f"{str(label).ljust(label_width)} |{bar.ljust(width)}| "
             f"{format(value, value_fmt)}"
+        )
+    return "\n".join(lines)
+
+
+def histogram_summary(
+    values: Sequence[float],
+    *,
+    bins: int = 8,
+    width: int = 40,
+    title: Optional[str] = None,
+    value_fmt: str = ".4g",
+) -> str:
+    """Binned bar rendering of a distribution with p50/p90/max markers.
+
+    One row per bin (``lo..hi |bar| count``); the rows containing the
+    median, the 90th percentile, and the maximum are flagged in a right
+    gutter so ``repro obs`` metric output is scannable in a terminal.
+    A degenerate distribution (all observations equal) collapses to a
+    single-row summary.
+    """
+    if not values:
+        raise ValueError("nothing to summarize")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+
+    def rank(p: float) -> float:
+        return ordered[max(0, min(n - 1, round(p / 100.0 * (n - 1))))]
+
+    p50, p90, peak = rank(50), rank(90), ordered[-1]
+    stats_line = (
+        f"count={n}  p50={format(p50, value_fmt)}  "
+        f"p90={format(p90, value_fmt)}  max={format(peak, value_fmt)}"
+    )
+    lines = [title] if title else []
+    lines.append(stats_line)
+
+    lo, hi = ordered[0], ordered[-1]
+    if lo == hi:
+        lines.append(f"{format(lo, value_fmt)} |{'█' * width}| {n}")
+        return "\n".join(lines)
+
+    span = hi - lo
+    counts = [0] * bins
+    for v in ordered:
+        idx = min(bins - 1, int((v - lo) / span * bins))
+        counts[idx] += 1
+    edges = [lo + span * i / bins for i in range(bins + 1)]
+
+    def bin_of(value: float) -> int:
+        return min(bins - 1, int((value - lo) / span * bins))
+
+    markers: Dict[int, List[str]] = {}
+    for label, value in (("p50", p50), ("p90", p90), ("max", peak)):
+        markers.setdefault(bin_of(value), []).append(label)
+
+    labels = [
+        f"{format(edges[i], value_fmt)}..{format(edges[i + 1], value_fmt)}"
+        for i in range(bins)
+    ]
+    label_width = max(len(l) for l in labels)
+    tallest = max(counts)
+    for i, count in enumerate(counts):
+        cells = count / tallest * width
+        filled = int(cells)
+        remainder = int((cells - filled) * (len(_BLOCKS) - 1))
+        bar = "█" * filled + (_BLOCKS[remainder] if remainder else "")
+        gutter = "  ◄" + ",".join(markers[i]) if i in markers else ""
+        lines.append(
+            f"{labels[i].ljust(label_width)} |{bar.ljust(width)}| {count}{gutter}"
         )
     return "\n".join(lines)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.utils.ascii_chart import bar_chart, line_chart
+from repro.utils.ascii_chart import bar_chart, histogram_summary, line_chart
 
 
 class TestBarChart:
@@ -46,6 +46,56 @@ class TestBarChart:
     def test_tiny_width_rejected(self):
         with pytest.raises(ValueError):
             bar_chart(["a"], [1.0], width=2)
+
+
+class TestHistogramSummary:
+    def test_stats_line(self):
+        out = histogram_summary([1.0, 2.0, 3.0, 4.0, 5.0], bins=4)
+        stats = out.splitlines()[0]
+        assert "count=5" in stats
+        assert "p50=3" in stats
+        assert "max=5" in stats
+
+    def test_one_row_per_bin(self):
+        out = histogram_summary([1.0, 2.0, 3.0, 10.0], bins=3)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert len(rows) == 3
+
+    def test_counts_partition_observations(self):
+        values = [0.5, 1.5, 1.6, 2.5, 9.0, 9.5]
+        out = histogram_summary(values, bins=5)
+        rows = [l for l in out.splitlines() if "|" in l]
+        counts = [int(r.split("|")[-1].split()[0]) for r in rows]
+        assert sum(counts) == len(values)
+
+    def test_markers_present(self):
+        out = histogram_summary(list(range(100)), bins=8)
+        assert "◄" in out
+        assert "p50" in out and "p90" in out and "max" in out
+
+    def test_max_marker_in_last_bin(self):
+        out = histogram_summary([1.0, 2.0, 3.0, 4.0], bins=4)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert "max" in rows[-1]
+
+    def test_degenerate_all_equal(self):
+        out = histogram_summary([2.0, 2.0, 2.0])
+        lines = out.splitlines()
+        assert "count=3" in lines[0]
+        assert len(lines) == 2  # stats + single collapsed row
+        assert "3" in lines[1]
+
+    def test_title(self):
+        out = histogram_summary([1.0, 2.0], title="lp.solve_seconds")
+        assert out.splitlines()[0] == "lp.solve_seconds"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_summary([])
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ValueError, match="bins"):
+            histogram_summary([1.0], bins=0)
 
 
 class TestLineChart:

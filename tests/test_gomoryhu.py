@@ -91,7 +91,12 @@ class TestAllPairsCorrectness:
 
     @given(capacitated_graphs())
     @settings(max_examples=25, deadline=None)
-    def test_matches_networkx_gomory_hu(self, instance):
+    def test_matches_networkx_min_cut_values(self, instance):
+        # The oracle is networkx's direct minimum_cut_value per pair, NOT
+        # its gomory_hu_tree: with the default flow function (networkx 3.6,
+        # edmonds_karp) gomory_hu_tree can return a tree inconsistent with
+        # its own minimum_cut_value on multi-edge-merged graphs, so the
+        # per-pair flow computation is the trustworthy reference.
         n, edges = instance
         g = nx.Graph()
         g.add_nodes_from(range(n))
@@ -101,14 +106,10 @@ class TestAllPairsCorrectness:
             else:
                 g.add_edge(u, v, capacity=cap)
         if not nx.is_connected(g):
-            return  # networkx's gomory_hu_tree requires connectivity
-        nx_tree = nx.gomory_hu_tree(g)
+            return  # mirrors gomory-hu's usual connectivity requirement
         ours = build_gomory_hu_tree(n, edges)
         for u, v in itertools.combinations(range(n), 2):
-            path = nx.shortest_path(nx_tree, u, v)
-            expected = min(
-                nx_tree[a][b]["weight"] for a, b in zip(path, path[1:])
-            )
+            expected = nx.minimum_cut_value(g, u, v)
             assert ours.min_cut_value(u, v) == pytest.approx(
                 expected, abs=1e-7
-            )
+            ), (u, v)

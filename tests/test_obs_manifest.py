@@ -1,0 +1,57 @@
+"""Tests for repro.obs.manifest."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    RunManifest,
+    collect_manifest,
+    git_revision,
+)
+
+
+class TestCollectManifest:
+    def test_records_environment(self):
+        man = collect_manifest(seed=7, params={"n": 50}, command="repro obs ira")
+        assert man.seed == 7
+        assert man.params == {"n": 50}
+        assert man.command == "repro obs ira"
+        assert man.created_utc  # ISO timestamp present
+        assert man.versions["python"]
+        assert man.versions["repro"]
+        assert man.versions["numpy"]
+        assert man.platform
+
+    def test_command_defaults_to_argv(self):
+        assert collect_manifest().command  # sys.argv joined, never empty
+
+    def test_git_revision_in_checkout(self):
+        # The test suite runs from the source checkout, so this is known.
+        rev = git_revision()
+        assert rev is None or (len(rev) >= 7 and rev.strip() == rev)
+
+
+class TestRunManifest:
+    def test_roundtrip(self, tmp_path):
+        man = collect_manifest(seed=3, params={"p": 0.5})
+        path = tmp_path / "manifest.json"
+        man.write(path)
+        loaded = RunManifest.load(path)
+        assert loaded == man
+
+    def test_written_document_is_tagged(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        collect_manifest().write(path)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == MANIFEST_FORMAT
+
+    def test_load_rejects_foreign_document(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro-run-manifest"):
+            RunManifest.load(path)
+
+    def test_to_dict_is_json_compatible(self):
+        json.dumps(collect_manifest(seed=1, params={"a": [1, 2]}).to_dict())

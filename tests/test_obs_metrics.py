@@ -1,0 +1,154 @@
+"""Tests for repro.obs.metrics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_no_labels_is_bare_name(self):
+        assert metric_key("lp.solves", {}) == "lp.solves"
+
+    def test_labels_sorted(self):
+        key = metric_key("m", {"b": 2, "a": 1})
+        assert key == "m{a=1,b=2}"
+
+    def test_label_order_irrelevant(self):
+        assert metric_key("m", {"x": 1, "y": 2}) == metric_key(
+            "m", {"y": 2, "x": 1}
+        )
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistogram:
+    def test_summary(self):
+        h = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 5
+        assert s["sum"] == 15.0
+        assert s["min"] == 1.0
+        assert s["p50"] == 3.0
+        assert s["max"] == 5.0
+
+    def test_empty_summary(self):
+        assert Histogram("h").summary() == {"count": 0, "sum": 0.0}
+
+    def test_percentile_bounds(self):
+        h = Histogram("h")
+        h.observe(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(101)
+
+    def test_percentile_empty_rejected(self):
+        with pytest.raises(ValueError, match="no observations"):
+            Histogram("h").percentile(50)
+
+    def test_percentile_order_independent(self):
+        h = Histogram("h")
+        for v in [9.0, 1.0, 5.0]:
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 9.0
+
+
+class TestMetricsRegistry:
+    def test_same_identity_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", op="x")
+        b = reg.counter("m", op="x")
+        assert a is b
+
+    def test_labels_create_distinct_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("m", op="x").inc()
+        reg.counter("m", op="y").inc(2)
+        assert reg.counter_value("m", op="x") == 1
+        assert reg.counter_value("m", op="y") == 2
+
+    def test_total_sums_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("m", op="x").inc()
+        reg.counter("m", op="y").inc(2)
+        reg.counter("other").inc(100)
+        assert reg.total("m") == 3
+
+    def test_counter_value_untouched_is_zero(self):
+        assert MetricsRegistry().counter_value("never") == 0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", k="v").inc()
+        reg.gauge("g").set(2.5)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c{k=v}": 1}
+        assert snap["gauges"] == {"g": 2.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_is_json_compatible(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("h").observe(0.5)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_render_contains_all_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("my.counter").inc()
+        reg.gauge("my.gauge").set(1)
+        reg.histogram("my.hist").observe(1.0)
+        out = reg.render()
+        assert "Counters" in out and "my.counter" in out
+        assert "Gauges" in out and "my.gauge" in out
+        assert "Histograms" in out and "my.hist" in out
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()
+
+
+class TestNullRegistry:
+    def test_records_nothing(self):
+        reg = NullRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(3)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_REGISTRY, NullRegistry)
+        NULL_REGISTRY.counter("anything").inc()
+        assert NULL_REGISTRY.counter_value("anything") == 0

@@ -1,0 +1,106 @@
+"""Tests for repro.obs.trace."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer, read_jsonl
+
+
+class TestTraceEvent:
+    def test_to_json_minimal(self):
+        doc = json.loads(TraceEvent(name="e", kind="event", t=0.5).to_json())
+        assert doc == {"t": 0.5, "name": "e", "kind": "event"}
+
+    def test_to_json_span_with_fields(self):
+        ev = TraceEvent(name="s", kind="span", t=1.0, dur=0.25, fields={"n": 3})
+        doc = json.loads(ev.to_json())
+        assert doc["dur"] == 0.25
+        assert doc["fields"] == {"n": 3}
+
+    def test_non_json_fields_coerced(self):
+        ev = TraceEvent(
+            name="e", kind="event", t=0.0, fields={"s": {1, 2}, "o": object()}
+        )
+        doc = json.loads(ev.to_json())
+        assert sorted(doc["fields"]["s"]) == [1, 2]
+        assert isinstance(doc["fields"]["o"], str)
+
+
+class TestTracer:
+    def test_header_event_first(self):
+        tracer = Tracer()
+        head = tracer.events[0]
+        assert head.kind == "trace_start"
+        assert head.t == 0.0
+        assert head.fields["started_utc"] == tracer.started_utc
+
+    def test_events_have_monotonic_timestamps(self):
+        tracer = Tracer()
+        tracer.event("a")
+        tracer.event("b")
+        times = [e.t for e in tracer.events]
+        assert times == sorted(times)
+        assert all(t >= 0 for t in times)
+
+    def test_event_fields_recorded(self):
+        tracer = Tracer()
+        tracer.event("lp.solve", n_vars=10, ok=True)
+        ev = tracer.events[-1]
+        assert ev.fields == {"n_vars": 10, "ok": True}
+
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work", stage="x") as payload:
+            payload["extra"] = 1
+        span = tracer.events[-1]
+        assert span.kind == "span"
+        assert span.dur is not None and span.dur >= 0
+        assert span.fields == {"stage": "x", "extra": 1}
+
+    def test_span_recorded_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        span = tracer.events[-1]
+        assert span.name == "boom"
+        assert span.fields["error"] == "RuntimeError"
+
+    def test_roundtrip_through_jsonl(self, tmp_path):
+        tracer = Tracer()
+        tracer.event("a", x=1)
+        with tracer.span("b"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        records = read_jsonl(path)
+        assert [r["name"] for r in records] == ["trace", "a", "b"]
+        assert records[0]["kind"] == "trace_start"
+        assert records[2]["kind"] == "span" and "dur" in records[2]
+
+
+class TestReadJsonl:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"t": 0, "name": "a", "kind": "event"}\n\n')
+        assert len(read_jsonl(path)) == 1
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"only": "junk"}\n')
+        with pytest.raises(ValueError, match="line 1"):
+            read_jsonl(path)
+
+
+class TestNullTracer:
+    def test_records_nothing(self):
+        tracer = NullTracer()
+        tracer.event("a")
+        with tracer.span("b") as payload:
+            payload["ignored"] = 1
+        assert tracer.events == []
+        assert tracer.to_jsonl() == ""
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_TRACER, NullTracer)

@@ -31,11 +31,55 @@ class TestStageTimer:
                 raise RuntimeError
         assert timer.counts()["boom"] == 1
 
+    def test_nested_same_name_records_once(self):
+        # Re-entering an active stage must not double-count the elapsed
+        # time: only the outermost frame of a name records.
+        timer = StageTimer()
+        with timer.stage("recurse"):
+            with timer.stage("recurse"):
+                time.sleep(0.002)
+            time.sleep(0.002)
+        assert timer.counts()["recurse"] == 1
+        assert 0.003 <= timer.totals()["recurse"] < 0.1
+
+    def test_nested_different_names_both_recorded(self):
+        timer = StageTimer()
+        with timer.stage("outer"):
+            with timer.stage("inner"):
+                time.sleep(0.002)
+        assert timer.counts() == {"outer": 1, "inner": 1}
+        # The outer stage wraps the inner one entirely.
+        assert timer.totals()["outer"] >= timer.totals()["inner"]
+
+    def test_nested_same_name_exception_still_records_once(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                with timer.stage("boom"):
+                    raise RuntimeError
+        assert timer.counts()["boom"] == 1
+
+    def test_reusable_after_nesting(self):
+        timer = StageTimer()
+        with timer.stage("s"):
+            with timer.stage("s"):
+                pass
+        with timer.stage("s"):
+            pass
+        assert timer.counts()["s"] == 2
+
     def test_render(self):
         timer = StageTimer()
         with timer.stage("x"):
             pass
         assert "seconds" in timer.render()
+
+    def test_reexported_from_obs(self):
+        # The class moved into the instrumentation layer; the old import
+        # path must keep working and refer to the same object.
+        from repro.obs import StageTimer as ObsStageTimer
+
+        assert ObsStageTimer is StageTimer
 
 
 class TestScalingStudy:

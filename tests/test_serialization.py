@@ -123,6 +123,38 @@ class TestExperimentResultIO:
         doc = result_to_dict(run_fig3(duration_s=0.5))
         assert doc["library_version"] == repro.__version__
 
+    def test_manifest_always_embedded(self, tmp_path):
+        from repro.obs.manifest import MANIFEST_FORMAT
+
+        path = tmp_path / "fig3.json"
+        save_result(run_fig3(duration_s=0.2), path)
+        doc = load_result(path)
+        man = doc["manifest"]
+        assert man["format"] == MANIFEST_FORMAT
+        assert man["versions"]["repro"]
+        assert man["command"]
+
+    def test_explicit_manifest_used(self):
+        from repro.obs import collect_manifest
+
+        manifest = collect_manifest(seed=42, params={"duration_s": 0.2})
+        doc = result_to_dict(run_fig3(duration_s=0.2), manifest=manifest)
+        assert doc["manifest"]["seed"] == 42
+        assert doc["manifest"]["params"] == {"duration_s": 0.2}
+
+    def test_metrics_attached_when_instrumented(self):
+        from repro.obs import instrument
+
+        with instrument():
+            result = run_fig3(duration_s=0.2)
+            doc = result_to_dict(result)
+        assert "metrics" in doc
+        assert set(doc["metrics"]) == {"counters", "gauges", "histograms"}
+        # Not instrumented -> no metrics key, but the manifest stays.
+        doc_plain = result_to_dict(result)
+        assert "metrics" not in doc_plain
+        assert "manifest" in doc_plain
+
 
 class TestEveryResultTypeSerializes:
     """Every harness result (figures + extensions) must export cleanly."""
