@@ -16,7 +16,10 @@ The library provides, as a coherent toolkit:
 * **behavioural simulators** for aggregation rounds, lifetime, and
   retransmission counting;
 * an **experiment harness** (:mod:`repro.experiments`) regenerating every
-  figure of the evaluation.
+  figure of the evaluation;
+* the **engine** (:mod:`repro.engine`) — the mutable :class:`TreeState`
+  powering the incremental local searches, and a name-indexed builder
+  registry (``build_tree("ira", net, lc=...)``; see ``mrlc builders``).
 
 Quickstart::
 
@@ -49,6 +52,15 @@ from repro.core import (
     solve_mrlc_exact,
 )
 from repro.distributed import ChurnSimulation, DistributedProtocol
+from repro.engine import (
+    BuildResult,
+    TreeState,
+    UnknownBuilderError,
+    available_builders,
+    build_tree,
+    get_builder,
+    tree_builder,
+)
 from repro.network import (
     EnergyModel,
     Network,
@@ -66,6 +78,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregationSimulator",
     "AggregationTree",
+    "BuildResult",
     "ChurnSimulation",
     "DisconnectedNetworkError",
     "DistributedProtocol",
@@ -79,19 +92,25 @@ __all__ = [
     "PAPER_COST_SCALE",
     "SequencePair",
     "TELOSB",
+    "TreeState",
     "TreeStatistics",
+    "UnknownBuilderError",
     "__version__",
+    "available_builders",
     "build_aaml_tree",
     "build_ira_tree",
     "build_mst_tree",
     "build_random_tree",
     "build_rasmalai_tree",
     "build_spt_tree",
+    "build_tree",
     "compare_trees",
     "dfl_network",
+    "get_builder",
     "grid_graph",
     "random_graph",
     "simulate_lifetime",
     "solve_mrlc_exact",
+    "tree_builder",
     "unit_disk_graph",
 ]

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import DisconnectedNetworkError
 from repro.core.tree import AggregationTree
+from repro.engine.treestate import TreeState, freeze_parents
 from repro.network.model import Network
 
 __all__ = ["build_delay_bounded_tree"]
@@ -98,26 +99,35 @@ def build_delay_bounded_tree(
         raise ValueError(f"max_depth must be >= 1, got {max_depth}")
     n = network.n
     if n == 1:
-        return AggregationTree(network, {})
+        return freeze_parents(network, {})
 
-    tree = _layered_seed(network, max_depth)
+    state = TreeState.from_tree(_layered_seed(network, max_depth))
+    sink = state.sink
 
     moves = 0
     improved = True
     while improved and moves < max_moves:
         improved = False
         best: Optional[Tuple[float, int, int]] = None
-        depths = {v: tree.depth(v) for v in range(n)}
-        for child in range(n):
-            if child == tree.sink:
+        depths = state.depths()
+        # Deepest descendant of every node, by relaxing depths upward in
+        # deepest-first order (each node folds into its parent exactly once).
+        subtree_max = list(depths)
+        for v in sorted(range(n), key=depths.__getitem__, reverse=True):
+            if v == sink:
                 continue
-            parent = tree.parent(child)
+            p = state.parent(v)
+            assert p is not None
+            if subtree_max[v] > subtree_max[p]:
+                subtree_max[p] = subtree_max[v]
+        for child in range(n):
+            if child == sink:
+                continue
+            parent = state.parent(child)
             assert parent is not None
-            subtree = tree.subtree(child)
-            # Deepest node of the subtree relative to child.
-            relative_depth = max(depths[x] for x in subtree) - depths[child]
+            relative_depth = subtree_max[child] - depths[child]
             for cand in network.neighbors(child):
-                if cand == parent or cand in subtree:
+                if cand == parent or state.in_subtree(cand, child):
                     continue
                 if depths[cand] + 1 + relative_depth > max_depth:
                     continue  # the move would push the subtree too deep
@@ -125,10 +135,11 @@ def build_delay_bounded_tree(
                 if delta < -1e-15 and (best is None or delta < best[0]):
                     best = (delta, child, cand)
         if best is not None:
-            tree = tree.with_parent(best[1], best[2])
+            state.reparent(best[1], best[2], check=False)
             moves += 1
             improved = True
 
+    tree = state.freeze()
     final_depth = max(tree.depth(v) for v in range(n))
     assert final_depth <= max_depth
     return tree

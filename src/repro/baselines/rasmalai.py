@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.core.local_search import bfs_tree
 from repro.core.tree import AggregationTree
+from repro.engine.treestate import TreeState
 from repro.network.model import Network
 from repro.utils.rng import SeedLike, as_rng
 
@@ -83,9 +84,10 @@ def build_rasmalai_tree(
     tree = initial_tree if initial_tree is not None else bfs_tree(network)
     if tree.network is not network:
         raise ValueError("initial_tree must be built over the same network")
+    state = TreeState.from_tree(tree)
 
-    def bottleneck_state(t: AggregationTree):
-        lifetimes = [t.node_lifetime(v) for v in range(t.n)]
+    def bottleneck_state():
+        lifetimes = [state.node_lifetime(v) for v in range(state.n)]
         low = min(lifetimes)
         members = [v for v, l in enumerate(lifetimes) if l <= low * (1 + 1e-12)]
         return low, members
@@ -93,24 +95,23 @@ def build_rasmalai_tree(
     switches = 0
     attempts = 0
     failures = 0
-    low, members = bottleneck_state(tree)
+    low, members = bottleneck_state()
     while switches < max_switches and failures < patience:
         attempts += 1
         # Random bottleneck node with at least one child.
-        loaded_candidates = [v for v in members if tree.n_children(v) > 0]
+        loaded_candidates = [v for v in members if state.n_children(v) > 0]
         if not loaded_candidates:
             break  # bottleneck nodes are all leaves; no load to shed
         loaded = int(loaded_candidates[rng.integers(0, len(loaded_candidates))])
-        children = tree.children(loaded)
+        children = state.children(loaded)
         child = int(children[rng.integers(0, len(children))])
-        subtree = tree.subtree(child)
         eligible = [
             p
             for p in network.neighbors(child)
             if p != loaded
-            and p not in subtree
+            and not state.in_subtree(p, child)
             and network.energy_model.lifetime_rounds(
-                network.initial_energy(p), tree.n_children(p) + 1
+                network.initial_energy(p), state.n_children(p) + 1
             )
             > low * (1 + 1e-12)
         ]
@@ -118,18 +119,19 @@ def build_rasmalai_tree(
             failures += 1
             continue
         new_parent = int(eligible[rng.integers(0, len(eligible))])
-        trial = tree.with_parent(child, new_parent)
-        new_low, new_members = bottleneck_state(trial)
+        state.reparent(child, new_parent, check=False)
+        new_low, new_members = bottleneck_state()
         if new_low > low * (1 + 1e-12) or (
             new_low >= low * (1 - 1e-12) and len(new_members) < len(members)
         ):
-            tree = trial
             low, members = new_low, new_members
             switches += 1
             failures = 0
         else:
+            state.reparent(child, loaded, check=False)  # undo the trial move
             failures += 1
 
+    final = state.freeze()
     return RaSMaLaiResult(
-        tree=tree, lifetime=tree.lifetime(), switches=switches, attempts=attempts
+        tree=final, lifetime=final.lifetime(), switches=switches, attempts=attempts
     )

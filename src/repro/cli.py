@@ -9,6 +9,7 @@ Usage (installed as ``mrlc`` or via ``python -m repro``)::
     mrlc fig11 --rounds 50    # churn experiment (prints Figs. 11-13 series)
     mrlc all --quick          # every figure at reduced scale
     mrlc obs ira --nodes 50   # instrumented run (see repro.obs.cli)
+    mrlc builders             # list registered tree builders + knobs
 
 Output is the plain-text table of the same rows/series the paper's figure
 plots (costs in the paper's −1000·log2 q units).  The ``obs`` subcommand
@@ -172,6 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _builders_main() -> int:
+    """Print every registered tree builder with its knobs (``mrlc builders``)."""
+    from repro.engine import available_builders, get_builder
+
+    print("Registered tree builders (resolve via repro.engine.build_tree):")
+    print()
+    for name in available_builders():
+        print(get_builder(name).describe())
+        print()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -182,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.cli import obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "builders":
+        return _builders_main()
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.quick:

@@ -61,6 +61,7 @@ from repro.core.local_search import (
 )
 from repro.core.lp import SUPPORT_EPS, LPSolution, MRLCLinearProgram
 from repro.core.tree import AggregationTree
+from repro.engine.treestate import TreeState, freeze_parents
 from repro.network.model import Network
 from repro.obs import OBS
 from repro.utils.unionfind import UnionFind
@@ -185,7 +186,7 @@ class IterativeRelaxation:
         n = net.n
         if n == 1:
             return IRAResult(
-                tree=AggregationTree(net, {}),
+                tree=freeze_parents(net, {}),
                 spec=spec,
                 iterations=0,
                 lp_solves=0,
@@ -373,7 +374,21 @@ class IterativeRelaxation:
             raise InfeasibleLifetimeError(
                 "surviving edge set no longer spans the network"
             )
-        return AggregationTree.from_edges(self.network, chosen)
+        # Orient away from the sink by incremental attachment; a tree's
+        # orientation is unique, so this matches from_edges exactly.
+        adj: Dict[int, List[int]] = {v: [] for v in self.network.nodes}
+        for u, v in chosen:
+            adj[u].append(v)
+            adj[v].append(u)
+        state = TreeState(self.network)
+        stack = [self.network.sink]
+        while stack:
+            u = stack.pop()
+            for v in adj[u]:
+                if not state.is_attached(v):
+                    state.attach(v, u)
+                    stack.append(v)
+        return state.freeze()
 
 
 def build_ira_tree(

@@ -16,6 +16,13 @@ and re-attach it under a network neighbour outside its own subtree.
 
 Every search strictly decreases (or lexicographically increases) a potential
 per accepted move over a finite state space, so all of them terminate.
+
+All move loops run on the incremental :class:`~repro.engine.treestate.TreeState`
+engine: candidate evaluation is an O(1) delta preview (a re-parent changes
+only the two parents' lifetimes and one tree edge), cycle filtering is an
+ancestor walk, and no :class:`AggregationTree` is constructed until the
+search ``freeze()``s its result.  The accepted moves and final trees are
+decision-identical to the historical rebuild-per-candidate implementation.
 """
 
 from __future__ import annotations
@@ -23,6 +30,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.tree import AggregationTree
+from repro.engine.treestate import (
+    NO_GAIN,
+    TreeState,
+    freeze_parents,
+    lifetime_delta_better,
+)
 from repro.obs import OBS
 
 __all__ = [
@@ -44,27 +57,21 @@ def bfs_tree(network) -> AggregationTree:
     """
     from repro.core.errors import DisconnectedNetworkError
 
-    n = network.n
-    if n == 1:
-        return AggregationTree(network, {})
-    parents = {}
-    visited = [False] * n
-    visited[network.sink] = True
+    state = TreeState(network)
     frontier = [network.sink]
     while frontier:
         nxt = []
         for u in frontier:
             for v in network.neighbors(u):
-                if not visited[v]:
-                    visited[v] = True
-                    parents[v] = u
+                if not state.is_attached(v):
+                    state.attach(v, u)
                     nxt.append(v)
         frontier = nxt
-    if not all(visited):
+    if not state.spanning:
         raise DisconnectedNetworkError(
             "network is disconnected; no spanning tree exists"
         )
-    return AggregationTree(network, parents)
+    return state.freeze()
 
 
 def lifetime_vector(tree: AggregationTree) -> Tuple[float, ...]:
@@ -79,37 +86,39 @@ def maximize_lifetime(
 
     Each iteration scans moves from the most-starved nodes outward and
     accepts the lexicographically best strict improvement of the ascending
-    lifetime vector; stops at a local optimum.
+    lifetime vector; stops at a local optimum.  Candidates are compared via
+    :func:`~repro.engine.treestate.lifetime_delta_better` on the two-node
+    delta each move induces, so evaluation is O(1) per candidate instead of
+    an O(n log n) trial-tree rebuild.
     """
     network = tree.network
-    current_vec = lifetime_vector(tree)
+    state = TreeState.from_tree(tree)
+    n = state.n
     moves = 0
     evaluated = 0
     improved = True
     while improved and moves < max_moves:
         improved = False
-        best_vec = current_vec
+        best_gain = NO_GAIN
         best_move: Optional[Tuple[int, int]] = None
 
-        order = sorted(range(tree.n), key=lambda v: tree.node_lifetime(v))
+        kids = state.children_lists()
+        order = sorted(range(n), key=state.node_lifetime)
         for loaded in order:
-            for child in tree.children(loaded):
-                subtree = tree.subtree(child)
+            for child in kids[loaded]:
                 for candidate in network.neighbors(child):
-                    if candidate == loaded or candidate in subtree:
+                    if candidate == loaded or state.in_subtree(candidate, child):
                         continue
-                    trial = tree.with_parent(child, candidate)
-                    vec = lifetime_vector(trial)
+                    gain = state.reparent_lifetime_delta(child, candidate)
                     evaluated += 1
-                    if vec > best_vec:
-                        best_vec = vec
+                    if lifetime_delta_better(gain, best_gain):
+                        best_gain = gain
                         best_move = (child, candidate)
             if best_move is not None:
                 break  # act on the tightest bottleneck first
 
         if best_move is not None:
-            tree = tree.with_parent(*best_move)
-            current_vec = best_vec
+            state.reparent(*best_move, check=False)
             moves += 1
             improved = True
     if OBS.enabled:
@@ -118,11 +127,11 @@ def maximize_lifetime(
         reg.counter("local_search.moves_evaluated", op="maximize_lifetime").inc(
             evaluated
         )
-    return tree, moves
+    return state.freeze(), moves
 
 
-def _total_excess(tree: AggregationTree, caps: Dict[int, int]) -> int:
-    return sum(max(0, tree.n_children(v) - caps[v]) for v in range(tree.n))
+def _total_excess(state: TreeState, caps: Dict[int, int]) -> int:
+    return sum(max(0, state.n_children(v) - caps[v]) for v in range(state.n))
 
 
 def repair_overload(
@@ -136,20 +145,20 @@ def repair_overload(
     should fall back to :func:`maximize_lifetime`).
     """
     network = tree.network
-    current = tree
+    state = TreeState.from_tree(tree)
     moves = 0
-    while _total_excess(current, caps) > 0:
+    while _total_excess(state, caps) > 0:
         best: Optional[Tuple[float, int, int]] = None
+        kids = state.children_lists()
         overloaded = [
-            v for v in range(current.n) if current.n_children(v) > caps[v]
+            v for v in range(state.n) if state.n_children(v) > caps[v]
         ]
         for v in overloaded:
-            for child in current.children(v):
-                subtree = current.subtree(child)
+            for child in kids[v]:
                 for cand in network.neighbors(child):
-                    if cand == v or cand in subtree:
+                    if cand == v or state.in_subtree(cand, child):
                         continue
-                    if current.n_children(cand) >= caps[cand]:
+                    if state.n_children(cand) >= caps[cand]:
                         continue
                     delta = network.cost(child, cand) - network.cost(child, v)
                     if best is None or delta < best[0]:
@@ -160,13 +169,13 @@ def repair_overload(
                     "local_search.moves_accepted", op="repair_overload"
                 ).inc(moves)
             return None
-        current = current.with_parent(best[1], best[2])
+        state.reparent(best[1], best[2], check=False)
         moves += 1
     if OBS.enabled and moves:
         OBS.registry.counter(
             "local_search.moves_accepted", op="repair_overload"
         ).inc(moves)
-    return current
+    return state.freeze()
 
 
 def improve_hamiltonian_path(
@@ -286,7 +295,7 @@ def improve_hamiltonian_path(
             "local_search.moves_accepted", op="improve_hamiltonian_path"
         ).inc(moves)
     parents = {order[k + 1]: order[k] for k in range(n - 1)}
-    return AggregationTree(network, parents)
+    return freeze_parents(network, parents)
 
 
 def reduce_cost_under_caps(
@@ -298,29 +307,30 @@ def reduce_cost_under_caps(
     under its cap, so a cap-feasible input remains cap-feasible throughout.
     """
     network = tree.network
+    state = TreeState.from_tree(tree)
+    sink = state.sink
     moves = 0
     while moves < max_moves:
         best: Optional[Tuple[float, int, int]] = None
-        for child in range(tree.n):
-            if child == tree.sink:
+        for child in range(state.n):
+            if child == sink:
                 continue
-            parent = tree.parent(child)
+            parent = state.parent(child)
             assert parent is not None
-            subtree = tree.subtree(child)
             for cand in network.neighbors(child):
-                if cand == parent or cand in subtree:
+                if cand == parent or state.in_subtree(cand, child):
                     continue
-                if tree.n_children(cand) >= caps[cand]:
+                if state.n_children(cand) >= caps[cand]:
                     continue
                 delta = network.cost(child, cand) - network.cost(child, parent)
                 if delta < -1e-15 and (best is None or delta < best[0]):
                     best = (delta, child, cand)
         if best is None:
             break
-        tree = tree.with_parent(best[1], best[2])
+        state.reparent(best[1], best[2], check=False)
         moves += 1
     if OBS.enabled and moves:
         OBS.registry.counter(
             "local_search.moves_accepted", op="reduce_cost_under_caps"
         ).inc(moves)
-    return tree
+    return state.freeze()

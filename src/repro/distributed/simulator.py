@@ -20,8 +20,8 @@ from typing import List, Optional
 
 import math
 
-from repro.core.ira import build_ira_tree
 from repro.core.tree import AggregationTree
+from repro.engine import build_tree, get_builder
 from repro.distributed.protocol import DistributedProtocol
 from repro.network.model import Network
 from repro.obs import OBS
@@ -87,8 +87,15 @@ class ChurnSimulation:
             degradation (the default 0.0); mixed churn is an extension.
         improve_delta: Natural-log cost decrease applied by an improvement
             event (PRR multiplied by ``exp(+improve_delta)``, capped at 1).
-        recompute_centralized: Re-run IRA each round for the comparison
-            curves (disable for pure protocol benchmarking).
+        recompute_centralized: Re-run the centralized builder each round
+            for the comparison curves (disable for pure protocol
+            benchmarking).
+        centralized_builder: Registry name of the comparison builder
+            (default ``"ira"``; any :func:`repro.engine.available_builders`
+            entry works).
+        centralized_config: Extra config knobs for that builder.  When the
+            builder declares an ``lc`` knob and the config does not set it,
+            the simulation's own ``lc`` is passed automatically.
         seed: Randomness for the event choices.
     """
 
@@ -102,6 +109,8 @@ class ChurnSimulation:
         improve_probability: float = 0.0,
         improve_delta: float = 5e-3,
         recompute_centralized: bool = True,
+        centralized_builder: str = "ira",
+        centralized_config: Optional[dict] = None,
         seed: SeedLike = None,
     ) -> None:
         if cost_delta <= 0:
@@ -118,6 +127,9 @@ class ChurnSimulation:
         self.improve_probability = float(improve_probability)
         self.improve_delta = float(improve_delta)
         self.recompute_centralized = recompute_centralized
+        self.centralized_builder = centralized_builder
+        self.centralized_config = dict(centralized_config or {})
+        get_builder(centralized_builder)  # fail fast on unknown names
         self.rng = as_rng(seed)
         self.protocol = DistributedProtocol(network, initial_tree, lc)
         self.records: List[MaintenanceRecord] = []
@@ -186,7 +198,7 @@ class ChurnSimulation:
 
         maintained = self.protocol.tree()
         if self.recompute_centralized:
-            central = build_ira_tree(self.network, self.lc).tree
+            central = self._centralized_tree()
         else:
             central = maintained
 
@@ -204,6 +216,13 @@ class ChurnSimulation:
         )
         self.records.append(record)
         return record
+
+    def _centralized_tree(self) -> AggregationTree:
+        """Recompute the comparison tree via the registry-resolved builder."""
+        config = dict(self.centralized_config)
+        if "lc" in get_builder(self.centralized_builder).knobs:
+            config.setdefault("lc", self.lc)
+        return build_tree(self.centralized_builder, self.network, **config).tree
 
     def run(self, rounds: int = 100) -> List[MaintenanceRecord]:
         """Run *rounds* degradation rounds; returns all records."""

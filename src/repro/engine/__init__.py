@@ -1,0 +1,56 @@
+"""Engine layer: the incremental tree substrate and the builder registry.
+
+Two pieces that every optimizer and every consumer share:
+
+* :mod:`repro.engine.treestate` — :class:`TreeState`, a mutable spanning
+  tree with O(1) ``reparent``/``attach`` moves and incrementally-maintained
+  cost / reliability / lifetime, plus ``delta_*`` previews for evaluating a
+  move without applying it and ``freeze()`` back to the immutable
+  :class:`~repro.core.tree.AggregationTree`.
+* :mod:`repro.engine.registry` — the :class:`TreeBuilder` registry mapping
+  canonical names (``"ira"``, ``"exact"``, ``"local_search"``, ``"mst"``,
+  ``"spt"``, ``"random_tree"``, ``"aaml"``, ``"rasmalai"``,
+  ``"delay_bounded"``, ``"bfs"``) to builder functions; experiments, the
+  CLIs, and the distributed simulator resolve trees through
+  :func:`build_tree` instead of importing ``build_*_tree`` directly.
+
+``repro builders`` lists everything registered, with knobs.
+"""
+
+from repro.engine.registry import (
+    BuildResult,
+    RegisteredBuilder,
+    TreeBuilder,
+    UnknownBuilderError,
+    available_builders,
+    build_tree,
+    get_builder,
+    register_builder,
+    tree_builder,
+)
+from repro.engine.treestate import (
+    LifetimeDelta,
+    MovePreview,
+    NO_GAIN,
+    TreeState,
+    freeze_parents,
+    lifetime_delta_better,
+)
+
+__all__ = [
+    "BuildResult",
+    "LifetimeDelta",
+    "MovePreview",
+    "NO_GAIN",
+    "RegisteredBuilder",
+    "TreeBuilder",
+    "TreeState",
+    "UnknownBuilderError",
+    "available_builders",
+    "build_tree",
+    "freeze_parents",
+    "get_builder",
+    "lifetime_delta_better",
+    "register_builder",
+    "tree_builder",
+]

@@ -1,0 +1,223 @@
+"""Stock tree-builder registrations: the paper's algorithms plus baselines.
+
+Importing this module populates the registry (:mod:`repro.engine.registry`
+does so lazily on first lookup).  Each builder wraps the underlying
+``build_*`` function, normalizes its result to ``(tree, meta, raw)``, and
+documents its config knobs for ``repro builders``.
+
+Canonical names::
+
+    ira            IRA (Algorithm 1)           — needs lc
+    exact          MILP optimum                — optional lc (None = MST)
+    local_search   feasibility-first heuristic — needs lc, no LP
+    aaml           lifetime-maximizing ascent
+    rasmalai       randomized switching
+    mst            Prim minimum-cost tree
+    spt            Dijkstra shortest-path tree
+    random_tree    uniform random (Wilson)
+    delay_bounded  depth-capped cost descent   — needs max_depth
+    bfs            breadth-first (hop) tree
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.aaml import MAX_ITERATIONS, build_aaml_tree
+from repro.baselines.delay_bounded import build_delay_bounded_tree
+from repro.baselines.mst import build_mst_tree
+from repro.baselines.random_tree import build_random_tree
+from repro.baselines.rasmalai import DEFAULT_PATIENCE, build_rasmalai_tree
+from repro.baselines.spt import build_spt_tree
+from repro.core.exact import solve_mrlc_exact
+from repro.core.ira import build_ira_tree
+from repro.core.lifetime import LifetimeSpec
+from repro.core.local_search import (
+    bfs_tree,
+    improve_hamiltonian_path,
+    maximize_lifetime,
+    reduce_cost_under_caps,
+)
+from repro.engine.registry import tree_builder
+from repro.network.model import Network
+
+__all__: list = []
+
+
+@tree_builder(
+    "ira",
+    knobs={
+        "lc": "required network lifetime LC in aggregation rounds (required)",
+        "constrain_sink": "whether the sink joins W (default True)",
+        "inflation": "'auto' | 'paper' | 'none' — Algorithm 1 line-3 bound",
+    },
+)
+def _build_ira(
+    network: Network, *, lc: float, constrain_sink: bool = True, inflation: str = "auto"
+):
+    """IRA (Algorithm 1): max-reliability aggregation tree meeting LC."""
+    result = build_ira_tree(
+        network, lc, constrain_sink=constrain_sink, inflation=inflation
+    )
+    meta = {
+        "lc": result.spec.lc,
+        "iterations": result.iterations,
+        "lp_solves": result.lp_solves,
+        "cuts_generated": result.cuts_generated,
+        "forced_relaxations": len(result.forced_relaxations),
+        "lifetime_satisfied": result.lifetime_satisfied,
+        "inflation_used": result.inflation_used,
+    }
+    return result.tree, meta, result
+
+
+@tree_builder(
+    "exact",
+    knobs={
+        "lc": "lifetime bound (None solves the unconstrained problem = MST)",
+        "constrain_sink": "whether the sink's lifetime is bounded too",
+        "time_limit_s": "MILP wall-clock limit in seconds",
+    },
+)
+def _build_exact(
+    network: Network,
+    *,
+    lc: Optional[float] = None,
+    constrain_sink: bool = True,
+    time_limit_s: Optional[float] = None,
+):
+    """Exact MILP optimum of MRLC (exponential time; keep n small)."""
+    result = solve_mrlc_exact(
+        network, lc, constrain_sink=constrain_sink, time_limit_s=time_limit_s
+    )
+    meta = {
+        "cost": result.cost,
+        "milp_solves": result.milp_solves,
+        "cuts": len(result.cuts),
+    }
+    return result.tree, meta, result
+
+
+@tree_builder(
+    "local_search",
+    knobs={
+        "lc": "required network lifetime LC in aggregation rounds (required)",
+        "max_moves": "safety cap on accepted moves per search stage",
+    },
+)
+def _build_local_search(network: Network, *, lc: float, max_moves: int = 100_000):
+    """LP-free MRLC heuristic: lifetime ascent, then cost descent under LC's caps."""
+    from repro.core.errors import InfeasibleLifetimeError
+
+    lifted, ascent_moves = maximize_lifetime(bfs_tree(network), max_moves=max_moves)
+    if not lifted.meets_lifetime(lc):
+        raise InfeasibleLifetimeError(
+            f"local search cannot reach LC={lc}: best bottleneck lifetime "
+            f"{lifted.lifetime():.6g}"
+        )
+    spec = LifetimeSpec.uninflated(network, lc)
+    caps = {
+        v: max(
+            spec.tree_feasible_degree(network, v)
+            - (0 if v == network.sink else 1),
+            0,
+        )
+        for v in network.nodes
+    }
+    polished = improve_hamiltonian_path(
+        reduce_cost_under_caps(lifted, caps, max_moves=max_moves)
+    )
+    meta = {"ascent_moves": ascent_moves, "lifetime": polished.lifetime()}
+    return polished, meta
+
+
+@tree_builder(
+    "aaml",
+    knobs={
+        "max_iterations": "safety cap on accepted ascent moves",
+    },
+)
+def _build_aaml(network: Network, *, max_iterations: int = MAX_ITERATIONS):
+    """AAML baseline: lexicographic bottleneck-lifetime local search."""
+    result = build_aaml_tree(network, max_iterations=max_iterations)
+    meta = {"lifetime": result.lifetime, "iterations": result.iterations}
+    return result.tree, meta, result
+
+
+@tree_builder(
+    "rasmalai",
+    knobs={
+        "seed": "randomness for node/child/parent picks",
+        "max_switches": "hard cap on accepted switches",
+        "patience": "consecutive rejections before convergence",
+    },
+)
+def _build_rasmalai(
+    network: Network,
+    *,
+    seed=None,
+    max_switches: int = 10_000,
+    patience: int = DEFAULT_PATIENCE,
+):
+    """RaSMaLai baseline: randomized bottleneck switching for lifetime."""
+    result = build_rasmalai_tree(
+        network, seed=seed, max_switches=max_switches, patience=patience
+    )
+    meta = {
+        "lifetime": result.lifetime,
+        "switches": result.switches,
+        "attempts": result.attempts,
+    }
+    return result.tree, meta, result
+
+
+@tree_builder(
+    "mst",
+    knobs={
+        "root": "grow from this node instead of the sink",
+    },
+)
+def _build_mst(network: Network, *, root: Optional[int] = None):
+    """Prim minimum-cost spanning tree — the unconstrained reliability optimum."""
+    return build_mst_tree(network, root=root)
+
+
+@tree_builder(
+    "spt",
+    knobs={
+        "hop_metric": "use hop count instead of -log q as the path metric",
+    },
+)
+def _build_spt(network: Network, *, hop_metric: bool = False):
+    """Dijkstra shortest-path tree from the sink."""
+    return build_spt_tree(network, hop_metric=hop_metric)
+
+
+@tree_builder(
+    "random_tree",
+    knobs={
+        "seed": "randomness for the uniform spanning-tree draw",
+    },
+)
+def _build_random(network: Network, *, seed=None):
+    """Uniform random spanning tree (Wilson's algorithm)."""
+    return build_random_tree(network, seed=seed)
+
+
+@tree_builder(
+    "delay_bounded",
+    knobs={
+        "max_depth": "hop/latency bound every node must stay within (required)",
+        "max_moves": "safety cap on cost-descent moves",
+    },
+)
+def _build_delay_bounded(network: Network, *, max_depth: int, max_moves: int = 100_000):
+    """Depth-capped cheapest tree (delay-bounded collection baseline)."""
+    tree = build_delay_bounded_tree(network, max_depth, max_moves=max_moves)
+    return tree, {"depth": max(tree.depth(v) for v in range(tree.n))}
+
+
+@tree_builder("bfs", knobs={})
+def _build_bfs(network: Network):
+    """Breadth-first (shortest-hop) spanning tree — the canonical start point."""
+    return bfs_tree(network)

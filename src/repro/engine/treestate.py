@@ -1,0 +1,612 @@
+"""Mutable incremental tree state — the substrate under every local search.
+
+Every optimizer in the library manipulates spanning trees through the same
+elementary move: detach a node from its parent and re-attach it under a
+network neighbour outside its own subtree.  Historically each such move paid
+for a full :class:`~repro.core.tree.AggregationTree` rebuild — O(n)
+validation plus fresh Q/C/L recomputation per *candidate*.  :class:`TreeState`
+keeps the parent pointers, children counts, and per-node lifetimes as mutable
+arrays and maintains the three paper metrics incrementally:
+
+* cost          ``C(T) = sum(-log q_e)``      — additive, O(1) per move
+* reliability   ``Q(T) = prod(q_e)``          — multiplicative, O(1) per move
+* lifetime      ``L(T) = min_v L(v)`` (Eq. 1) — lazy min with a count of
+  minimum-achieving nodes, O(1) per move in the common case and an O(n)
+  rescan only when every bottleneck node was touched.
+
+A move changes exactly one tree edge and the children count of exactly two
+nodes, so all bookkeeping is constant-time.  ``freeze()`` converts back to
+the immutable, fully-validated :class:`AggregationTree` at search exit.
+
+The incremental C and Q accumulate one floating add/multiply per move and so
+can drift from a from-scratch recomputation by a few ULPs over thousands of
+moves; the randomized equivalence suite pins the drift below 1e-9.  Lifetime
+values are recomputed exactly from the children counts, never accumulated.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+
+__all__ = [
+    "LifetimeDelta",
+    "MovePreview",
+    "NO_GAIN",
+    "TreeState",
+    "freeze_parents",
+    "lifetime_delta_better",
+]
+
+#: A lifetime delta as two cancelled multisets ``(removed, added)`` of
+#: per-node lifetime values; the identity move is ``((), ())``.
+LifetimeDelta = Tuple[Tuple[float, ...], Tuple[float, ...]]
+
+#: The identity lifetime delta (move changes no node's lifetime).
+NO_GAIN: LifetimeDelta = ((), ())
+
+
+@dataclass(frozen=True)
+class MovePreview:
+    """Metrics a re-parent move *would* produce, computed without applying it.
+
+    Attributes:
+        cost: ``C(T')`` after the move.
+        reliability: ``Q(T')`` after the move.
+        lifetime: ``L(T')`` after the move.
+        delta_cost: ``C(T') - C(T)``.
+        delta_reliability: ``Q(T') - Q(T)``.
+        delta_lifetime: ``L(T') - L(T)``.
+    """
+
+    cost: float
+    reliability: float
+    lifetime: float
+    delta_cost: float
+    delta_reliability: float
+    delta_lifetime: float
+
+
+def lifetime_delta_better(a: LifetimeDelta, b: LifetimeDelta) -> bool:
+    """Whether move *a* beats move *b* on the ascending lifetime vector.
+
+    Both deltas must be taken against the same base state.  Compares the two
+    resulting sorted lifetime vectors lexicographically — without building
+    them.  If ``S`` is the base multiset, move *a* yields ``S - rem_a +
+    add_a``; comparing that against ``S - rem_b + add_b`` reduces (after
+    cancelling ``S``) to an elementwise walk over ``sorted(add_a + rem_b)``
+    versus ``sorted(add_b + rem_a)``: at the first differing value, the side
+    holding the *larger* value has the lexicographically greater vector.
+    Pass ``b = NO_GAIN`` to ask "does *a* strictly improve the current tree?".
+    """
+    rem_a, add_a = a
+    rem_b, add_b = b
+    plus = sorted(add_a + rem_b)
+    minus = sorted(add_b + rem_a)
+    for x, y in zip(plus, minus):
+        if x != y:
+            return x > y
+    return False
+
+
+class TreeState:
+    """Mutable (partial) spanning tree with O(1) incremental paper metrics.
+
+    A node is *attached* when it has a parent pointer (the sink is always
+    attached).  ``attach`` grows a partial tree one node at a time (the BFS /
+    Prim / Kruskal construction pattern); ``reparent`` is the local-search
+    move.  Metrics cover the attached part: cost and reliability sum/multiply
+    over the attached tree edges, lifetime takes the min over *all* nodes
+    (unattached nodes carry their zero-children lifetime, so once the state
+    is spanning every metric equals the :class:`AggregationTree` definition).
+
+    Args:
+        network: The network the tree lives in.
+        parents: Optional parent map (dict, or length-``n`` sequence with the
+            sink's entry ignored).  ``None`` starts with only the sink
+            attached.  A partial dict is allowed as long as every attached
+            node reaches the sink; edges must exist in the network.
+    """
+
+    __slots__ = (
+        "network",
+        "_parent",
+        "_n_children",
+        "_life",
+        "_cost",
+        "_q",
+        "_n_attached",
+        "_min_life",
+        "_min_count",
+        "_min_dirty",
+    )
+
+    def __init__(
+        self,
+        network: Network,
+        parents: Optional[Dict[int, int] | Sequence[int]] = None,
+    ) -> None:
+        self.network = network
+        n = network.n
+        self._parent = np.full(n, -1, dtype=np.int64)
+        self._n_children = np.zeros(n, dtype=np.int64)
+        model = network.energy_model
+        self._life: List[float] = [
+            model.lifetime_rounds(network.initial_energy(v), 0) for v in range(n)
+        ]
+        self._cost = 0.0
+        self._q = 1.0
+        self._n_attached = 1
+        self._min_life = 0.0
+        self._min_count = 0
+        self._min_dirty = True
+        if parents is not None:
+            self._load_parents(parents)
+
+    def _load_parents(self, parents: Dict[int, int] | Sequence[int]) -> None:
+        network = self.network
+        n = network.n
+        sink = network.sink
+        if isinstance(parents, dict):
+            items = list(parents.items())
+        else:
+            if len(parents) != n:
+                raise ValueError(
+                    f"parents sequence must have length {n}, got {len(parents)}"
+                )
+            items = [(v, p) for v, p in enumerate(parents) if v != sink]
+        for v, p in items:
+            if v == sink:
+                continue
+            if not (0 <= v < n) or not (0 <= p < n):
+                raise ValueError(f"parent entry ({v} -> {p}) out of range")
+            if not network.has_edge(v, p):
+                raise ValueError(
+                    f"tree edge ({v}, {p}) does not exist in the network"
+                )
+            self._parent[v] = p
+        # Every attached node must reach the sink (no cycles, no orphan
+        # chains) — the same invariant AggregationTree validates, relaxed to
+        # the attached subset.
+        state = np.zeros(n, dtype=np.int8)  # 0 unvisited, 1 in-progress, 2 ok
+        state[sink] = 2
+        for start in range(n):
+            if self._parent[start] < 0:
+                continue
+            path = []
+            v = start
+            while state[v] == 0 and (v == sink or self._parent[v] >= 0):
+                state[v] = 1
+                path.append(v)
+                v = int(self._parent[v])
+            if state[v] == 1:
+                raise ValueError(
+                    f"parent pointers contain a cycle through node {v}"
+                )
+            if state[v] != 2:
+                raise ValueError(
+                    f"node {start} does not reach the sink through its parents"
+                )
+            for u in path:
+                state[u] = 2
+        model = network.energy_model
+        for v in range(n):
+            p = int(self._parent[v])
+            if p >= 0:
+                self._n_children[p] += 1
+                edge = network.edge(v, p)
+                self._cost += edge.cost
+                self._q *= edge.prr
+                self._n_attached += 1
+        for v in range(n):
+            self._life[v] = model.lifetime_rounds(
+                network.initial_energy(v), int(self._n_children[v])
+            )
+        self._min_dirty = True
+
+    @classmethod
+    def from_tree(cls, tree: AggregationTree) -> "TreeState":
+        """Thaw an :class:`AggregationTree` into a mutable state."""
+        state = cls(tree.network)
+        parent = tree._parent
+        sink = tree.sink
+        network = tree.network
+        for v in range(tree.n):
+            if v == sink:
+                continue
+            p = int(parent[v])
+            state._parent[v] = p
+            state._n_children[p] += 1
+            edge = network.edge(v, p)
+            state._cost += edge.cost
+            state._q *= edge.prr
+        state._n_attached = tree.n
+        model = network.energy_model
+        for v in range(tree.n):
+            state._life[v] = model.lifetime_rounds(
+                network.initial_energy(v), int(state._n_children[v])
+            )
+        state._min_dirty = True
+        return state
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.network.n
+
+    @property
+    def sink(self) -> int:
+        return self.network.sink
+
+    @property
+    def n_attached(self) -> int:
+        """Number of attached nodes (the sink counts)."""
+        return self._n_attached
+
+    @property
+    def spanning(self) -> bool:
+        """Whether every node is attached."""
+        return self._n_attached == self.network.n
+
+    def is_attached(self, v: int) -> bool:
+        return v == self.network.sink or self._parent[v] >= 0
+
+    def parent(self, v: int) -> Optional[int]:
+        """Parent of *v*, or ``None`` for the sink / an unattached node."""
+        p = int(self._parent[v])
+        return p if p >= 0 else None
+
+    def parents_map(self) -> Dict[int, int]:
+        """Parent map of the attached non-sink nodes."""
+        return {
+            v: int(self._parent[v])
+            for v in range(self.network.n)
+            if self._parent[v] >= 0
+        }
+
+    def n_children(self, v: int) -> int:
+        """``Ch_T(v)`` of Eq. 1."""
+        return int(self._n_children[v])
+
+    def children(self, v: int) -> List[int]:
+        """Children of *v* in ascending id order (O(n) scan)."""
+        parent = self._parent
+        return [c for c in range(self.network.n) if parent[c] == v]
+
+    def children_lists(self) -> List[List[int]]:
+        """Children of every node at once (one O(n) pass, ids ascending)."""
+        kids: List[List[int]] = [[] for _ in range(self.network.n)]
+        parent = self._parent
+        for c in range(self.network.n):
+            p = int(parent[c])
+            if p >= 0:
+                kids[p].append(c)
+        return kids
+
+    def in_subtree(self, node: int, root: int) -> bool:
+        """Whether *node* lies in the subtree rooted at *root*.
+
+        Walks ancestors of *node* — O(depth), not O(subtree size), which is
+        what makes per-candidate cycle filtering cheap inside move scans.
+        """
+        sink = self.network.sink
+        parent = self._parent
+        u = node
+        while True:
+            if u == root:
+                return True
+            if u == sink:
+                return False
+            u = int(parent[u])
+            if u < 0:
+                return False
+
+    def depths(self) -> List[int]:
+        """Hop count to the sink for every node (-1 when unattached)."""
+        n = self.network.n
+        sink = self.network.sink
+        parent = self._parent
+        depth = [-1] * n
+        depth[sink] = 0
+        for v in range(n):
+            if depth[v] >= 0 or parent[v] < 0:
+                continue
+            path = []
+            u = v
+            while depth[u] < 0:
+                path.append(u)
+                u = int(parent[u])
+            d = depth[u]
+            for w in reversed(path):
+                d += 1
+                depth[w] = d
+        return depth
+
+    # ------------------------------------------------------------------
+    # Paper metrics (incremental)
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """``C(T) = sum(-log q_e)`` over attached tree edges."""
+        return self._cost
+
+    @property
+    def reliability(self) -> float:
+        """``Q(T) = prod(q_e)`` over attached tree edges."""
+        return self._q
+
+    def node_lifetime(self, v: int) -> float:
+        """Eq. 1 lifetime of node *v* in aggregation rounds."""
+        return self._life[v]
+
+    def lifetime(self) -> float:
+        """``L(T) = min_v L(v)``; O(1) amortized via the lazy minimum."""
+        if self._min_dirty:
+            self._min_life = min(self._life)
+            self._min_count = self._life.count(self._min_life)
+            self._min_dirty = False
+        return self._min_life
+
+    def bottleneck_count(self) -> int:
+        """How many nodes realise the minimum lifetime."""
+        self.lifetime()
+        return self._min_count
+
+    def _set_life(self, v: int, value: float) -> None:
+        old = self._life[v]
+        if old == value:
+            return
+        self._life[v] = value
+        if self._min_dirty:
+            return
+        if value < self._min_life:
+            self._min_life = value
+            self._min_count = 1
+        elif value == self._min_life:
+            self._min_count += 1
+        if old == self._min_life and value != self._min_life:
+            self._min_count -= 1
+            if self._min_count == 0:
+                self._min_dirty = True
+
+    def _update_children(self, v: int, delta: int) -> None:
+        self._n_children[v] += delta
+        self._set_life(
+            v,
+            self.network.energy_model.lifetime_rounds(
+                self.network.initial_energy(v), int(self._n_children[v])
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Moves
+    # ------------------------------------------------------------------
+    def attach(self, v: int, parent: int) -> None:
+        """Attach the unattached node *v* under the attached node *parent*."""
+        network = self.network
+        if v == network.sink:
+            raise ValueError("the sink cannot be attached")
+        if self._parent[v] >= 0:
+            raise ValueError(f"node {v} is already attached; use reparent()")
+        if not self.is_attached(parent):
+            raise ValueError(f"parent {parent} is not attached")
+        if not network.has_edge(v, parent):
+            raise ValueError(
+                f"tree edge ({v}, {parent}) does not exist in the network"
+            )
+        edge = network.edge(v, parent)
+        self._parent[v] = parent
+        self._n_attached += 1
+        self._cost += edge.cost
+        self._q *= edge.prr
+        self._update_children(parent, +1)
+
+    def reparent(self, v: int, new_parent: int, *, check: bool = True) -> None:
+        """Move the attached node *v* under *new_parent* — O(1) bookkeeping.
+
+        With ``check=True`` (the default) validates link existence and walks
+        ``new_parent``'s ancestry to reject cycles; search loops that already
+        filtered candidates pass ``check=False`` to skip the second walk.
+        """
+        network = self.network
+        if v == network.sink:
+            raise ValueError("the sink has no parent to change")
+        old = int(self._parent[v])
+        if old < 0:
+            raise ValueError(f"node {v} is not attached; use attach()")
+        p = int(new_parent)
+        if p == old:
+            return
+        if check:
+            if not self.is_attached(p):
+                raise ValueError(f"new parent {p} is not attached")
+            if not network.has_edge(v, p):
+                raise ValueError(
+                    f"tree edge ({v}, {p}) does not exist in the network"
+                )
+            if self.in_subtree(p, v):
+                raise ValueError(
+                    f"re-parenting {v} under {p} would create a cycle"
+                )
+        edge_old = network.edge(v, old)
+        edge_new = network.edge(v, p)
+        self._cost += edge_new.cost - edge_old.cost
+        self._q *= edge_new.prr / edge_old.prr
+        self._parent[v] = p
+        self._update_children(old, -1)
+        self._update_children(p, +1)
+
+    # ------------------------------------------------------------------
+    # Move previews (evaluate without applying)
+    # ------------------------------------------------------------------
+    def delta_cost(self, v: int, new_parent: int) -> float:
+        """``C(T') - C(T)`` of re-parenting *v* under *new_parent*."""
+        old = int(self._parent[v])
+        if old < 0:
+            raise ValueError(f"node {v} is not attached")
+        if new_parent == old:
+            return 0.0
+        return self.network.cost(v, new_parent) - self.network.cost(v, old)
+
+    def delta_reliability(self, v: int, new_parent: int) -> float:
+        """``Q(T') - Q(T)`` of re-parenting *v* under *new_parent*."""
+        old = int(self._parent[v])
+        if old < 0:
+            raise ValueError(f"node {v} is not attached")
+        if new_parent == old:
+            return 0.0
+        ratio = self.network.prr(v, new_parent) / self.network.prr(v, old)
+        return self._q * ratio - self._q
+
+    def lifetime_if_reparent(self, v: int, new_parent: int) -> float:
+        """``L(T')`` after re-parenting *v* under *new_parent*.
+
+        O(1) unless every current bottleneck node is one of the two nodes the
+        move touches, in which case one O(n) rescan of the untouched nodes is
+        needed.
+        """
+        old = int(self._parent[v])
+        if old < 0:
+            raise ValueError(f"node {v} is not attached")
+        current = self.lifetime()
+        if new_parent == old:
+            return current
+        model = self.network.energy_model
+        life_old = model.lifetime_rounds(
+            self.network.initial_energy(old), int(self._n_children[old]) - 1
+        )
+        life_new = model.lifetime_rounds(
+            self.network.initial_energy(new_parent),
+            int(self._n_children[new_parent]) + 1,
+        )
+        touched_at_min = (self._life[old] == current) + (
+            self._life[new_parent] == current
+        )
+        if self._min_count > touched_at_min:
+            rest = current
+        else:
+            rest = math.inf
+            for u in range(self.network.n):
+                if u != old and u != new_parent and self._life[u] < rest:
+                    rest = self._life[u]
+        return min(rest, life_old, life_new)
+
+    def delta_lifetime(self, v: int, new_parent: int) -> float:
+        """``L(T') - L(T)`` of re-parenting *v* under *new_parent*."""
+        return self.lifetime_if_reparent(v, new_parent) - self.lifetime()
+
+    def preview_reparent(self, v: int, new_parent: int) -> MovePreview:
+        """All three paper metrics of the move, without applying it."""
+        d_cost = self.delta_cost(v, new_parent)
+        d_rel = self.delta_reliability(v, new_parent)
+        life = self.lifetime_if_reparent(v, new_parent)
+        return MovePreview(
+            cost=self._cost + d_cost,
+            reliability=self._q + d_rel,
+            lifetime=life,
+            delta_cost=d_cost,
+            delta_reliability=d_rel,
+            delta_lifetime=life - self.lifetime(),
+        )
+
+    def reparent_lifetime_delta(self, v: int, new_parent: int) -> LifetimeDelta:
+        """The move's lifetime change as cancelled ``(removed, added)`` tuples.
+
+        A re-parent changes only the lifetimes of the old and new parent, so
+        the ascending lifetime vector of the trial tree differs from the
+        current one by at most two removals and two additions.  Feed the
+        result to :func:`lifetime_delta_better` for O(1) lexicographic
+        comparison of candidate moves — the engine of the AAML ascent.
+        """
+        old = int(self._parent[v])
+        if old < 0:
+            raise ValueError(f"node {v} is not attached")
+        p = int(new_parent)
+        if p == old:
+            return NO_GAIN
+        model = self.network.energy_model
+        removed = sorted((self._life[old], self._life[p]))
+        added = sorted(
+            (
+                model.lifetime_rounds(
+                    self.network.initial_energy(old),
+                    int(self._n_children[old]) - 1,
+                ),
+                model.lifetime_rounds(
+                    self.network.initial_energy(p),
+                    int(self._n_children[p]) + 1,
+                ),
+            )
+        )
+        rem: List[float] = []
+        add: List[float] = []
+        i = j = 0
+        while i < 2 and j < 2:
+            if removed[i] == added[j]:
+                i += 1
+                j += 1
+            elif removed[i] < added[j]:
+                rem.append(removed[i])
+                i += 1
+            else:
+                add.append(added[j])
+                j += 1
+        rem.extend(removed[i:])
+        add.extend(added[j:])
+        return tuple(rem), tuple(add)
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def freeze(self) -> AggregationTree:
+        """The immutable, fully-validated :class:`AggregationTree`.
+
+        Raises ``ValueError`` when the state is not spanning.  Construction
+        re-validates from scratch — intentionally, so a frozen tree is always
+        trustworthy regardless of how the state was mutated.
+        """
+        if not self.spanning:
+            raise ValueError(
+                f"tree is not spanning: {self._n_attached} of "
+                f"{self.network.n} nodes attached"
+            )
+        return AggregationTree(self.network, self.parents_map())
+
+    def copy(self) -> "TreeState":
+        """Independent copy of this state."""
+        clone = TreeState(self.network)
+        clone._parent = self._parent.copy()
+        clone._n_children = self._n_children.copy()
+        clone._life = list(self._life)
+        clone._cost = self._cost
+        clone._q = self._q
+        clone._n_attached = self._n_attached
+        clone._min_life = self._min_life
+        clone._min_count = self._min_count
+        clone._min_dirty = self._min_dirty
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TreeState(n={self.network.n}, attached={self._n_attached}, "
+            f"cost={self._cost:.4f})"
+        )
+
+
+def freeze_parents(
+    network: Network, parents: Dict[int, int] | Sequence[int]
+) -> AggregationTree:
+    """One shared parents→:class:`AggregationTree` conversion point.
+
+    Covers the single-node network (empty parent map) and validates through
+    :class:`TreeState` so every construction site reports the same errors.
+    """
+    return TreeState(network, parents).freeze()

@@ -21,16 +21,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.tree import PAPER_COST_SCALE
+from repro.core.tree import PAPER_COST_SCALE, AggregationTree
+from repro.engine import BuildResult, available_builders, build_tree, get_builder
+from repro.network.model import Network
 from repro.obs import OBS, ObsSession, instrument
 
 __all__ = [
+    "BuildResult",
     "PAPER_COST_SCALE",
+    "available_builders",
+    "build_tree",
+    "builder_tree",
+    "get_builder",
     "metrics_snapshot",
     "paper_cost",
     "run_instrumented",
     "summarize",
 ]
+
+
+def builder_tree(name: str, network: Network, **config: Any) -> AggregationTree:
+    """Build a tree through the registry and return just the tree.
+
+    Experiments that only need the structure (not the builder's metadata)
+    use this; the full :class:`~repro.engine.BuildResult` comes from
+    :func:`~repro.engine.build_tree`.
+    """
+    return build_tree(name, network, **config).tree
 
 
 def paper_cost(natural_cost: float) -> float:

@@ -20,13 +20,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.aaml import build_aaml_tree
-from repro.baselines.mst import build_mst_tree
-from repro.baselines.random_tree import build_random_tree
-from repro.baselines.rasmalai import build_rasmalai_tree
-from repro.baselines.spt import build_spt_tree
-from repro.core.exact import solve_mrlc_exact
-from repro.core.ira import build_ira_tree
+from repro.experiments.common import build_tree, builder_tree
 from repro.core.tree import PAPER_COST_SCALE, AggregationTree
 from repro.network.topology import random_graph
 from repro.utils.ascii_chart import bar_chart
@@ -126,19 +120,19 @@ def run_ext_baselines(
     for i in range(n_trials):
         seed = stable_hash_seed("ext-baselines", base_seed, i)
         net = random_graph(n_nodes, link_probability, seed=seed)
-        aaml = build_aaml_tree(net)
+        aaml = build_tree("aaml", net)
         lc = aaml.lifetime
 
         trees: Dict[str, AggregationTree] = {
-            "MST": build_mst_tree(net),
-            "SPT": build_spt_tree(net),
-            "random": build_random_tree(net, seed=seed),
-            "RaSMaLai": build_rasmalai_tree(net, seed=seed).tree,
+            "MST": builder_tree("mst", net),
+            "SPT": builder_tree("spt", net),
+            "random": builder_tree("random_tree", net, seed=seed),
+            "RaSMaLai": builder_tree("rasmalai", net, seed=seed),
             "AAML": aaml.tree,
-            "IRA": build_ira_tree(net, lc).tree,
+            "IRA": builder_tree("ira", net, lc=lc),
         }
         if include_exact:
-            trees["optimal"] = solve_mrlc_exact(net, lc).tree
+            trees["optimal"] = builder_tree("exact", net, lc=lc)
 
         for name, tree in trees.items():
             acc[name]["cost"].append(tree.cost() * PAPER_COST_SCALE)

@@ -19,11 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.aaml import build_aaml_tree
-from repro.baselines.mst import build_mst_tree
-from repro.baselines.spt import build_spt_tree
-from repro.core.ira import build_ira_tree
-from repro.core.local_search import bfs_tree
+from repro.experiments.common import build_tree, builder_tree
 from repro.core.tree import AggregationTree
 from repro.network.model import Network
 from repro.network.topology import unit_disk_graph
@@ -141,12 +137,12 @@ def run_energy_hole(
             40, 60.0, 22.0, tx_power_dbm=-8.0, seed=seed, max_attempts=100
         )
     )
-    aaml = build_aaml_tree(net)
-    ira = build_ira_tree(net, aaml.lifetime * lc_fraction)
+    aaml = build_tree("aaml", net)
+    ira = build_tree("ira", net, lc=aaml.lifetime * lc_fraction)
     profiles = (
-        DepthProfile.of("BFS", bfs_tree(net)),
-        DepthProfile.of("SPT", build_spt_tree(net)),
-        DepthProfile.of("MST", build_mst_tree(net)),
+        DepthProfile.of("BFS", builder_tree("bfs", net)),
+        DepthProfile.of("SPT", builder_tree("spt", net)),
+        DepthProfile.of("MST", builder_tree("mst", net)),
         DepthProfile.of("AAML", aaml.tree),
         DepthProfile.of("IRA", ira.tree),
     )

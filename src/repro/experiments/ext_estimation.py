@@ -21,7 +21,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.mst import build_mst_tree
+from repro.experiments.common import builder_tree
 from repro.core.tree import AggregationTree
 from repro.network.dfl import dfl_network
 from repro.network.model import Network
@@ -118,7 +118,7 @@ def run_ext_estimation(
         if network is not None
         else dfl_network(estimate_with_beacons=False)
     )
-    oracle = build_mst_tree(truth)
+    oracle = builder_tree("mst", truth)
     oracle_q = oracle.reliability()
 
     points = []
@@ -134,7 +134,7 @@ def run_ext_estimation(
             if not estimated.is_connected():
                 regrets.append(1.0)  # estimation killed connectivity
                 continue
-            tree_est = build_mst_tree(estimated)
+            tree_est = builder_tree("mst", estimated)
             # Evaluate the chosen structure on the TRUE link qualities.
             true_view = AggregationTree(truth, tree_est.parents)
             regrets.append(max(0.0, 1.0 - true_view.reliability() / oracle_q))

@@ -20,11 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.baselines.aaml import build_aaml_tree
-from repro.baselines.delay_bounded import build_delay_bounded_tree
-from repro.baselines.mst import build_mst_tree
-from repro.baselines.spt import build_spt_tree
-from repro.core.ira import build_ira_tree
+from repro.experiments.common import build_tree, builder_tree
 from repro.core.tree import PAPER_COST_SCALE, AggregationTree
 from repro.network.model import Network
 from repro.network.topology import unit_disk_graph
@@ -126,16 +122,16 @@ def run_ext_latency(
             30, 50.0, 20.0, tx_power_dbm=-8.0, seed=seed, max_attempts=100
         )
     )
-    aaml = build_aaml_tree(net)
+    aaml = build_tree("aaml", net)
     trees: Dict[str, AggregationTree] = {
-        "SPT": build_spt_tree(net),
-        "MST": build_mst_tree(net),
+        "SPT": builder_tree("spt", net),
+        "MST": builder_tree("mst", net),
         "AAML": aaml.tree,
-        "IRA@0.8L": build_ira_tree(net, 0.8 * aaml.lifetime).tree,
+        "IRA@0.8L": builder_tree("ira", net, lc=0.8 * aaml.lifetime),
     }
     for budget in depth_budgets:
         try:
-            trees[f"delay<={budget}"] = build_delay_bounded_tree(net, budget)
+            trees[f"delay<={budget}"] = builder_tree("delay_bounded", net, max_depth=budget)
         except ValueError:
             continue  # budget below the field's BFS eccentricity
 

@@ -19,10 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.analysis.stability import StabilityReport, estimation_stability
-from repro.baselines.aaml import build_aaml_tree
-from repro.baselines.mst import build_mst_tree
-from repro.baselines.spt import build_spt_tree
-from repro.core.ira import build_ira_tree
+from repro.experiments.common import build_tree, builder_tree
 from repro.network.dfl import dfl_network
 from repro.network.model import Network
 from repro.utils.ascii_chart import bar_chart
@@ -93,13 +90,13 @@ def run_ext_stability(
         else dfl_network(estimate_with_beacons=False)
     )
     # A fixed LC so IRA's requirement does not depend on the estimate draw.
-    lc = build_aaml_tree(truth.filtered(0.95)).lifetime / lc_divisor
+    lc = build_tree("aaml", truth.filtered(0.95)).lifetime / lc_divisor
 
     builders: Dict[str, Callable[[Network], object]] = {
-        "MST": build_mst_tree,
-        "SPT": build_spt_tree,
-        "IRA": lambda net: build_ira_tree(net, lc).tree,
-        "AAML": lambda net: build_aaml_tree(net).tree,
+        "MST": lambda net: builder_tree("mst", net),
+        "SPT": lambda net: builder_tree("spt", net),
+        "IRA": lambda net: builder_tree("ira", net, lc=lc),
+        "AAML": lambda net: builder_tree("aaml", net),
     }
     reports = {
         name: estimation_stability(

@@ -19,8 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.baselines.aaml import build_aaml_tree
-from repro.core.ira import build_ira_tree
+from repro.experiments.common import build_tree
 from repro.core.tree import PAPER_COST_SCALE
 from repro.distributed.simulator import ChurnSimulation, MaintenanceRecord
 from repro.experiments.fig7_dfl import AAML_PRR_FILTER
@@ -157,9 +156,9 @@ def run_distributed_experiment(
         seed: Degraded-edge randomness.
     """
     net = (network if network is not None else dfl_network()).copy()
-    aaml = build_aaml_tree(net.filtered(AAML_PRR_FILTER))
+    aaml = build_tree("aaml", net.filtered(AAML_PRR_FILTER))
     lc = aaml.lifetime / lc_divisor
-    initial = build_ira_tree(net, lc)
+    initial = build_tree("ira", net, lc=lc)
     sim = ChurnSimulation(
         net, initial.tree, lc, cost_delta=cost_delta, seed=seed
     )

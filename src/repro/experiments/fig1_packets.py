@@ -18,7 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.mst import build_mst_tree
+from repro.experiments.common import builder_tree
 from repro.network.topology import random_graph
 from repro.simulation.retransmission import average_packets, expected_packets_per_round
 from repro.utils.ascii_chart import line_chart
@@ -98,7 +98,7 @@ def run_fig1(
             # Same topology at every quality so only link quality varies.
             for edge in list(net.edges()):
                 net.set_prr(edge.u, edge.v, q)
-            tree = build_mst_tree(net)
+            tree = builder_tree("mst", net)
             sim_seed = stable_hash_seed("fig1-sim", base_seed, n, q)
             simulated[n].append(average_packets(tree, n_rounds, seed=sim_seed))
             expected[n].append(expected_packets_per_round(tree))

@@ -22,9 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.baselines.aaml import build_aaml_tree
-from repro.baselines.mst import build_mst_tree
-from repro.core.ira import build_ira_tree
+from repro.experiments.common import build_tree, builder_tree
 from repro.core.tree import PAPER_COST_SCALE, AggregationTree
 from repro.network.dfl import dfl_network
 from repro.network.model import Network
@@ -120,10 +118,10 @@ def run_fig7(
     """Run the DFL comparison (default: the canonical synthetic DFL instance)."""
     net = network if network is not None else dfl_network()
 
-    aaml = build_aaml_tree(net.filtered(AAML_PRR_FILTER))
+    aaml = build_tree("aaml", net.filtered(AAML_PRR_FILTER))
     # AAML's tree is evaluated on the full network's PRRs (same links).
     aaml_tree = AggregationTree(net, aaml.tree.parents)
-    mst = build_mst_tree(net)
+    mst = builder_tree("mst", net)
 
     entries = [
         Fig7Entry(
@@ -136,7 +134,7 @@ def run_fig7(
     ]
     for k in lc_divisors:
         lc = aaml.lifetime / k
-        result = build_ira_tree(net, lc)
+        result = build_tree("ira", net, lc=lc)
         entries.append(
             Fig7Entry(
                 label=f"IRA@LC/{k:g}",

@@ -15,9 +15,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.aaml import build_aaml_tree
-from repro.baselines.mst import build_mst_tree
-from repro.core.ira import build_ira_tree
+from repro.experiments.common import build_tree
 from repro.core.tree import PAPER_COST_SCALE
 from functools import partial
 
@@ -129,19 +127,19 @@ def _run_one_trial(
         initial_energy=energies,
         seed=np.random.default_rng(children[1]),
     )
-    aaml = build_aaml_tree(net)
-    mst = build_mst_tree(net)
-    ira = build_ira_tree(net, aaml.lifetime)
+    aaml = build_tree("aaml", net)
+    mst = build_tree("mst", net)
+    ira = build_tree("ira", net, lc=aaml.lifetime)
     return RandomGraphTrial(
         index=index,
-        aaml_cost=aaml.tree.cost() * PAPER_COST_SCALE,
-        ira_cost=ira.tree.cost() * PAPER_COST_SCALE,
-        mst_cost=mst.cost() * PAPER_COST_SCALE,
-        aaml_reliability=aaml.tree.reliability(),
-        ira_reliability=ira.tree.reliability(),
-        mst_reliability=mst.reliability(),
+        aaml_cost=aaml.cost * PAPER_COST_SCALE,
+        ira_cost=ira.cost * PAPER_COST_SCALE,
+        mst_cost=mst.cost * PAPER_COST_SCALE,
+        aaml_reliability=aaml.reliability,
+        ira_reliability=ira.reliability,
+        mst_reliability=mst.reliability,
         lc=aaml.lifetime,
-        ira_lifetime_ok=ira.lifetime_satisfied,
+        ira_lifetime_ok=ira.meta["lifetime_satisfied"],
     )
 
 

@@ -20,9 +20,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["parallel_map", "default_workers"]
+__all__ = ["default_workers", "parallel_build", "parallel_map"]
 
 T = TypeVar("T")
 
@@ -38,6 +38,45 @@ def default_workers() -> int:
 def _run_block(args: Tuple[Callable[[int], T], Sequence[int]]) -> List[T]:
     func, indices = args
     return [func(i) for i in indices]
+
+
+def _build_indexed(
+    builder: str,
+    network_factory: Callable[[int], Any],
+    config: Dict[str, Any],
+    index: int,
+):
+    from repro.engine import build_tree
+
+    return build_tree(builder, network_factory(index), **config)
+
+
+def parallel_build(
+    builder: str,
+    network_factory: Callable[[int], Any],
+    n_trials: int,
+    *,
+    config: Optional[Dict[str, Any]] = None,
+    n_jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """Run one registry builder over ``n_trials`` independent networks.
+
+    The builder is addressed by its registry *name* (a plain string, so the
+    work items pickle cheaply) and is resolved once up-front to fail fast on
+    typos.  ``network_factory(i)`` must build trial *i*'s network from the
+    index alone (derive seeds from ``i``), which makes the sweep
+    schedule-independent exactly like :func:`parallel_map`.
+
+    Returns the :class:`repro.engine.BuildResult` list in trial order.
+    """
+    from functools import partial
+
+    from repro.engine import get_builder
+
+    get_builder(builder)  # fail fast on unknown names before forking
+    func = partial(_build_indexed, builder, network_factory, dict(config or {}))
+    return parallel_map(func, n_trials, n_jobs=n_jobs, chunk_size=chunk_size)
 
 
 def parallel_map(

@@ -4,10 +4,15 @@ Examples::
 
     repro obs ira --nodes 50 --seed 1          # instrumented IRA build
     repro obs aaml --nodes 30 --seed 2         # instrumented AAML build
+    repro obs build rasmalai --nodes 30        # any registered builder
     repro obs churn --rounds 20                # protocol churn on the DFL net
     repro obs rounds --nodes 20 --rounds 200   # aggregation-round simulation
     repro obs fig fig3                         # any figure experiment
     repro obs ira --nodes 20 --dump-trace      # print the JSONL trace
+
+All tree construction goes through the builder registry
+(:mod:`repro.engine.registry`); ``repro builders`` lists the names the
+``build`` subcommand accepts.
 
 Every run prints the metrics tables (counters / gauges / histograms with
 p50/p90/max bars) and writes three artifacts under ``--out`` (default
@@ -107,6 +112,27 @@ def build_obs_parser() -> argparse.ArgumentParser:
             )
 
     p = sub.add_parser(
+        "build", help="instrumented build of any registered tree builder"
+    )
+    p.add_argument(
+        "name", help="registry builder name (see `repro builders`)"
+    )
+    _add_graph_options(p)
+    _add_output_options(p)
+    p.add_argument(
+        "--lc-divisor",
+        type=float,
+        default=2.0,
+        help="LC = L_AAML / divisor for builders with an lc knob (default 2.0)",
+    )
+    p.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="depth bound for delay_bounded (default: the BFS tree's depth)",
+    )
+
+    p = sub.add_parser(
         "rounds", help="aggregation-round simulation over an IRA tree"
     )
     _add_graph_options(p)
@@ -148,60 +174,92 @@ def _positive(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
             parser.error(f"--{attr} must be positive")
     if getattr(args, "lc_divisor", 1.0) <= 0:
         parser.error("--lc-divisor must be positive")
+    max_depth = getattr(args, "max_depth", None)
+    if max_depth is not None and max_depth < 1:
+        parser.error("--max-depth must be >= 1")
     prob = getattr(args, "link_prob", 0.5)
     if not 0.0 < prob <= 1.0:
         parser.error("--link-prob must be in (0, 1]")
 
 
 def _run_builder(args: argparse.Namespace) -> Dict[str, object]:
-    from repro.baselines.aaml import build_aaml_tree
-    from repro.baselines.mst import build_mst_tree
-    from repro.core.ira import build_ira_tree
+    from repro.engine import build_tree
     from repro.network.topology import random_graph
 
     net = random_graph(args.nodes, args.link_prob, seed=args.seed)
     if args.command == "mst":
-        tree = build_mst_tree(net)
-        return {"cost": tree.cost(), "reliability": tree.reliability()}
-    aaml = build_aaml_tree(net)
+        result = build_tree("mst", net)
+        return {"cost": result.cost, "reliability": result.reliability}
+    aaml = build_tree("aaml", net)
     if args.command == "aaml":
-        return {"cost": aaml.tree.cost(), "lifetime": aaml.lifetime}
+        return {"cost": aaml.cost, "lifetime": aaml.lifetime}
     lc = aaml.lifetime / args.lc_divisor
-    result = build_ira_tree(net, lc)
+    result = build_tree("ira", net, lc=lc)
     return {
-        "cost": result.tree.cost(),
+        "cost": result.cost,
         "lc": lc,
-        "iterations": result.iterations,
-        "lp_solves": result.lp_solves,
-        "lifetime_satisfied": result.lifetime_satisfied,
+        "iterations": result.meta["iterations"],
+        "lp_solves": result.meta["lp_solves"],
+        "lifetime_satisfied": result.meta["lifetime_satisfied"],
     }
 
 
+def _run_named_build(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.engine import UnknownBuilderError, build_tree, get_builder
+    from repro.network.topology import random_graph
+
+    try:
+        builder = get_builder(args.name)
+    except UnknownBuilderError as exc:
+        raise SystemExit(f"repro obs build: {exc.args[0]}")
+    net = random_graph(args.nodes, args.link_prob, seed=args.seed)
+    config: Dict[str, object] = {}
+    if "lc" in builder.knobs:
+        aaml = build_tree("aaml", net)
+        config["lc"] = aaml.lifetime / args.lc_divisor
+    if "max_depth" in builder.knobs:
+        if args.max_depth is not None:
+            config["max_depth"] = args.max_depth
+        else:
+            bfs = build_tree("bfs", net).tree
+            config["max_depth"] = max(bfs.depth(v) for v in range(bfs.n))
+    if "seed" in builder.knobs:
+        config["seed"] = args.seed
+    result = build_tree(args.name, net, **config)
+    summary: Dict[str, object] = {
+        "builder": args.name,
+        "cost": result.cost,
+        "reliability": result.reliability,
+    }
+    for key, value in result.meta.items():
+        if isinstance(value, (bool, int, float, str)):
+            summary[key] = value
+    return summary
+
+
 def _run_rounds(args: argparse.Namespace) -> Dict[str, object]:
-    from repro.baselines.aaml import build_aaml_tree
-    from repro.core.ira import build_ira_tree
+    from repro.engine import build_tree
     from repro.network.topology import random_graph
     from repro.simulation.rounds import AggregationSimulator
 
     net = random_graph(args.nodes, args.link_prob, seed=args.seed)
-    aaml = build_aaml_tree(net)
-    tree = build_ira_tree(net, aaml.lifetime / 2.0).tree
+    aaml = build_tree("aaml", net)
+    tree = build_tree("ira", net, lc=aaml.lifetime / 2.0).tree
     sim = AggregationSimulator(tree, seed=args.seed)
     reliability = sim.estimate_reliability(args.rounds)
     return {"empirical_reliability": reliability, "closed_form": tree.reliability()}
 
 
 def _run_churn(args: argparse.Namespace) -> Dict[str, object]:
-    from repro.baselines.aaml import build_aaml_tree
-    from repro.core.ira import build_ira_tree
     from repro.distributed.simulator import ChurnSimulation
+    from repro.engine import build_tree
     from repro.experiments.fig7_dfl import AAML_PRR_FILTER
     from repro.network.dfl import dfl_network
 
     net = dfl_network()
-    aaml = build_aaml_tree(net.filtered(AAML_PRR_FILTER))
+    aaml = build_tree("aaml", net.filtered(AAML_PRR_FILTER))
     lc = aaml.lifetime / 1.5
-    initial = build_ira_tree(net, lc)
+    initial = build_tree("ira", net, lc=lc)
     sim = ChurnSimulation(
         net,
         initial.tree,
@@ -261,6 +319,7 @@ _RUNNERS: Dict[str, Callable[[argparse.Namespace], Dict[str, object]]] = {
     "ira": _run_builder,
     "aaml": _run_builder,
     "mst": _run_builder,
+    "build": _run_named_build,
     "rounds": _run_rounds,
     "churn": _run_churn,
     "fig": _run_fig,

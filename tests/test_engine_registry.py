@@ -1,0 +1,145 @@
+"""Builder registry: names, knobs, BuildResult shape, CLI listing."""
+
+import pytest
+
+from repro.core.tree import AggregationTree
+from repro.engine import (
+    BuildResult,
+    TreeBuilder,
+    UnknownBuilderError,
+    available_builders,
+    build_tree,
+    get_builder,
+    tree_builder,
+)
+from repro.engine import registry as registry_module
+from repro.network.dfl import dfl_network
+from repro.network.topology import random_graph
+
+#: Every builder the issue requires to be resolvable by canonical name.
+REQUIRED_NAMES = (
+    "ira",
+    "exact",
+    "local_search",
+    "aaml",
+    "rasmalai",
+    "mst",
+    "spt",
+    "random_tree",
+    "delay_bounded",
+)
+
+
+def test_required_builders_registered():
+    names = available_builders()
+    for required in REQUIRED_NAMES:
+        assert required in names
+    assert names == tuple(sorted(names))
+
+
+@pytest.mark.parametrize("name", REQUIRED_NAMES)
+def test_builders_satisfy_protocol(name):
+    builder = get_builder(name)
+    assert isinstance(builder, TreeBuilder)
+    assert builder.name == name
+    assert builder.summary  # docstring one-liner
+    assert isinstance(builder.knobs, dict)
+    described = builder.describe()
+    assert described.startswith(f"{name} — ")
+    for knob in builder.knobs:
+        assert knob in described
+
+
+def test_unknown_builder_error_lists_names():
+    with pytest.raises(UnknownBuilderError) as err:
+        get_builder("no_such_builder")
+    message = err.value.args[0]
+    assert "no_such_builder" in message
+    for name in ("ira", "mst", "aaml"):
+        assert name in message
+
+
+def test_build_tree_returns_build_result():
+    net = random_graph(14, 0.6, seed=30)
+    result = build_tree("mst", net)
+    assert isinstance(result, BuildResult)
+    assert result.builder == "mst"
+    assert isinstance(result.tree, AggregationTree)
+    assert result.cost == pytest.approx(result.tree.cost())
+    assert result.reliability == pytest.approx(result.tree.reliability())
+    assert result.lifetime == pytest.approx(result.tree.lifetime())
+    assert result.elapsed_s >= 0.0
+    assert result.params == {}
+
+
+def test_build_tree_records_params_and_meta():
+    net = dfl_network()
+    aaml = build_tree("aaml", net)
+    assert aaml.meta["iterations"] >= 0
+    result = build_tree("ira", net, lc=aaml.lifetime / 2.0)
+    assert result.params == {"lc": aaml.lifetime / 2.0}
+    assert result.meta["lifetime_satisfied"] is True
+    assert result.raw is not None  # the full IRAResult rides along
+    assert result.tree.lifetime() >= aaml.lifetime / 2.0 * (1 - 1e-9)
+
+
+@pytest.mark.parametrize("name", ["mst", "spt", "aaml", "bfs"])
+def test_knobless_builds_are_deterministic(name):
+    net = random_graph(12, 0.7, seed=31)
+    a = build_tree(name, net)
+    b = build_tree(name, net)
+    assert a.tree.parents == b.tree.parents
+
+
+def test_seeded_builders_reproduce():
+    net = random_graph(15, 0.6, seed=32)
+    for name in ("random_tree", "rasmalai"):
+        a = build_tree(name, net, seed=5)
+        b = build_tree(name, net, seed=5)
+        assert a.tree.parents == b.tree.parents
+
+
+def test_registry_rejects_duplicate_names():
+    @tree_builder("_test_dup", knobs={})
+    def _dup_one(network):
+        """Throwaway registration used only by this test."""
+        raise NotImplementedError
+
+    try:
+        with pytest.raises(ValueError):
+
+            @tree_builder("_test_dup", knobs={})
+            def _dup_two(network):
+                """Second registration under the same name must fail."""
+                raise NotImplementedError
+
+    finally:
+        registry_module._REGISTRY.pop("_test_dup", None)
+
+
+def test_cli_builders_subcommand_lists_everything(capsys):
+    from repro.cli import main
+
+    assert main(["builders"]) == 0
+    out = capsys.readouterr().out
+    for name in REQUIRED_NAMES:
+        assert name in out
+    assert "lc" in out  # knob help lines are printed
+
+
+def test_parallel_build_matches_serial():
+    from repro.experiments.parallel import parallel_build
+
+    results = parallel_build(
+        "mst", _registry_test_network, 4, config={"root": None}
+    )
+    assert [r.builder for r in results] == ["mst"] * 4
+    again = parallel_build("mst", _registry_test_network, 4)
+    assert [r.tree.parents for r in results] == [r.tree.parents for r in again]
+    with pytest.raises(UnknownBuilderError):
+        parallel_build("bogus", _registry_test_network, 2)
+
+
+def _registry_test_network(index):
+    """Module-level factory so parallel_build's work items can pickle."""
+    return random_graph(10, 0.8, seed=1000 + index)

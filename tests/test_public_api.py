@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.core",
     "repro.distributed",
+    "repro.engine",
     "repro.experiments",
     "repro.network",
     "repro.prufer",
