@@ -14,8 +14,8 @@ fine-grained algorithm statistics (LP solves, cuts, messages) come from
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 from repro.baselines.aaml import build_aaml_tree
 from repro.baselines.mst import build_mst_tree

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List
 
 import numpy as np
 

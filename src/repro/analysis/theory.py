@@ -11,7 +11,7 @@ and the test suite asserts them on every solved instance.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Sequence
 
 import numpy as np
 

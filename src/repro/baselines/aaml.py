@@ -27,7 +27,7 @@ PRR < 0.95 before handing the network to AAML; use
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.local_search import bfs_tree, maximize_lifetime
 from repro.core.tree import AggregationTree

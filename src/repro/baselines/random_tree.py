@@ -8,7 +8,7 @@ property tests.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 from repro.core.errors import DisconnectedNetworkError
 from repro.core.tree import AggregationTree

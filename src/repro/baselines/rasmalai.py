@@ -89,7 +89,7 @@ def build_rasmalai_tree(
     def bottleneck_state():
         lifetimes = [state.node_lifetime(v) for v in range(state.n)]
         low = min(lifetimes)
-        members = [v for v, l in enumerate(lifetimes) if l <= low * (1 + 1e-12)]
+        members = [v for v, lv in enumerate(lifetimes) if lv <= low * (1 + 1e-12)]
         return low, members
 
     switches = 0

@@ -13,7 +13,7 @@ path-metric routing.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.errors import DisconnectedNetworkError
 from repro.core.tree import AggregationTree

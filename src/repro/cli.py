@@ -10,6 +10,7 @@ Usage (installed as ``mrlc`` or via ``python -m repro``)::
     mrlc all --quick          # every figure at reduced scale
     mrlc obs ira --nodes 50   # instrumented run (see repro.obs.cli)
     mrlc builders             # list registered tree builders + knobs
+    mrlc lint src/            # repo-invariant checker (see repro.lint.cli)
 
 Output is the plain-text table of the same rows/series the paper's figure
 plots (costs in the paper's −1000·log2 q units).  The ``obs`` subcommand
@@ -197,6 +198,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return obs_main(argv[1:])
     if argv and argv[0] == "builders":
         return _builders_main()
+    if argv and argv[0] == "lint":
+        # The invariant checker is its own sub-CLI, like `obs`.
+        from repro.lint.cli import lint_main
+
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.quick:

@@ -48,7 +48,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
-import numpy as np
 
 from repro.core.errors import DisconnectedNetworkError, InfeasibleLifetimeError
 from repro.core.lifetime import LifetimeSpec
@@ -59,7 +58,7 @@ from repro.core.local_search import (
     reduce_cost_under_caps,
     repair_overload,
 )
-from repro.core.lp import SUPPORT_EPS, LPSolution, MRLCLinearProgram
+from repro.core.lp import SUPPORT_EPS, MRLCLinearProgram
 from repro.core.tree import AggregationTree
 from repro.engine.treestate import TreeState, freeze_parents
 from repro.network.model import Network

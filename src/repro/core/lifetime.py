@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.network.model import Network
 from repro.utils.validation import check_positive

@@ -16,7 +16,7 @@ only; the :mod:`repro.distributed.protocol` layer moves messages around.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.distributed.messages import CodeAnnouncement, ParentChange
 from repro.network.energy import EnergyModel

@@ -21,7 +21,7 @@ originator) transmissions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.tree import AggregationTree
 from repro.distributed.messages import CodeAnnouncement, ParentChange

@@ -18,8 +18,7 @@ comparable with the published figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.tree import PAPER_COST_SCALE, AggregationTree
 from repro.engine import BuildResult, available_builders, build_tree, get_builder

@@ -61,7 +61,7 @@ class DepthProfile:
                 d: float(np.mean(ch)) for d, ch in sorted(by_depth.items())
             },
             mean_lifetime_by_depth={
-                d: float(np.mean(l)) for d, l in sorted(life_by_depth.items())
+                d: float(np.mean(lv)) for d, lv in sorted(life_by_depth.items())
             },
             bottleneck_depth=tree.depth(tree.bottleneck()),
             lifetime=tree.lifetime(),

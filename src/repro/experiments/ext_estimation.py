@@ -17,7 +17,7 @@ supporting (and sharpening) the paper's choice of 1000.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ AAML, being link-blind, is perfectly stable: it never reads the estimates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional
 
 from repro.analysis.stability import StabilityReport, estimation_stability
 from repro.experiments.common import build_tree, builder_tree

@@ -15,7 +15,7 @@ active power).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.network.energy import (
     IDLE_POWER_W,

@@ -20,7 +20,7 @@ against their bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.experiments.common import build_tree, builder_tree
 from repro.core.tree import PAPER_COST_SCALE, AggregationTree

@@ -11,7 +11,7 @@ and ~800 paper-cost units (reliability 57–75%), IRA between ~75 and ~250
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from repro.experiments.parallel import parallel_map
 from repro.network.energy import DEFAULT_BATTERY_J
 from repro.network.topology import random_graph
 from repro.utils.ascii_chart import line_chart
-from repro.utils.rng import stable_hash_seed
+from repro.utils.rng import as_rng, stable_hash_seed
 from repro.utils.tables import format_table
 
 __all__ = ["RandomGraphTrial", "Fig8Result", "run_fig8", "run_random_graph_trials"]
@@ -116,7 +116,7 @@ def _run_one_trial(
     rng_seed = np.random.SeedSequence(seed)
     children = rng_seed.spawn(2)
     if energy_low is not None and energy_high is not None:
-        energies = np.random.default_rng(children[0]).uniform(
+        energies = as_rng(children[0]).uniform(
             energy_low, energy_high, size=n_nodes
         )
     else:
@@ -125,7 +125,7 @@ def _run_one_trial(
         n_nodes,
         link_probability,
         initial_energy=energies,
-        seed=np.random.default_rng(children[1]),
+        seed=as_rng(children[1]),
     )
     aaml = build_tree("aaml", net)
     mst = build_tree("mst", net)

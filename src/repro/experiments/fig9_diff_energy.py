@@ -13,11 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.experiments.fig8_same_energy import (
-    Fig8Result,
-    RandomGraphTrial,
-    run_random_graph_trials,
-)
+from repro.experiments.fig8_same_energy import Fig8Result, run_random_graph_trials
 
 __all__ = ["Fig9Result", "run_fig9", "DEFAULT_ENERGY_RANGE_J"]
 

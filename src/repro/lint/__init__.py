@@ -1,0 +1,53 @@
+"""repro.lint — AST-based invariant checker for this reproduction.
+
+The correctness claims of the repo (decision-identical TreeState deltas,
+Lemma 3's ``Q(T) = e^{-C(T)}``, per-seed determinism of every figure) rest
+on code conventions that no type checker knows about.  This package encodes
+them as lint rules with a registry (:func:`lint_rule`), a per-file driver
+with ``# repro: ignore[RULE-ID]`` suppressions, JSON/text reporters, and a
+committed baseline for grandfathered findings.  Run it as ``repro lint`` /
+``mrlc lint``; see :mod:`repro.lint.rules` for the rule table and
+``docs/static_analysis.md`` for the workflow.
+"""
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from repro.lint.cli import build_lint_parser, lint_main
+from repro.lint.context import FileContext, Project, module_name_for
+from repro.lint.driver import (
+    PARSE_ERROR_RULE,
+    LintResult,
+    lint_paths,
+    select_rules,
+)
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import (
+    LintRule,
+    UnknownRuleError,
+    all_rules,
+    get_rule,
+    lint_rule,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "LintRule",
+    "PARSE_ERROR_RULE",
+    "Project",
+    "Severity",
+    "UnknownRuleError",
+    "all_rules",
+    "build_lint_parser",
+    "get_rule",
+    "lint_main",
+    "lint_paths",
+    "module_name_for",
+    "render_json",
+    "render_text",
+    "select_rules",
+]

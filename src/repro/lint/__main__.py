@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — delegates to the lint CLI."""
+
+import sys
+
+from repro.lint.cli import lint_main
+
+if __name__ == "__main__":
+    sys.exit(lint_main())

@@ -1,0 +1,106 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline is a JSON file listing fingerprints (rule, path, message — no
+line numbers, so it survives unrelated edits) of findings that predate a
+rule's introduction.  ``repro lint`` subtracts baselined findings from its
+exit status: old debt is visible but non-fatal, new findings fail.  The
+workflow is a ratchet — regenerate with ``--write-baseline`` only when
+introducing a rule, then shrink the file as debt is paid down; it should
+never grow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "DEFAULT_BASELINE_NAME"]
+
+#: Filename probed in the working directory when ``--baseline`` is not given.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is malformed."""
+
+
+@dataclass
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read *path*; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        try:
+            data = json.loads(file_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {file_path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise BaselineError(
+                f"baseline {file_path} has unsupported format "
+                f"(expected version {_FORMAT_VERSION})"
+            )
+        entries = data.get("findings")
+        if not isinstance(entries, list):
+            raise BaselineError(f"baseline {file_path}: 'findings' must be a list")
+        counts: Counter = Counter()
+        for entry in entries:
+            if not isinstance(entry, dict) or not {
+                "rule",
+                "path",
+                "message",
+            } <= entry.keys():
+                raise BaselineError(
+                    f"baseline {file_path}: each finding needs rule/path/message"
+                )
+            counts[(entry["rule"], entry["path"], entry["message"])] += 1
+        return cls(counts=counts)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        return cls(counts=Counter(f.fingerprint for f in findings))
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Serialize to *path*, sorted for stable diffs."""
+        entries: List[Dict[str, str]] = []
+        for (rule, fpath, message), count in sorted(self.counts.items()):
+            entries.extend(
+                {"rule": rule, "path": fpath, "message": message}
+                for _ in range(count)
+            )
+        payload = {"version": _FORMAT_VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition *findings* into ``(fresh, grandfathered)``.
+
+        Each baseline entry absorbs at most its multiplicity, so adding a
+        second identical violation to a file with one baselined instance
+        still fails the gate.
+        """
+        remaining = Counter(self.counts)
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            if remaining[finding.fingerprint] > 0:
+                remaining[finding.fingerprint] -= 1
+                grandfathered.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, grandfathered

@@ -1,0 +1,148 @@
+"""``repro lint`` / ``mrlc lint`` — the repo-invariant checker's CLI.
+
+Usage::
+
+    repro lint                       # lint src/ against lint-baseline.json
+    repro lint src/repro/core        # lint a subtree
+    repro lint --format json src/    # machine-readable report
+    repro lint --select REP101 src/  # run one rule
+    repro lint --list-rules          # rule table
+    repro lint --write-baseline src/ # grandfather current findings
+
+Exit codes: 0 clean (modulo baseline), 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from repro.lint.driver import lint_paths
+from repro.lint.registry import UnknownRuleError, all_rules
+from repro.lint.report import render_json, render_text
+
+__all__ = ["build_lint_parser", "lint_main"]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro lint`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based invariant checker for the reproduction: RNG "
+            "discipline, obs guarding, float-equality bans, builder-registry "
+            "contract, frozen-tree mutation, export drift."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=str,
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report all findings as fresh",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(rule.describe())
+        return 0
+
+    if args.no_baseline and (args.baseline or args.write_baseline):
+        parser.error("--no-baseline conflicts with --baseline/--write-baseline")
+
+    try:
+        result = lint_paths(
+            args.paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except UnknownRuleError as exc:
+        parser.error(str(exc.args[0]))
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    findings = result.all_findings
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.write_baseline:
+        Baseline.from_findings(findings).write(baseline_path)
+        print(f"wrote {len(findings)} grandfathered findings to {baseline_path}")
+        return 0
+
+    if args.no_baseline:
+        baseline = Baseline()
+    elif args.baseline:
+        if not baseline_path.exists():
+            parser.error(f"baseline file not found: {baseline_path}")
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            parser.error(str(exc))
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)  # missing default -> empty
+        except BaselineError as exc:
+            parser.error(str(exc))
+
+    fresh, grandfathered = baseline.split(findings)
+    renderer = render_json if args.format == "json" else render_text
+    print(renderer(result, fresh, grandfathered))
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(lint_main())

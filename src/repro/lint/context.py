@@ -1,0 +1,215 @@
+"""Parsed-file and whole-project context handed to lint rules.
+
+The driver parses every file once up front and wraps the results in a
+:class:`Project` so that cross-file rules (builder-registry wiring, import
+resolution) read from one shared, cached symbol table instead of re-parsing
+on every lookup.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = ["FileContext", "Project", "module_name_for"]
+
+#: Top of the package tree: paths are mapped to dotted module names by
+#: locating this component, so fixtures in temp dirs lint identically.
+ROOT_PACKAGE = "repro"
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name of *path*, or ``None`` if outside the package tree.
+
+    Keyed on the last ``repro`` path component so both the real tree
+    (``src/repro/core/lp.py`` → ``repro.core.lp``) and synthetic test trees
+    (``/tmp/x/src/repro/core/bad.py``) resolve.  ``__init__.py`` maps to its
+    package name.
+    """
+    parts = list(path.resolve().parts)
+    if ROOT_PACKAGE not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index(ROOT_PACKAGE)
+    module_parts = parts[idx:]
+    leaf = module_parts[-1]
+    if leaf.endswith(".py"):
+        leaf = leaf[: -len(".py")]
+    if leaf == "__init__":
+        module_parts = module_parts[:-1]
+    else:
+        module_parts[-1] = leaf
+    return ".".join(module_parts)
+
+
+def _display_path(path: Path) -> str:
+    """Path as reported/fingerprinted: cwd-relative posix when possible."""
+    resolved = path.resolve()
+    rel = os.path.relpath(resolved, os.getcwd())
+    if rel.startswith(".."):
+        return resolved.as_posix()
+    return Path(rel).as_posix()
+
+
+@dataclass
+class FileContext:
+    """One parsed source file.
+
+    Attributes:
+        path: The file on disk.
+        display_path: Normalized path used in reports and fingerprints.
+        module: Dotted module name, or ``None`` outside the package tree.
+        is_package: Whether the file is a package ``__init__.py``.
+        source: Raw text.
+        lines: ``source`` split into physical lines.
+        tree: The parsed AST.
+    """
+
+    path: Path
+    display_path: str
+    module: Optional[str]
+    is_package: bool
+    source: str
+    lines: List[str]
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: Path) -> "FileContext":
+        """Read and parse *path*; raises ``SyntaxError`` on unparsable input."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            display_path=_display_path(path),
+            module=module_name_for(path),
+            is_package=path.name == "__init__.py",
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+        )
+
+    def in_package(self, *packages: str) -> bool:
+        """Whether this module lives in (or is) one of the dotted *packages*."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+
+def _top_level_symbols(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level, descending into If/Try/With bodies."""
+    symbols: Set[str] = set()
+
+    def visit_body(body: List[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                symbols.add(node.name)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    symbols.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    _collect_targets(target)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                symbols.add(node.target.id)
+            elif isinstance(node, ast.If):
+                visit_body(node.body)
+                visit_body(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit_body(node.body)
+                for handler in node.handlers:
+                    visit_body(handler.body)
+                visit_body(node.orelse)
+                visit_body(node.finalbody)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                visit_body(node.body)
+
+    def _collect_targets(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            symbols.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                _collect_targets(element)
+
+    visit_body(tree.body)
+    return symbols
+
+
+@dataclass
+class Project:
+    """All files of one lint run plus cached cross-file lookups."""
+
+    files: List[FileContext]
+    modules: Dict[str, FileContext] = field(init=False)
+    _symbols: Dict[str, Set[str]] = field(init=False, default_factory=dict)
+    _loads: Dict[str, Set[str]] = field(init=False, default_factory=dict)
+    _builders: Optional[Dict[str, List[Tuple[str, int]]]] = field(
+        init=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        self.modules = {
+            ctx.module: ctx for ctx in self.files if ctx.module is not None
+        }
+
+    def top_level_symbols(self, module: str) -> Optional[Set[str]]:
+        """Top-level bound names of *module*, or ``None`` if not in this run."""
+        ctx = self.modules.get(module)
+        if ctx is None:
+            return None
+        if module not in self._symbols:
+            self._symbols[module] = _top_level_symbols(ctx.tree)
+        return self._symbols[module]
+
+    def name_loads(self, module: str) -> Optional[Set[str]]:
+        """Every ``Name`` referenced anywhere in *module* (any context)."""
+        ctx = self.modules.get(module)
+        if ctx is None:
+            return None
+        if module not in self._loads:
+            self._loads[module] = {
+                node.id for node in ast.walk(ctx.tree) if isinstance(node, ast.Name)
+            }
+        return self._loads[module]
+
+    def tree_builder_registrations(self) -> Dict[str, List[Tuple[str, int]]]:
+        """Map of ``@tree_builder`` name literal → [(display_path, line), ...]."""
+        if self._builders is None:
+            registrations: Dict[str, List[Tuple[str, int]]] = {}
+            for ctx in self.files:
+                for node in ast.walk(ctx.tree):
+                    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    for deco in node.decorator_list:
+                        name = _tree_builder_name(deco)
+                        if name is not None:
+                            registrations.setdefault(name, []).append(
+                                (ctx.display_path, node.lineno)
+                            )
+            self._builders = registrations
+        return self._builders
+
+
+def _tree_builder_name(deco: ast.expr) -> Optional[str]:
+    """The name literal of a ``@tree_builder("name", ...)`` decorator, if any."""
+    if not isinstance(deco, ast.Call):
+        return None
+    func = deco.func
+    func_name = (
+        func.id
+        if isinstance(func, ast.Name)
+        else func.attr if isinstance(func, ast.Attribute) else None
+    )
+    if func_name != "tree_builder":
+        return None
+    if deco.args and isinstance(deco.args[0], ast.Constant):
+        value = deco.args[0].value
+        if isinstance(value, str):
+            return value
+    return None

@@ -1,0 +1,187 @@
+"""Per-file lint driver: collect files, run rules, apply suppressions.
+
+Two-phase design: every file is parsed first and wrapped in a
+:class:`~repro.lint.context.Project`, then each rule visits each file with
+that shared cross-file context.  Suppression is comment-based::
+
+    x = np.random.default_rng()          # repro: ignore[REP101]
+    y = something_else()                 # repro: ignore          (all rules)
+
+and a whole file can opt out of one rule with a top-of-file marker::
+
+    # repro: ignore-file[REP103]
+
+Suppressions are deliberately line- and file-scoped only — there is no
+block scope, so each exemption is visible next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.context import FileContext, Project
+from repro.lint.findings import Finding, Severity
+from repro.lint.registry import LintRule, all_rules, get_rule
+
+__all__ = ["LintResult", "lint_paths", "select_rules", "PARSE_ERROR_RULE"]
+
+#: Pseudo-rule id for unparsable files; not suppressible or selectable.
+PARSE_ERROR_RULE = "REP000"
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s-]+)\])?"
+)
+_IGNORE_FILE_RE = re.compile(
+    r"#\s*repro:\s*ignore-file\[(?P<rules>[A-Za-z0-9_,\s-]+)\]"
+)
+#: File-level markers must appear in this many leading lines to take effect.
+_FILE_MARKER_WINDOW = 20
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run, before baseline subtraction."""
+
+    findings: List[Finding]
+    suppressed: int = 0
+    checked_files: int = 0
+    rules_run: Tuple[str, ...] = ()
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        """Parse errors plus rule findings, in report order."""
+        merged = self.parse_errors + self.findings
+        return sorted(merged, key=lambda f: f.sort_key)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand *paths* (files or directories) into a sorted list of .py files."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if "__pycache__" in sub.parts:
+                    continue
+                seen.add(sub.resolve())
+        elif path.suffix == ".py":
+            seen.add(path.resolve())
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return sorted(seen)
+
+
+def build_project(
+    paths: Sequence[Union[str, Path]],
+) -> Tuple[Project, List[Finding]]:
+    """Parse every file under *paths*; unparsable files become findings."""
+    contexts: List[FileContext] = []
+    parse_errors: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            contexts.append(FileContext.parse(file_path))
+        except SyntaxError as exc:
+            parse_errors.append(
+                Finding(
+                    rule=PARSE_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    path=str(file_path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return Project(files=contexts), parse_errors
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> Tuple[LintRule, ...]:
+    """Resolve the rule set for a run; unknown ids raise ``UnknownRuleError``."""
+    if select is not None:
+        rules = tuple(get_rule(rule_id) for rule_id in select)
+    else:
+        rules = all_rules()
+    if ignore:
+        ignored = set(ignore)
+        for rule_id in ignored:
+            get_rule(rule_id)  # validate
+        rules = tuple(rule for rule in rules if rule.id not in ignored)
+    return rules
+
+
+def _file_ignores(ctx: FileContext) -> FrozenSet[str]:
+    """Rule ids disabled for the whole file via ``# repro: ignore-file[...]``."""
+    ids: Set[str] = set()
+    for line in ctx.lines[:_FILE_MARKER_WINDOW]:
+        match = _IGNORE_FILE_RE.search(line)
+        if match:
+            ids.update(part.strip() for part in match.group("rules").split(","))
+    return frozenset(filter(None, ids))
+
+
+def _line_suppresses(line: str, rule_id: str) -> bool:
+    """Whether *line* carries an ignore comment covering *rule_id*."""
+    match = _IGNORE_RE.search(line)
+    if match is None:
+        return False
+    rules = match.group("rules")
+    if rules is None:
+        return True  # bare `# repro: ignore` silences every rule on the line
+    return rule_id in {part.strip() for part in rules.split(",")}
+
+
+def run_rules(
+    project: Project, rules: Sequence[LintRule]
+) -> Tuple[List[Finding], int]:
+    """Run *rules* over every file; returns ``(findings, suppressed_count)``."""
+    findings: List[Finding] = []
+    suppressed = 0
+    for ctx in project.files:
+        file_ignores = _file_ignores(ctx)
+        for rule in rules:
+            if rule.id in file_ignores:
+                continue
+            for node, message in rule.check(ctx, project):
+                line = getattr(node, "lineno", 1)
+                col = getattr(node, "col_offset", 0)
+                source_line = ctx.lines[line - 1] if 0 < line <= len(ctx.lines) else ""
+                if _line_suppresses(source_line, rule.id):
+                    suppressed += 1
+                    continue
+                findings.append(
+                    Finding(
+                        rule=rule.id,
+                        severity=rule.severity,
+                        path=ctx.display_path,
+                        line=line,
+                        col=col,
+                        message=message,
+                    )
+                )
+    findings.sort(key=lambda f: f.sort_key)
+    return findings, suppressed
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint *paths* with the selected rules — the library entry point."""
+    rules = select_rules(select=select, ignore=ignore)
+    project, parse_errors = build_project(paths)
+    findings, suppressed = run_rules(project, rules)
+    return LintResult(
+        findings=findings,
+        suppressed=suppressed,
+        checked_files=len(project.files),
+        rules_run=tuple(rule.id for rule in rules),
+        parse_errors=parse_errors,
+    )

@@ -1,0 +1,73 @@
+"""Finding model shared by the lint driver, reporters, and baseline.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line and column so a
+committed baseline keeps matching after unrelated edits shift code around;
+two findings with the same rule, file, and message are interchangeable for
+baseline accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding", "Severity"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; both levels fail the gate, the label is for humans."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        rule: Rule identifier, e.g. ``"REP101"``.
+        severity: :class:`Severity` of the owning rule.
+        path: Display path of the offending file (posix separators).
+        line: 1-based line of the violation.
+        col: 0-based column of the violation.
+        message: Human-readable description with the suggested fix.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: location-free so line drift doesn't invalidate it."""
+        return (self.rule, self.path, self.message)
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        """``path:line:col RULE severity: message`` — one line per finding."""
+        return (
+            f"{self.path}:{self.line}:{self.col} "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

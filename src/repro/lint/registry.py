@@ -1,0 +1,108 @@
+"""Lint-rule registry: ``@lint_rule(id, severity)`` and rule lookup.
+
+Mirrors the tree-builder registry's shape (:mod:`repro.engine.registry`):
+rules self-register at decoration time, the stock rule modules are imported
+lazily on first lookup, and consumers address rules by their stable string
+id.  A rule is a generator over ``(ast_node, message)`` pairs; the driver
+stamps rule id, severity, file, and location onto each yielded pair to form
+:class:`~repro.lint.findings.Finding` objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple
+
+from repro.lint.findings import Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.lint.context import FileContext, Project
+
+__all__ = [
+    "LintRule",
+    "RuleCheck",
+    "UnknownRuleError",
+    "all_rules",
+    "get_rule",
+    "lint_rule",
+]
+
+#: A rule implementation: yields ``(node, message)`` for each violation in
+#: *ctx*; *project* provides cross-file context (symbol tables, registries).
+RuleCheck = Callable[
+    ["FileContext", "Project"], Iterable[Tuple[ast.AST, str]]
+]
+
+
+class UnknownRuleError(KeyError):
+    """Raised when resolving a rule id that is not registered."""
+
+
+@dataclass(frozen=True)
+class LintRule:
+    """A registered rule: id, severity, one-line summary, and the checker."""
+
+    id: str
+    severity: Severity
+    summary: str
+    check: RuleCheck
+
+    def describe(self) -> str:
+        return f"{self.id} [{self.severity}] {self.summary}"
+
+
+_RULES: Dict[str, LintRule] = {}
+_DEFAULTS_LOADED = False
+
+
+def _ensure_defaults() -> None:
+    global _DEFAULTS_LOADED
+    if not _DEFAULTS_LOADED:
+        _DEFAULTS_LOADED = True
+        # Imported for its registration side effects.
+        import repro.lint.rules  # noqa: F401
+
+
+def lint_rule(
+    rule_id: str,
+    severity: Severity,
+    summary: Optional[str] = None,
+) -> Callable[[RuleCheck], RuleCheck]:
+    """Decorator registering *fn* as the checker for *rule_id*.
+
+    ``summary`` defaults to the first line of the checker's docstring.
+    Duplicate ids are an error: rule ids are the suppression/baseline
+    vocabulary and must stay unambiguous.
+    """
+
+    def decorator(fn: RuleCheck) -> RuleCheck:
+        if rule_id in _RULES:
+            raise ValueError(f"lint rule {rule_id!r} is already registered")
+        doc = summary
+        if doc is None:
+            doc_lines = (fn.__doc__ or "").strip().splitlines()
+            doc = doc_lines[0] if doc_lines else rule_id
+        _RULES[rule_id] = LintRule(
+            id=rule_id, severity=severity, summary=doc, check=fn
+        )
+        return fn
+
+    return decorator
+
+
+def all_rules() -> Tuple[LintRule, ...]:
+    """Every registered rule, sorted by id."""
+    _ensure_defaults()
+    return tuple(_RULES[rule_id] for rule_id in sorted(_RULES))
+
+
+def get_rule(rule_id: str) -> LintRule:
+    """Resolve a rule by id; raises :class:`UnknownRuleError`."""
+    _ensure_defaults()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise UnknownRuleError(
+            f"unknown lint rule {rule_id!r}; available: " + ", ".join(sorted(_RULES))
+        ) from None

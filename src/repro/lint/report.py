@@ -1,0 +1,63 @@
+"""Reporters for lint results: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.lint.driver import LintResult
+from repro.lint.findings import Finding, Severity
+
+__all__ = ["render_json", "render_text"]
+
+
+def _summary_line(
+    fresh: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    result: LintResult,
+) -> str:
+    errors = sum(1 for f in fresh if f.severity is Severity.ERROR)
+    warnings = len(fresh) - errors
+    parts = [
+        f"{result.checked_files} files checked",
+        f"{len(fresh)} findings ({errors} errors, {warnings} warnings)",
+    ]
+    if grandfathered:
+        parts.append(f"{len(grandfathered)} baselined")
+    if result.suppressed:
+        parts.append(f"{result.suppressed} suppressed")
+    return ", ".join(parts)
+
+
+def render_text(
+    result: LintResult,
+    fresh: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+) -> str:
+    """One line per fresh finding plus a summary; clean runs say so."""
+    lines: List[str] = [finding.render() for finding in fresh]
+    if lines:
+        lines.append("")
+    lines.append(_summary_line(fresh, grandfathered, result))
+    return "\n".join(lines)
+
+
+def render_json(
+    result: LintResult,
+    fresh: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+) -> str:
+    """Full structured report, stable key order, for tooling and CI artifacts."""
+    payload = {
+        "checked_files": result.checked_files,
+        "rules": list(result.rules_run),
+        "findings": [finding.to_dict() for finding in fresh],
+        "baselined": [finding.to_dict() for finding in grandfathered],
+        "suppressed": result.suppressed,
+        "summary": {
+            "errors": sum(1 for f in fresh if f.severity is Severity.ERROR),
+            "warnings": sum(1 for f in fresh if f.severity is Severity.WARNING),
+            "total": len(fresh),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

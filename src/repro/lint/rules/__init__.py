@@ -1,0 +1,19 @@
+"""Stock lint rules — importing this package registers all of them.
+
+==========  ========  =====================================================
+Rule        Severity  Invariant
+==========  ========  =====================================================
+``REP101``  error     randomness flows through ``repro.utils.rng``
+``REP102``  error     obs calls in hot-path code sit behind ``OBS.enabled``
+``REP103``  warning   no ``==``/``!=`` on cost/reliability/lifetime floats
+``REP104``  error     builder registry: registered, unique, right signature
+``REP105``  error     ``AggregationTree`` is never mutated after creation
+``REP106``  error     ``__all__`` is truthful; re-exports resolve
+==========  ========  =====================================================
+
+(``REP000`` is the driver's pseudo-rule for unparsable files.)
+"""
+
+from repro.lint.rules import builders, exports, floats, frozen, obs, rng
+
+__all__ = ["builders", "exports", "floats", "frozen", "obs", "rng"]

@@ -1,0 +1,125 @@
+"""REP104 — builder-registry contract.
+
+The engine's registry (:mod:`repro.engine.registry`) is the single front
+door for tree construction: experiments, both CLIs, and the distributed
+simulator resolve builders by name.  An algorithm that exists but is not
+registered silently falls out of every sweep, and a registered function
+whose signature cannot be invoked as ``fn(network, **config)`` blows up at
+resolve time instead of import time.  Three checks:
+
+* every public ``build_*`` entry point defined in ``repro.baselines`` or
+  ``repro.core`` must be referenced by the stock registration module
+  ``repro.engine.builders`` (skipped when that module is outside the
+  linted path set) — ``solve_*`` names are deliberately not matched, since
+  ``solve_mrlc_lp`` returns an LP solution rather than a tree;
+* every ``@tree_builder(...)``-decorated function must take ``network`` as
+  its only positional parameter, with all config knobs keyword-only — the
+  shape :meth:`RegisteredBuilder.build` invokes;
+* a builder name literal must be registered exactly once across the
+  project (duplicates raise at import time, but only on the import order
+  that loads both).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.context import FileContext, Project, _tree_builder_name
+from repro.lint.findings import Severity
+from repro.lint.registry import lint_rule
+
+__all__ = ["check_builder_contract"]
+
+#: Where the stock registrations live; part (a) checks references in here.
+REGISTRATION_MODULE = "repro.engine.builders"
+
+#: Packages whose public entry points must be registry-reachable.
+ALGORITHM_PACKAGES = ("repro.baselines", "repro.core")
+
+_ENTRY_PREFIXES = ("build_",)
+
+
+def _check_entry_points(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    if not ctx.in_package(*ALGORITHM_PACKAGES):
+        return
+    if ctx.module == REGISTRATION_MODULE:
+        return
+    references = project.name_loads(REGISTRATION_MODULE)
+    if references is None:
+        return  # registration module not part of this lint run
+    for node in ctx.tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        name = node.name
+        if name.startswith("_") or not name.startswith(_ENTRY_PREFIXES):
+            continue
+        if name not in references:
+            yield (
+                node,
+                f"public entry point {name}() is not wired into the "
+                f"tree-builder registry ({REGISTRATION_MODULE}); register it "
+                "with @tree_builder so sweeps and CLIs can resolve it by name",
+            )
+
+
+def _check_signatures(ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not any(_tree_builder_name(d) is not None for d in node.decorator_list):
+            continue
+        args = node.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if not positional or positional[0].arg != "network":
+            yield (
+                node,
+                f"@tree_builder function {node.name}() must take 'network' "
+                "as its first parameter (RegisteredBuilder.build invokes "
+                "fn(network, **config))",
+            )
+        if len(positional) > 1 or args.vararg is not None:
+            yield (
+                node,
+                f"@tree_builder function {node.name}() declares extra "
+                "positional parameters; config knobs must be keyword-only "
+                "to stay compatible with fn(network, **config)",
+            )
+
+
+def _check_duplicate_names(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    registrations = project.tree_builder_registrations()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for deco in node.decorator_list:
+            name = _tree_builder_name(deco)
+            if name is None:
+                continue
+            sites = registrations.get(name, [])
+            if len(sites) > 1:
+                others = [
+                    f"{path}:{line}"
+                    for path, line in sites
+                    if (path, line) != (ctx.display_path, node.lineno)
+                ]
+                yield (
+                    node,
+                    f"builder name {name!r} is registered more than once "
+                    f"(also at {', '.join(others)}); registry names must be "
+                    "unique",
+                )
+
+
+@lint_rule("REP104", Severity.ERROR)
+def check_builder_contract(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    """tree builders must be registered, uniquely named, and (network, **config)-shaped"""
+    yield from _check_entry_points(ctx, project)
+    yield from _check_signatures(ctx)
+    yield from _check_duplicate_names(ctx, project)

@@ -1,0 +1,133 @@
+"""REP106 — export drift: ``__all__`` is truthful and re-exports resolve.
+
+Two failure modes this catches before a user's import does:
+
+* a name listed in ``__all__`` that the module never defines (typo, or the
+  definition was moved without updating the list), including duplicates;
+* a ``from repro.x import name`` whose source module — when it is part of
+  the same lint run — defines no such top-level name, which is how package
+  ``__init__`` re-export chains rot after a refactor.
+
+Cross-module resolution is static and conservative: only absolute/relative
+imports that resolve to a file in the current run are checked, a name
+counts as defined if it is bound at module top level (including inside
+``if``/``try`` blocks), and importing a submodule by name is recognized.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.lint.context import FileContext, Project
+from repro.lint.findings import Severity
+from repro.lint.registry import lint_rule
+
+__all__ = ["check_export_drift"]
+
+
+def _all_assignments(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.stmt, Optional[ast.expr]]]:
+    """Top-level ``__all__ = ...`` / ``__all__: ... = ...`` statements."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    yield node, node.value
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
+                yield node, node.value
+
+
+def _check_all_list(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    assert ctx.module is not None
+    symbols = project.top_level_symbols(ctx.module)
+    if symbols is None:  # pragma: no cover - ctx is always in its own project
+        return
+    for node, value in _all_assignments(ctx.tree):
+        if value is None:
+            continue  # bare annotation, no list to check
+        try:
+            names = ast.literal_eval(value)
+        except ValueError:
+            yield (
+                node,
+                "__all__ is not a static list of strings; the export surface "
+                "must be statically auditable",
+            )
+            continue
+        if not isinstance(names, (list, tuple)) or not all(
+            isinstance(name, str) for name in names
+        ):
+            yield (node, "__all__ must be a list/tuple of name strings")
+            continue
+        seen: List[str] = []
+        for name in names:
+            if name in seen:
+                yield (node, f"__all__ lists {name!r} more than once")
+            seen.append(name)
+            if name not in symbols:
+                yield (
+                    node,
+                    f"__all__ exports {name!r} but the module defines no such "
+                    "top-level name",
+                )
+
+
+def _import_target(ctx: FileContext, node: ast.ImportFrom) -> Optional[str]:
+    """Absolute module an ImportFrom pulls from, resolving relative levels."""
+    if node.level == 0:
+        return node.module
+    if ctx.module is None:
+        return None
+    base_parts = ctx.module.split(".")
+    if not ctx.is_package:
+        base_parts = base_parts[:-1]
+    # level 1 = the current package; each extra level pops one more parent.
+    drop = node.level - 1
+    if drop > len(base_parts):
+        return None
+    if drop:
+        base_parts = base_parts[:-drop]
+    if node.module:
+        base_parts = base_parts + node.module.split(".")
+    return ".".join(base_parts) if base_parts else None
+
+
+def _check_reexports(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        target = _import_target(ctx, node)
+        if target is None:
+            continue
+        symbols = project.top_level_symbols(target)
+        if symbols is None:
+            continue  # outside this lint run (stdlib, third-party, unlinted)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            if alias.name in symbols:
+                continue
+            if f"{target}.{alias.name}" in project.modules:
+                continue  # importing a submodule by name
+            yield (
+                node,
+                f"'from {target} import {alias.name}' does not resolve: "
+                f"{target} defines no top-level {alias.name!r}",
+            )
+
+
+@lint_rule("REP106", Severity.ERROR)
+def check_export_drift(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    """__all__ entries must exist and intra-package re-exports must resolve"""
+    if ctx.module is not None:
+        yield from _check_all_list(ctx, project)
+    yield from _check_reexports(ctx, project)

@@ -1,0 +1,70 @@
+"""REP103 — no float equality on cost / reliability / lifetime values.
+
+``C(T)``, ``Q(T)`` and ``L(T)`` are accumulated floating-point quantities
+(sums of ``-log q_e``, products of link PRRs, energy quotients); the engine
+layer additionally maintains them *incrementally*, so two mathematically
+equal trees can differ in the last ulp depending on the mutation path.
+``==`` / ``!=`` on them is therefore a latent nondeterminism bug.  This rule
+flags equality comparisons where either side is named after one of those
+quantities — a method call (``t.cost() == u.cost()``), an attribute
+(``result.lifetime != lc``), or a plain variable (``best_cost == cost``) —
+and points at the tolerance helpers
+(:func:`repro.utils.validation.approx_eq`, ``math.isclose``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from repro.lint.context import FileContext, Project
+from repro.lint.findings import Severity
+from repro.lint.registry import lint_rule
+
+__all__ = ["METRIC_NAMES", "check_float_equality"]
+
+#: The paper's tree metrics: accumulated floats, never equality-comparable.
+METRIC_NAMES = frozenset({"cost", "reliability", "lifetime"})
+
+
+def _metric_name(node: ast.expr) -> Optional[str]:
+    """The metric a comparison side refers to, if any."""
+    if isinstance(node, ast.Call):
+        node = node.func  # t.cost() / cost() — inspect the callee name
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    if name in METRIC_NAMES:
+        return name
+    for metric in METRIC_NAMES:
+        if name.endswith("_" + metric):
+            return name
+    return None
+
+
+@lint_rule("REP103", Severity.WARNING)
+def check_float_equality(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    """== / != on cost, reliability, or lifetime values; use a tolerance helper"""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        for op, comparator in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (node.left, comparator):
+                name = _metric_name(side)
+                if name is not None:
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield (
+                        node,
+                        f"float equality ({symbol}) on {name!r}: these are "
+                        "accumulated floats whose last ulp depends on the "
+                        "evaluation path; use "
+                        "repro.utils.validation.approx_eq or math.isclose",
+                    )
+                    break  # one finding per comparison pair

@@ -23,7 +23,6 @@ captures; we synthesize traces around the measured averages).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -15,7 +15,7 @@ Unit-disk and grid generators are provided for the example applications
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-import numpy as np
 
 from repro.network.model import Network, edge_key
 from repro.utils.rng import SeedLike, as_rng

@@ -15,9 +15,9 @@ of link-quality changes of one run, serializable to JSON, so that
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.network.dynamics import DynamicLinkSimulator
 from repro.network.model import Network

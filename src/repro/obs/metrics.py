@@ -16,7 +16,7 @@ a no-op.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Tuple
 
 __all__ = [
     "Counter",

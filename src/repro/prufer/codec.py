@@ -19,7 +19,7 @@ Both algorithms run in ``O(n log n)`` using heaps, as the paper states.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.core.tree import AggregationTree
 

@@ -19,7 +19,7 @@ second-to-last entry to be a child of the sink; the splice preserves that
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.tree import AggregationTree
 from repro.network.model import Network

@@ -16,9 +16,7 @@ average link quality for several network sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
-import numpy as np
 
 from repro.core.tree import AggregationTree
 from repro.utils.rng import SeedLike, as_rng

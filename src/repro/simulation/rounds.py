@@ -20,7 +20,7 @@ empirical complete-round frequency must converge to ``Q(T)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 import numpy as np

@@ -15,10 +15,11 @@ The submodules here are dependency-free substrates:
 from repro.utils.ascii_chart import bar_chart, line_chart
 from repro.utils.gomoryhu import GomoryHuTree, build_gomory_hu_tree
 from repro.utils.maxflow import DinicMaxFlow, MaxFlowResult
-from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.rng import SeedLike, as_rng, spawn_rngs, stable_hash_seed
 from repro.utils.tables import format_table
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import (
+    approx_eq,
     check_in_range,
     check_non_negative,
     check_positive,
@@ -29,7 +30,9 @@ __all__ = [
     "DinicMaxFlow",
     "GomoryHuTree",
     "MaxFlowResult",
+    "SeedLike",
     "UnionFind",
+    "approx_eq",
     "as_rng",
     "bar_chart",
     "line_chart",
@@ -40,4 +43,5 @@ __all__ = [
     "build_gomory_hu_tree",
     "format_table",
     "spawn_rngs",
+    "stable_hash_seed",
 ]

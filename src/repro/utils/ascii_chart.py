@@ -31,7 +31,7 @@ def bar_chart(
     if width < 5:
         raise ValueError("width must be at least 5")
     peak = max(max(values), 0.0)
-    label_width = max(len(str(l)) for l in labels)
+    label_width = max(len(str(lab)) for lab in labels)
     lines = [title] if title else []
     for label, value in zip(labels, values):
         if value < 0:
@@ -107,7 +107,7 @@ def histogram_summary(
         f"{format(edges[i], value_fmt)}..{format(edges[i + 1], value_fmt)}"
         for i in range(bins)
     ]
-    label_width = max(len(l) for l in labels)
+    label_width = max(len(lab) for lab in labels)
     tallest = max(counts)
     for i, count in enumerate(counts):
         cells = count / tallest * width

@@ -20,7 +20,7 @@ separation oracle uses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.utils.maxflow import DinicMaxFlow
 

@@ -6,17 +6,29 @@ may be ``None``, an integer, or an already-constructed
 behaviour uniform: experiments are reproducible when given an integer seed and
 independent streams can be derived for sub-components without correlated
 draws.
+
+This is the only module allowed to construct generators directly; everywhere
+else, ``repro lint`` (rule REP101) bans bare ``random``/``np.random`` usage.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import List, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+SeedLike = Union[None, int, np.integer, np.random.Generator, np.random.SeedSequence]
 
 __all__ = ["SeedLike", "as_rng", "spawn_rngs", "stable_hash_seed"]
+
+#: Exclusive upper bound for seed material drawn when deriving child streams.
+_SEED_BOUND = 2**63 - 1
+
+
+def _check_seed_int(seed: Union[int, np.integer]) -> int:
+    if seed < 0:
+        raise ValueError(f"seed must be non-negative, got {seed}")
+    return int(seed)
 
 
 def as_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -34,16 +46,14 @@ def as_rng(seed: SeedLike = None) -> np.random.Generator:
     if seed is None:
         return np.random.default_rng()
     if isinstance(seed, (int, np.integer)):
-        if seed < 0:
-            raise ValueError(f"seed must be non-negative, got {seed}")
-        return np.random.default_rng(int(seed))
+        return np.random.default_rng(_check_seed_int(seed))
     raise TypeError(
         "seed must be None, an int, a numpy Generator, or a SeedSequence; "
         f"got {type(seed).__name__}"
     )
 
 
-def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
     """Derive *count* statistically independent generators from *seed*.
 
     Used by experiment sweeps that run many trials in a loop: each trial gets
@@ -55,10 +65,22 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     if isinstance(seed, np.random.Generator):
         # Derive children by drawing fresh seed material from the stream.
         return [
-            np.random.default_rng(int(seed.integers(0, 2**63 - 1)))
+            np.random.default_rng(int(seed.integers(0, _SEED_BOUND)))
             for _ in range(count)
         ]
-    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        seq = seed
+    elif seed is None:
+        seq = np.random.SeedSequence()
+    elif isinstance(seed, (int, np.integer)):
+        # Validate here for the same clear message as as_rng, instead of
+        # numpy's opaque "entropy must be a non-negative integer" error.
+        seq = np.random.SeedSequence(_check_seed_int(seed))
+    else:
+        raise TypeError(
+            "seed must be None, an int, a numpy Generator, or a SeedSequence; "
+            f"got {type(seed).__name__}"
+        )
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 

@@ -13,12 +13,31 @@ from typing import Union
 Number = Union[int, float]
 
 __all__ = [
+    "approx_eq",
     "check_finite",
     "check_in_range",
     "check_non_negative",
     "check_positive",
     "check_probability",
 ]
+
+
+def approx_eq(
+    a: Number,
+    b: Number,
+    *,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-12,
+) -> bool:
+    """Tolerance equality for accumulated float quantities.
+
+    Tree cost, reliability, and lifetime are sums/products of many float
+    terms (and the engine maintains them incrementally), so bitwise ``==``
+    on them is path-dependent; ``repro lint`` rule REP103 bans it and points
+    here.  The defaults absorb ulp-level drift while still distinguishing
+    any two genuinely different trees of practical size.
+    """
+    return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=abs_tol)
 
 
 def check_finite(value: Number, name: str) -> float:

@@ -1,0 +1,125 @@
+"""CLI tests for ``repro lint`` / ``mrlc lint``: exit codes, formats, baseline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import lint_main
+
+from tests.lint_utils import write_tree
+
+CLEAN = {"repro/ok.py": "def f():\n    return 1\n"}
+DIRTY = {"repro/bad.py": "import random\n"}
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        src = write_tree(tmp_path, CLEAN)
+        assert lint_main([str(src), "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        src = write_tree(tmp_path, DIRTY)
+        assert lint_main([str(src), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "REP101" in out and "1 errors" in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        src = write_tree(tmp_path, CLEAN)
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(src), "--select", "REP999"])
+        assert exc.value.code == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(tmp_path / "nope.txt")])
+        assert exc.value.code == 2
+
+    def test_no_baseline_conflicts_with_write_baseline(self, tmp_path):
+        src = write_tree(tmp_path, CLEAN)
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(src), "--no-baseline", "--write-baseline"])
+        assert exc.value.code == 2
+
+
+class TestSelection:
+    def test_select_limits_rules(self, tmp_path, capsys):
+        files = {"repro/bad.py": "import random\ndef f(tree):\n    tree.x = 1\n"}
+        src = write_tree(tmp_path, files)
+        assert lint_main([str(src), "--no-baseline", "--select", "REP105"]) == 1
+        out = capsys.readouterr().out
+        assert "REP105" in out and "REP101" not in out
+
+    def test_ignore_skips_rules(self, tmp_path, capsys):
+        src = write_tree(tmp_path, DIRTY)
+        assert lint_main([str(src), "--no-baseline", "--ignore", "REP101"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_list_rules_prints_table(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106"):
+            assert rule_id in out
+
+
+class TestJsonFormat:
+    def test_json_output_parses(self, tmp_path, capsys):
+        src = write_tree(tmp_path, DIRTY)
+        assert lint_main([str(src), "--no-baseline", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["total"] == 1
+        assert payload["findings"][0]["rule"] == "REP101"
+
+
+class TestBaselineFlow:
+    def test_write_then_lint_is_clean(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+
+        assert lint_main([str(src), "--write-baseline", "--baseline", str(baseline)]) == 0
+        assert "1 grandfathered" in capsys.readouterr().out
+
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_violation_still_fails(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(src), "--write-baseline", "--baseline", str(baseline)])
+        capsys.readouterr()
+
+        write_tree(tmp_path, {"repro/worse.py": "from random import shuffle\n"})
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "worse.py" in out and "1 baselined" in out
+
+    def test_default_baseline_discovered_in_cwd(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        src = write_tree(tmp_path, DIRTY)
+        lint_main([str(src), "--write-baseline"])
+        capsys.readouterr()
+        assert (tmp_path / "lint-baseline.json").exists()
+        assert lint_main([str(src)]) == 0
+
+    def test_explicit_missing_baseline_is_error(self, tmp_path):
+        src = write_tree(tmp_path, CLEAN)
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(src), "--baseline", str(tmp_path / "nope.json")])
+        assert exc.value.code == 2
+
+
+class TestTopLevelDispatch:
+    def test_repro_cli_routes_lint(self, tmp_path, capsys):
+        src = write_tree(tmp_path, DIRTY)
+        assert repro_main(["lint", str(src), "--no-baseline"]) == 1
+        assert "REP101" in capsys.readouterr().out
+
+    def test_repro_cli_lint_clean(self, tmp_path, capsys):
+        src = write_tree(tmp_path, CLEAN)
+        assert repro_main(["lint", str(src), "--no-baseline"]) == 0
+        assert "0 findings" in capsys.readouterr().out

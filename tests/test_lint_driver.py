@@ -1,0 +1,193 @@
+"""Driver-level tests: suppressions, baselines, reporters, parse errors."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Baseline,
+    BaselineError,
+    Finding,
+    PARSE_ERROR_RULE,
+    Severity,
+    lint_paths,
+)
+from repro.lint.driver import iter_python_files
+from repro.lint.report import render_json, render_text
+
+from tests.lint_utils import lint_sources, rule_ids, write_tree
+
+
+class TestSuppression:
+    def test_line_suppression_by_id(self, tmp_path):
+        source = "import random  # repro: ignore[REP101]\n"
+        result = lint_paths([write_tree(tmp_path, {"repro/a.py": source})])
+        assert result.all_findings == []
+        assert result.suppressed == 1
+
+    def test_bare_ignore_silences_all_rules(self, tmp_path):
+        source = "def f(a, b):\n    return a.cost() == b.cost()  # repro: ignore\n"
+        result = lint_paths([write_tree(tmp_path, {"repro/a.py": source})])
+        assert result.all_findings == []
+        assert result.suppressed == 1
+
+    def test_wrong_id_does_not_suppress(self, tmp_path):
+        source = "import random  # repro: ignore[REP105]\n"
+        findings = lint_sources(tmp_path, {"repro/a.py": source})
+        assert rule_ids(findings) == ["REP101"]
+
+    def test_multiple_ids_in_one_comment(self, tmp_path):
+        source = (
+            "def f(tree, cost):\n"
+            "    tree.cost = cost == tree.old_cost  # repro: ignore[REP103, REP105]\n"
+        )
+        result = lint_paths([write_tree(tmp_path, {"repro/a.py": source})])
+        assert result.all_findings == []
+        assert result.suppressed == 2
+
+    def test_ignore_file_marker(self, tmp_path):
+        source = (
+            "# repro: ignore-file[REP103]\n"
+            "def f(a, b):\n"
+            "    return a.cost() == b.cost() and a.lifetime() == b.lifetime()\n"
+        )
+        assert lint_sources(tmp_path, {"repro/a.py": source}) == []
+
+    def test_ignore_file_marker_is_rule_scoped(self, tmp_path):
+        source = "# repro: ignore-file[REP103]\nimport random\n"
+        findings = lint_sources(tmp_path, {"repro/a.py": source})
+        assert rule_ids(findings) == ["REP101"]
+
+    def test_ignore_file_marker_outside_window_inert(self, tmp_path):
+        source = "\n" * 25 + "# repro: ignore-file[REP101]\nimport random\n"
+        findings = lint_sources(tmp_path, {"repro/a.py": source})
+        assert rule_ids(findings) == ["REP101"]
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_rep000(self, tmp_path):
+        result = lint_paths([write_tree(tmp_path, {"repro/bad.py": "def f(:\n"})])
+        assert rule_ids(result.all_findings) == [PARSE_ERROR_RULE]
+        assert result.all_findings[0].severity is Severity.ERROR
+
+    def test_other_files_still_checked(self, tmp_path):
+        files = {"repro/bad.py": "def f(:\n", "repro/ok.py": "import random\n"}
+        result = lint_paths([write_tree(tmp_path, files)])
+        assert rule_ids(result.all_findings) == [PARSE_ERROR_RULE, "REP101"]
+        assert result.checked_files == 1  # only the parsable file
+
+
+class TestFileCollection:
+    def test_pycache_skipped_and_duplicates_merged(self, tmp_path):
+        src = write_tree(
+            tmp_path,
+            {
+                "repro/a.py": "x = 1\n",
+                "repro/__pycache__/a.py": "x = 1\n",
+            },
+        )
+        files = iter_python_files([src, src / "repro" / "a.py"])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_non_python_path_rejected(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello\n")
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([target])
+
+
+class TestBaseline:
+    def finding(self, message="import random", path="src/repro/a.py"):
+        return Finding(
+            rule="REP101",
+            severity=Severity.ERROR,
+            path=path,
+            line=1,
+            col=0,
+            message=message,
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline.from_findings([self.finding(), self.finding("other")])
+        original.write(path)
+        assert Baseline.load(path).counts == original.counts
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert not baseline.counts
+
+    def test_split_grandfathers_known_findings(self):
+        known = self.finding()
+        fresh_one = self.finding("something new")
+        baseline = Baseline.from_findings([known])
+        fresh, grandfathered = baseline.split([known, fresh_one])
+        assert fresh == [fresh_one]
+        assert grandfathered == [known]
+
+    def test_split_honours_multiplicity(self):
+        finding = self.finding()
+        baseline = Baseline.from_findings([finding])
+        fresh, grandfathered = baseline.split([finding, finding])
+        assert len(grandfathered) == 1
+        assert len(fresh) == 1
+
+    def test_fingerprint_is_line_free(self):
+        moved = Finding(
+            rule="REP101",
+            severity=Severity.ERROR,
+            path="src/repro/a.py",
+            line=99,
+            col=4,
+            message="import random",
+        )
+        baseline = Baseline.from_findings([self.finding()])
+        fresh, grandfathered = baseline.split([moved])
+        assert fresh == [] and grandfathered == [moved]
+
+    def test_bad_shape_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestReporters:
+    def result_with_findings(self, tmp_path):
+        files = {"repro/a.py": "import random\n"}
+        return lint_paths([write_tree(tmp_path, files)])
+
+    def test_text_report_lists_findings_and_summary(self, tmp_path):
+        result = self.result_with_findings(tmp_path)
+        text = render_text(result, result.all_findings, [])
+        assert "REP101" in text
+        assert "1 files checked" in text
+        assert "1 errors" in text
+
+    def test_text_report_mentions_baselined_and_suppressed(self, tmp_path):
+        files = {"repro/a.py": "import random  # repro: ignore[REP101]\n"}
+        result = lint_paths([write_tree(tmp_path, files)])
+        text = render_text(result, [], [])
+        assert "suppressed" in text
+
+    def test_json_report_structure(self, tmp_path):
+        result = self.result_with_findings(tmp_path)
+        payload = json.loads(render_json(result, result.all_findings, []))
+        assert payload["summary"]["total"] == 1
+        assert payload["summary"]["errors"] == 1
+        assert payload["findings"][0]["rule"] == "REP101"
+        assert payload["checked_files"] == 1
+        assert "REP101" in payload["rules"]
+
+    def test_finding_render_shape(self, tmp_path):
+        result = self.result_with_findings(tmp_path)
+        line = result.all_findings[0].render()
+        path = result.all_findings[0].path
+        assert line.startswith(f"{path}:1:")
+        assert "REP101" in line and "error" in line

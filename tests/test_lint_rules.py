@@ -1,0 +1,362 @@
+"""Per-rule good/bad fixture tests for the repro linter.
+
+Every rule gets at least one synthetic source that must trigger it and one
+that must stay clean; fixtures are written into a ``src/repro/...`` shaped
+temp tree so module-scoped rules (hot-path packages, exempt modules) see
+realistic dotted names.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint_utils import lint_sources, rule_ids
+
+
+class TestREP101RngDiscipline:
+    def test_stdlib_random_import_flagged(self, tmp_path):
+        findings = lint_sources(
+            tmp_path, {"repro/algo.py": "import random\nx = random.random()\n"}
+        )
+        assert "REP101" in rule_ids(findings)
+
+    def test_from_random_import_flagged(self, tmp_path):
+        findings = lint_sources(
+            tmp_path, {"repro/algo.py": "from random import shuffle\n"}
+        )
+        assert "REP101" in rule_ids(findings)
+
+    def test_np_random_call_flagged(self, tmp_path):
+        source = "import numpy as np\nrng = np.random.default_rng(3)\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP101"]
+        assert "np.random.default_rng" in findings[0].message
+
+    def test_legacy_np_random_draw_flagged(self, tmp_path):
+        source = "import numpy\nx = numpy.random.uniform(0, 1)\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP101"]
+
+    def test_from_numpy_random_import_flagged(self, tmp_path):
+        source = "from numpy.random import default_rng\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP101"]
+
+    def test_type_references_allowed(self, tmp_path):
+        source = (
+            "import numpy as np\n"
+            "from numpy.random import Generator, SeedSequence\n"
+            "def f(rng: np.random.Generator) -> None:\n"
+            "    seq = np.random.SeedSequence(1)\n"
+            "    assert isinstance(rng, Generator)\n"
+            "    assert seq.spawn(1)\n"
+        )
+        assert lint_sources(tmp_path, {"repro/algo.py": source}) == []
+
+    def test_generator_method_named_random_allowed(self, tmp_path):
+        source = "def f(rng):\n    return rng.random() < 0.5\n"
+        assert lint_sources(tmp_path, {"repro/algo.py": source}) == []
+
+    def test_utils_rng_module_exempt(self, tmp_path):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert lint_sources(tmp_path, {"repro/utils/rng.py": source}) == []
+
+
+class TestREP102ObsGuard:
+    def test_unguarded_registry_flagged(self, tmp_path):
+        source = (
+            "from repro.obs import OBS\n"
+            "def f():\n"
+            "    OBS.registry.counter('x').inc()\n"
+        )
+        findings = lint_sources(tmp_path, {"repro/core/algo.py": source})
+        assert rule_ids(findings) == ["REP102"]
+
+    def test_unguarded_tracer_flagged(self, tmp_path):
+        source = "from repro.obs import OBS\ndef f():\n    OBS.tracer.event('x')\n"
+        findings = lint_sources(tmp_path, {"repro/engine/algo.py": source})
+        assert rule_ids(findings) == ["REP102"]
+
+    def test_guarded_use_allowed(self, tmp_path):
+        source = (
+            "from repro.obs import OBS\n"
+            "def f(moves):\n"
+            "    if OBS.enabled and moves:\n"
+            "        reg = OBS.registry\n"
+            "        reg.counter('x').inc()\n"
+            "        OBS.tracer.event('x')\n"
+        )
+        assert lint_sources(tmp_path, {"repro/core/algo.py": source}) == []
+
+    def test_alias_guard_allowed(self, tmp_path):
+        source = (
+            "from repro.obs import OBS\n"
+            "def f():\n"
+            "    enabled = OBS.enabled\n"
+            "    if enabled:\n"
+            "        OBS.registry.counter('x').inc()\n"
+        )
+        assert lint_sources(tmp_path, {"repro/baselines/algo.py": source}) == []
+
+    def test_is_enabled_guard_allowed(self, tmp_path):
+        source = (
+            "from repro.obs import OBS, is_enabled\n"
+            "def f():\n"
+            "    if is_enabled():\n"
+            "        OBS.tracer.event('x')\n"
+        )
+        assert lint_sources(tmp_path, {"repro/core/algo.py": source}) == []
+
+    def test_else_branch_not_guarded(self, tmp_path):
+        source = (
+            "from repro.obs import OBS\n"
+            "def f():\n"
+            "    if OBS.enabled:\n"
+            "        pass\n"
+            "    else:\n"
+            "        OBS.registry.counter('x').inc()\n"
+        )
+        findings = lint_sources(tmp_path, {"repro/core/algo.py": source})
+        assert rule_ids(findings) == ["REP102"]
+
+    def test_cold_packages_not_checked(self, tmp_path):
+        source = "from repro.obs import OBS\nOBS.registry.counter('x').inc()\n"
+        assert lint_sources(tmp_path, {"repro/experiments/algo.py": source}) == []
+
+
+class TestREP103FloatEquality:
+    def test_method_call_equality_flagged(self, tmp_path):
+        source = "def f(a, b):\n    return a.cost() == b.cost()\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP103"]
+
+    def test_attribute_inequality_flagged(self, tmp_path):
+        source = "def f(r, lc):\n    return r.lifetime != lc\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP103"]
+
+    def test_variable_name_flagged(self, tmp_path):
+        source = "def f(best_cost, cost):\n    return best_cost == cost\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        # one finding per comparison, not one per matching side
+        assert rule_ids(findings) == ["REP103"]
+
+    def test_ordering_comparisons_allowed(self, tmp_path):
+        source = "def f(a, b):\n    return a.cost() < b.cost() <= b.lifetime()\n"
+        assert lint_sources(tmp_path, {"repro/algo.py": source}) == []
+
+    def test_unrelated_equality_allowed(self, tmp_path):
+        source = "def f(n, m):\n    return n.index == m.index\n"
+        assert lint_sources(tmp_path, {"repro/algo.py": source}) == []
+
+
+BUILDERS_OK = (
+    "from repro.engine.registry import tree_builder\n"
+    "from repro.baselines.fancy import build_fancy_tree\n"
+    "@tree_builder('fancy')\n"
+    "def _build_fancy(network, *, knob=1):\n"
+    "    return build_fancy_tree(network, knob=knob)\n"
+)
+
+
+class TestREP104BuilderContract:
+    def test_unregistered_entry_point_flagged(self, tmp_path):
+        files = {
+            "repro/baselines/fancy.py": "def build_fancy_tree(network):\n    return None\n",
+            "repro/engine/builders.py": "# no registrations\n",
+        }
+        findings = lint_sources(tmp_path, files)
+        assert rule_ids(findings) == ["REP104"]
+        assert "build_fancy_tree" in findings[0].message
+
+    def test_registered_entry_point_allowed(self, tmp_path):
+        files = {
+            "repro/baselines/fancy.py": "def build_fancy_tree(network, *, knob=1):\n    return None\n",
+            "repro/engine/builders.py": BUILDERS_OK,
+        }
+        assert lint_sources(tmp_path, files) == []
+
+    def test_private_helpers_not_required(self, tmp_path):
+        files = {
+            "repro/core/helper.py": "def _build_scratch_tree(network):\n    return None\n",
+            "repro/engine/builders.py": "# empty\n",
+        }
+        assert lint_sources(tmp_path, files) == []
+
+    def test_missing_registration_module_skips_check(self, tmp_path):
+        files = {
+            "repro/baselines/fancy.py": "def build_fancy_tree(network):\n    return None\n"
+        }
+        assert lint_sources(tmp_path, files) == []
+
+    def test_bad_first_parameter_flagged(self, tmp_path):
+        source = (
+            "from repro.engine.registry import tree_builder\n"
+            "@tree_builder('x')\n"
+            "def _build_x(graph, *, knob=1):\n"
+            "    return None\n"
+        )
+        findings = lint_sources(tmp_path, {"repro/plugins.py": source})
+        assert rule_ids(findings) == ["REP104"]
+        assert "'network'" in findings[0].message
+
+    def test_extra_positional_flagged(self, tmp_path):
+        source = (
+            "from repro.engine.registry import tree_builder\n"
+            "@tree_builder('x')\n"
+            "def _build_x(network, depth):\n"
+            "    return None\n"
+        )
+        findings = lint_sources(tmp_path, {"repro/plugins.py": source})
+        assert rule_ids(findings) == ["REP104"]
+        assert "keyword-only" in findings[0].message
+
+    def test_duplicate_names_flagged_at_both_sites(self, tmp_path):
+        source = (
+            "from repro.engine.registry import tree_builder\n"
+            "@tree_builder('dup')\n"
+            "def _a(network):\n"
+            "    return None\n"
+            "@tree_builder('dup')\n"
+            "def _b(network):\n"
+            "    return None\n"
+        )
+        findings = lint_sources(tmp_path, {"repro/plugins.py": source})
+        assert rule_ids(findings) == ["REP104", "REP104"]
+
+
+class TestREP105FrozenTree:
+    def test_attribute_assignment_flagged(self, tmp_path):
+        source = "def f(tree):\n    tree.network = None\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP105"]
+
+    def test_suffixed_name_flagged(self, tmp_path):
+        source = "def f(best_tree):\n    best_tree._parent = []\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP105"]
+
+    def test_result_tree_attribute_flagged(self, tmp_path):
+        source = "def f(result):\n    result.tree.cached = 1\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP105"]
+
+    def test_setattr_flagged(self, tmp_path):
+        source = "def f(tree):\n    setattr(tree, 'x', 1)\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP105"]
+
+    def test_augmented_assignment_flagged(self, tmp_path):
+        source = "def f(tree):\n    tree.n += 1\n"
+        findings = lint_sources(tmp_path, {"repro/algo.py": source})
+        assert rule_ids(findings) == ["REP105"]
+
+    def test_reads_and_item_writes_allowed(self, tmp_path):
+        source = (
+            "def f(tree, out):\n"
+            "    out['n'] = tree.n\n"
+            "    caps = tree.network.nodes\n"
+            "    return caps\n"
+        )
+        assert lint_sources(tmp_path, {"repro/algo.py": source}) == []
+
+    def test_freeze_path_modules_exempt(self, tmp_path):
+        source = "def freeze(self, tree):\n    tree._parent = []\n"
+        assert lint_sources(tmp_path, {"repro/engine/treestate.py": source}) == []
+        assert lint_sources(tmp_path, {"repro/core/tree.py": source}) == []
+
+
+class TestREP106ExportDrift:
+    def test_missing_name_flagged(self, tmp_path):
+        source = "__all__ = ['exists', 'ghost']\ndef exists():\n    return 1\n"
+        findings = lint_sources(tmp_path, {"repro/mod.py": source})
+        assert rule_ids(findings) == ["REP106"]
+        assert "ghost" in findings[0].message
+
+    def test_duplicate_entry_flagged(self, tmp_path):
+        source = "__all__ = ['f', 'f']\ndef f():\n    return 1\n"
+        findings = lint_sources(tmp_path, {"repro/mod.py": source})
+        assert rule_ids(findings) == ["REP106"]
+
+    def test_dynamic_all_flagged(self, tmp_path):
+        source = "names = ['a']\n__all__ = names + ['b']\n"
+        findings = lint_sources(tmp_path, {"repro/mod.py": source})
+        assert rule_ids(findings) == ["REP106"]
+
+    def test_conditional_and_imported_names_count(self, tmp_path):
+        source = (
+            "__all__ = ['Flag', 'path', 'sub']\n"
+            "from os import path\n"
+            "from repro import sub\n"
+            "try:\n"
+            "    Flag = True\n"
+            "except ImportError:\n"
+            "    Flag = False\n"
+        )
+        assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
+
+    def test_broken_reexport_flagged(self, tmp_path):
+        files = {
+            "repro/pkg/__init__.py": "from repro.pkg.impl import gone\n",
+            "repro/pkg/impl.py": "def here():\n    return 1\n",
+        }
+        findings = lint_sources(tmp_path, files)
+        assert rule_ids(findings) == ["REP106"]
+        assert "gone" in findings[0].message
+
+    def test_resolving_reexport_allowed(self, tmp_path):
+        files = {
+            "repro/pkg/__init__.py": (
+                "from repro.pkg.impl import here\n__all__ = ['here']\n"
+            ),
+            "repro/pkg/impl.py": "def here():\n    return 1\n",
+        }
+        assert lint_sources(tmp_path, files) == []
+
+    def test_relative_import_resolves(self, tmp_path):
+        files = {
+            "repro/pkg/__init__.py": "from .impl import here\n",
+            "repro/pkg/impl.py": "def here():\n    return 1\n",
+        }
+        assert lint_sources(tmp_path, files) == []
+
+    def test_relative_import_broken_flagged(self, tmp_path):
+        files = {
+            "repro/pkg/__init__.py": "from .impl import gone\n",
+            "repro/pkg/impl.py": "def here():\n    return 1\n",
+        }
+        findings = lint_sources(tmp_path, files)
+        assert rule_ids(findings) == ["REP106"]
+
+    def test_submodule_import_allowed(self, tmp_path):
+        files = {
+            "repro/pkg/__init__.py": "from repro.pkg import impl\n",
+            "repro/pkg/impl.py": "def here():\n    return 1\n",
+        }
+        assert lint_sources(tmp_path, files) == []
+
+    def test_external_modules_skipped(self, tmp_path):
+        source = "from collections import Counter\n_ = Counter\n"
+        assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
+
+
+class TestRuleSelection:
+    def test_select_runs_single_rule(self, tmp_path):
+        files = {
+            "repro/algo.py": "import random\ndef f(tree):\n    tree.x = 1\n"
+        }
+        findings = lint_sources(tmp_path, files, select=["REP105"])
+        assert rule_ids(findings) == ["REP105"]
+
+    def test_ignore_removes_rule(self, tmp_path):
+        files = {
+            "repro/algo.py": "import random\ndef f(tree):\n    tree.x = 1\n"
+        }
+        findings = lint_sources(tmp_path, files, ignore=["REP101"])
+        assert rule_ids(findings) == ["REP105"]
+
+    def test_unknown_rule_raises(self, tmp_path):
+        from repro.lint import UnknownRuleError
+
+        with pytest.raises(UnknownRuleError):
+            lint_sources(tmp_path, {"repro/a.py": "x = 1\n"}, select=["REP999"])
