@@ -29,6 +29,7 @@ from repro.experiments import (
     run_energy_hole,
     run_ext_baselines,
     run_ext_estimation,
+    run_ext_faulty_control,
     run_ext_latency,
     run_ext_stability,
     run_fig1,
@@ -95,6 +96,10 @@ def _run_ext_stability(args: argparse.Namespace):
     return run_ext_stability(n_draws=args.trials or 10)
 
 
+def _run_ext_faulty_control(args: argparse.Namespace):
+    return run_ext_faulty_control(rounds=args.rounds or 100)
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -107,6 +112,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
     "ext-baselines": _run_ext_baselines,
     "ext-energyhole": _run_ext_energyhole,
     "ext-estimation": _run_ext_estimation,
+    "ext-faulty-control": _run_ext_faulty_control,
     "ext-latency": _run_ext_latency,
     "ext-stability": _run_ext_stability,
 }

@@ -34,19 +34,35 @@ SERIAL_BYTES = 4
 
 @dataclass(frozen=True)
 class CodeAnnouncement:
-    """Initial broadcast from the sink carrying the full sequence pair.
+    """Sink broadcast carrying the full sequence pair.
+
+    Sent once at setup, and again as the *resync* recovery message when
+    replica divergence is detected under control-plane faults: a node that
+    missed a Parent-Changing announcement adopts the sink's pair wholesale
+    and fast-forwards to its serial.
 
     Attributes:
         code: The Prüfer sequence ``P``.
         order: The removal sequence ``D``.
+        serial: Serial the receiver is current up to after applying the
+            pair; ``-1`` on the setup broadcast (no updates issued yet),
+            the protocol's last issued serial on resync rebroadcasts.
     """
 
     code: Tuple[int, ...]
     order: Tuple[int, ...]
+    serial: int = -1
 
     def size_bytes(self) -> int:
-        """Encoded size: type tag + both sequences at 2 bytes per id."""
-        return HEADER_BYTES + NODE_ID_BYTES * (len(self.code) + len(self.order))
+        """Encoded size: type tag + both sequences at 2 bytes per id.
+
+        Resync rebroadcasts (``serial >= 0``) additionally carry the
+        serial; the setup broadcast predates any serial and omits it.
+        """
+        size = HEADER_BYTES + NODE_ID_BYTES * (len(self.code) + len(self.order))
+        if self.serial >= 0:
+            size += SERIAL_BYTES
+        return size
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,15 @@ class SensorNode:
         link_costs: Costs of *incident* links, keyed by neighbour id.
         pair: Current ``(P, D)`` replica (None until the sink's broadcast).
         last_serial: Serial of the last applied ParentChange.
+        tolerate_gaps: Fault-injection mode.  A deployed radio can lose an
+            announcement; with this set (the protocol sets it when a fault
+            plan is active) a serial gap marks the replica
+            :attr:`out_of_sync` instead of raising, and the node waits for
+            a code rebroadcast.  Off by default: on a perfect channel a
+            gap is a simulator bug and must fail loudly.
+        out_of_sync: The replica is known stale (missed/unappliable update
+            or a reboot); the node ignores further Parent-Changing traffic
+            until a :class:`CodeAnnouncement` resyncs it.
     """
 
     node_id: int
@@ -46,14 +55,22 @@ class SensorNode:
     link_costs: Dict[int, float] = field(default_factory=dict)
     pair: Optional[SequencePair] = None
     last_serial: int = -1
+    tolerate_gaps: bool = False
+    out_of_sync: bool = False
 
     # ------------------------------------------------------------------
     # Message handlers
     # ------------------------------------------------------------------
     def on_code_announcement(self, msg: CodeAnnouncement) -> None:
-        """Install the initial sequence pair broadcast by the sink."""
+        """Install the sequence pair broadcast by the sink.
+
+        Both the setup broadcast and fault-recovery rebroadcasts land here;
+        either way the node adopts the pair wholesale, fast-forwards to the
+        announced serial, and is in sync again.
+        """
         self.pair = SequencePair(code=msg.code, order=msg.order)
-        self.last_serial = -1
+        self.last_serial = msg.serial
+        self.out_of_sync = False
 
     def on_parent_change(self, msg: ParentChange) -> None:
         """Apply a Parent-Changing announcement to the local replica."""
@@ -61,14 +78,28 @@ class SensorNode:
             raise RuntimeError(
                 f"node {self.node_id} received ParentChange before the code"
             )
+        if self.out_of_sync:
+            return  # stale replica; wait for the code rebroadcast
         if msg.serial <= self.last_serial:
             return  # duplicate delivery
         if msg.serial != self.last_serial + 1:
+            if self.tolerate_gaps:
+                self.out_of_sync = True
+                return
             raise RuntimeError(
                 f"node {self.node_id} missed an update "
                 f"(have {self.last_serial}, got {msg.serial})"
             )
-        self.pair = self.pair.change_parent(msg.child, msg.new_parent)
+        try:
+            self.pair = self.pair.change_parent(msg.child, msg.new_parent)
+        except ValueError:
+            if self.tolerate_gaps:
+                # A diverged replica can find the announced move invalid in
+                # its own view (e.g. the new parent sits inside the child's
+                # subtree locally); flag it for resync instead of crashing.
+                self.out_of_sync = True
+                return
+            raise
         self.last_serial = msg.serial
 
     # ------------------------------------------------------------------

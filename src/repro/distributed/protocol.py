@@ -16,16 +16,33 @@ Two triggers, two handlers:
 Message accounting matches the paper's model: each update is flooded over
 the tree through non-leaf nodes, so one update costs (non-leaf count ∪
 originator) transmissions.
+
+**Control-plane faults.**  By default the floods above are delivered
+perfectly — the idealised channel the paper's Figs. 11–13 assume.  Passing
+a :class:`repro.faults.FaultPlan` makes the control plane itself lossy: the
+flood is then simulated hop by hop over the tree, each per-link delivery
+can be dropped (retransmitted up to ``max_retries`` times, each retry a
+real message), duplicated (absorbed by the serial guard), or delayed
+(applied in a later round), and nodes can crash and reboot stale.  A
+replica that misses an announcement is *out of sync*; the sink repairs
+divergence by rebroadcasting the full code (:class:`CodeAnnouncement` with
+the current serial) — the resync path, whose cost is accounted like any
+other flood.  An inactive plan (``FaultPlan(drop_rate=0)`` with every other
+knob zero) takes the exact legacy code path and never draws from the
+plan's RNG, so fault-free runs stay bitwise-identical.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.tree import AggregationTree
 from repro.distributed.messages import CodeAnnouncement, ParentChange
 from repro.distributed.node import SensorNode
+from repro.faults import FaultPlan, FaultStats
+from repro.network.energy import EnergyModel
 from repro.network.model import Network
 from repro.obs import OBS
 from repro.prufer.updates import SequencePair
@@ -39,9 +56,11 @@ class UpdateReport:
 
     Attributes:
         changed: Accepted parent changes, in order, as (child, new_parent).
-        messages: Tree-flooding transmissions spent on the announcements.
+        messages: Tree-flooding transmissions spent on the announcements
+            (including fault-mode retransmissions).
         receptions: Packet receptions those floods caused (every non-origin
-            node hears each announcement once).
+            node hears each announcement once on a perfect channel; under
+            faults, only the deliveries that actually succeeded).
         ilu_steps: ILU recursion steps examined (0 for link-worse updates).
     """
 
@@ -54,10 +73,21 @@ class UpdateReport:
     def did_change(self) -> bool:
         return bool(self.changed)
 
-    def control_energy_j(self, energy_model) -> float:
+    def control_energy_j(self, energy_model: EnergyModel) -> float:
         """Control-plane energy of this update (Tx per message, Rx per
         reception) — the maintenance overhead the paper's Fig. 13 counts in
-        messages, expressed in the same joules as the data plane."""
+        messages, expressed in the same joules as the data plane.
+
+        Raises ``TypeError`` unless *energy_model* is an
+        :class:`~repro.network.energy.EnergyModel` (pass
+        ``network.energy_model``); anything else used to fail later with
+        an opaque ``AttributeError``.
+        """
+        if not isinstance(energy_model, EnergyModel):
+            raise TypeError(
+                "energy_model must be a repro.network.energy.EnergyModel "
+                f"(e.g. network.energy_model), got {type(energy_model).__name__}"
+            )
         return self.messages * energy_model.tx + self.receptions * energy_model.rx
 
 
@@ -74,13 +104,41 @@ class DistributedProtocol:
             simulator mutates it to model churn).
         tree: The initial aggregation tree (typically IRA's output).
         lc: Lifetime bound the maintained tree must keep satisfying.
+        fault_plan: Optional control-plane fault model (see module
+            docstring).  ``None`` — and any *inactive* plan — preserves the
+            perfect-channel behaviour bit for bit.
     """
 
-    def __init__(self, network: Network, tree: AggregationTree, lc: float) -> None:
+    def __init__(
+        self,
+        network: Network,
+        tree: AggregationTree,
+        lc: float,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if tree.network is not network:
             raise ValueError("tree must be built over the given network")
         self.network = network
         self.lc = float(lc)
+        self.fault_plan = fault_plan
+        self._faults_active = fault_plan is not None and fault_plan.active
+        self.fault_stats = FaultStats()
+        self._crashed: Set[int] = set()
+        self._recover_at: Dict[int, int] = {}
+        #: Delayed deliveries: (due tick, receiver, message).
+        self._pending: List[
+            Tuple[int, int, Union[ParentChange, CodeAnnouncement]]
+        ] = []
+        self._tick = 0
+        if self._faults_active:
+            assert fault_plan is not None
+            for event in fault_plan.crash_events:
+                if event.node >= network.n:
+                    raise ValueError(
+                        f"crash event targets node {event.node}, but the "
+                        f"network only has {network.n} nodes"
+                    )
         energies = {v: network.initial_energy(v) for v in network.nodes}
         self.nodes: List[SensorNode] = [
             SensorNode(
@@ -91,6 +149,7 @@ class DistributedProtocol:
                 link_costs={
                     e.other(v): e.cost for e in network.incident_edges(v)
                 },
+                tolerate_gaps=self._faults_active,
             )
             for v in network.nodes
         ]
@@ -101,6 +160,9 @@ class DistributedProtocol:
     # Replica plumbing
     # ------------------------------------------------------------------
     def _initial_broadcast(self, tree: AggregationTree) -> int:
+        # Setup is part of provisioning (the paper's "sink calculates the
+        # Prüfer code and broadcasts"): delivered reliably even under a
+        # fault plan, which only governs steady-state maintenance traffic.
         pair = SequencePair.from_tree(tree)
         announcement = CodeAnnouncement(code=pair.code, order=pair.order)
         for node in self.nodes:
@@ -131,12 +193,21 @@ class DistributedProtocol:
         transmitters.add(origin)
         return len(transmitters)
 
-    def _announce_parent_change(self, child: int, new_parent: int) -> int:
+    def _announce_parent_change(self, child: int, new_parent: int) -> Tuple[int, int]:
+        """Issue one Parent-Changing flood; returns (messages, receptions)."""
         msg = ParentChange(child=child, new_parent=new_parent, serial=self._serial)
         self._serial += 1
-        for node in self.nodes:
-            node.on_parent_change(msg)
-        cost = self._broadcast_cost(self.pair, origin=child)
+        if self._faults_active:
+            # The mover applies its own decision locally, then floods it
+            # over the (pre-change) tree hop by hop through the fault plan.
+            flood_pair = self.pair
+            self.nodes[child].on_parent_change(msg)
+            cost, receptions = self._flood_with_faults(flood_pair, child, msg)
+        else:
+            for node in self.nodes:
+                node.on_parent_change(msg)
+            cost = self._broadcast_cost(self.pair, origin=child)
+            receptions = len(self.nodes) - 1  # everyone else hears it
         if OBS.enabled:
             reg = OBS.registry
             reg.counter("protocol.messages", type="parent_change").inc(cost)
@@ -153,16 +224,17 @@ class DistributedProtocol:
                 messages=cost,
                 bytes=cost * msg.size_bytes(),
             )
-        return cost
+        return cost, receptions
 
     def _record_announcement(
         self, report: UpdateReport, child: int, new_parent: int
     ) -> None:
-        report.messages += self._announce_parent_change(child, new_parent)
-        report.receptions += len(self.nodes) - 1  # everyone else hears it
+        messages, receptions = self._announce_parent_change(child, new_parent)
+        report.messages += messages
+        report.receptions += receptions
         report.changed.append((child, new_parent))
         if OBS.enabled:
-            OBS.registry.counter("protocol.receptions").inc(len(self.nodes) - 1)
+            OBS.registry.counter("protocol.receptions").inc(receptions)
 
     @property
     def pair(self) -> SequencePair:
@@ -195,6 +267,298 @@ class DistributedProtocol:
         self.nodes[v].link_costs[u] = cost
 
     # ------------------------------------------------------------------
+    # Fault plane: faulty floods, crash events, divergence recovery
+    # ------------------------------------------------------------------
+    def _flood_with_faults(
+        self,
+        pair: SequencePair,
+        origin: int,
+        msg: Union[ParentChange, CodeAnnouncement],
+    ) -> Tuple[int, int]:
+        """Simulate one tree flood hop by hop through the fault plan.
+
+        BFS from *origin* over *pair*'s tree (sorted neighbour order keeps
+        the draw sequence deterministic).  Each hop's receiver gets up to
+        ``1 + max_retries`` delivery attempts (retry-with-ack; every retry
+        is one extra message).  A receiver that exhausts its retries —
+        or is crashed — misses the flood *and cuts off its whole subtree*:
+        nobody downstream can hear a message its forwarder never got.  The
+        sender's ack timeout means the miss is locally known, so the
+        receiver is flagged out of sync immediately; cut-off subtrees are
+        silently stale until divergence detection finds them.
+
+        Returns (messages, successful receptions).
+        """
+        plan = self.fault_plan
+        assert plan is not None
+        stats = self.fault_stats
+        drops = retries = duplicates = delays = missed = 0
+        parents = pair.parent_map()
+        neighbours: List[List[int]] = [[] for _ in range(pair.n)]
+        for v, p in parents.items():
+            neighbours[v].append(p)
+            neighbours[p].append(v)
+        messages = 0
+        receptions = 0
+        # (node, flood parent, delay inherited from the path so far)
+        queue = deque([(origin, -1, 0)])
+        while queue:
+            x, flood_parent, path_delay = queue.popleft()
+            kids = [y for y in sorted(neighbours[x]) if y != flood_parent]
+            if kids or x == origin:
+                messages += 1  # x's (re)broadcast to its tree neighbours
+            for y in kids:
+                if y in self._crashed:
+                    # Retries into silence: the sender spends them all,
+                    # then gives up.  The node reboots stale (flagged at
+                    # recovery time), so no flag is needed here.
+                    messages += plan.max_retries
+                    retries += plan.max_retries
+                    drops += 1 + plan.max_retries
+                    missed += 1
+                    continue
+                prr = self.network.prr(x, y)
+                outcome = plan.attempt(prr)
+                attempt = 0
+                while not outcome.delivered and attempt < plan.max_retries:
+                    drops += 1
+                    attempt += 1
+                    messages += 1
+                    retries += 1
+                    outcome = plan.attempt(prr)
+                if not outcome.delivered:
+                    drops += 1
+                    missed += 1
+                    self.nodes[y].out_of_sync = True
+                    continue
+                receptions += 1
+                if outcome.duplicated:
+                    # Lost ack: the sender re-forwards, the receiver hears
+                    # the same serial twice and ignores the second copy.
+                    receptions += 1
+                    messages += 1
+                    duplicates += 1
+                delay_y = path_delay + outcome.delay
+                if outcome.delay:
+                    delays += 1
+                if delay_y > 0:
+                    self._pending.append((self._tick + delay_y, y, msg))
+                else:
+                    self._deliver(self.nodes[y], msg)
+                # Delayed or not, y still forwards (its children inherit
+                # the path delay — a flood hop cannot outrun its parent).
+                queue.append((y, x, delay_y))
+        stats.drops += drops
+        stats.retries += retries
+        stats.duplicates += duplicates
+        stats.delays += delays
+        stats.missed += missed
+        if OBS.enabled:
+            reg = OBS.registry
+            for name, value in (
+                ("faults.drops", drops),
+                ("faults.retries", retries),
+                ("faults.duplicates", duplicates),
+                ("faults.delays", delays),
+                ("faults.missed", missed),
+            ):
+                if value:
+                    reg.counter(name).inc(value)
+            reg.histogram("faults.retries_per_flood").observe(retries)
+        return messages, receptions
+
+    def _deliver(
+        self, node: SensorNode, msg: Union[ParentChange, CodeAnnouncement]
+    ) -> None:
+        """Apply one (possibly late) delivery to a replica.
+
+        A stale :class:`CodeAnnouncement` (strictly older serial than the
+        replica already holds) is discarded — applying it would regress
+        the replica.  An *equal*-serial announcement is applied: a node can
+        be at the sink's serial yet hold a different pair (it applied an
+        update the sink missed), and adopting the sink's view at the same
+        serial is exactly the repair.  The serial guard inside
+        ``on_parent_change`` handles Parent-Changing messages.
+        """
+        if isinstance(msg, CodeAnnouncement):
+            if msg.serial >= node.last_serial:
+                node.on_code_announcement(msg)
+        else:
+            node.on_parent_change(msg)
+
+    def _flush_pending(self) -> None:
+        """Deliver every delayed message that has come due at this tick."""
+        if not self._pending:
+            return
+        due = [entry for entry in self._pending if entry[0] <= self._tick]
+        if not due:
+            return
+        self._pending = [entry for entry in self._pending if entry[0] > self._tick]
+        for _, node_id, msg in due:
+            if node_id in self._crashed:
+                continue  # arrived while the node was down; lost for good
+            self._deliver(self.nodes[node_id], msg)
+
+    def _crash(self, node: int, recover_round: Optional[int]) -> None:
+        if node == 0 or node in self._crashed:
+            return  # the sink is mains-powered; double-crash is a no-op
+        self._crashed.add(node)
+        if recover_round is not None:
+            self._recover_at[node] = recover_round
+        else:
+            self._recover_at.pop(node, None)
+        self.fault_stats.crashes += 1
+        if OBS.enabled:
+            OBS.registry.counter("faults.crashes").inc()
+            OBS.tracer.event("faults.crash", node=node, recover_round=recover_round)
+
+    def begin_round(self, round_index: int) -> None:
+        """Advance the fault clock at the start of one churn round.
+
+        Flushes delayed deliveries that come due, reboots nodes whose
+        outage ends (stale — they are flagged for resync), and applies this
+        round's scheduled and probabilistic crash events.  A no-op without
+        an active fault plan.
+        """
+        if not self._faults_active:
+            return
+        plan = self.fault_plan
+        assert plan is not None
+        self._tick += 1
+        self._flush_pending()
+        for node in sorted(
+            v for v, r in self._recover_at.items() if r <= round_index
+        ):
+            del self._recover_at[node]
+            self._crashed.discard(node)
+            self.nodes[node].out_of_sync = True  # rebooted with a stale replica
+            self.fault_stats.recoveries += 1
+            if OBS.enabled:
+                OBS.registry.counter("faults.recoveries").inc()
+                OBS.tracer.event("faults.recovery", node=node)
+        for event in plan.scheduled_crashes(round_index):
+            self._crash(event.node, event.recover_round)
+        if plan.crash_rate > 0.0:
+            for v in range(1, len(self.nodes)):
+                if v not in self._crashed and plan.draw_crash():
+                    self._crash(v, round_index + plan.crash_duration)
+
+    def divergent_nodes(self) -> List[int]:
+        """Replicas currently out of step with the sink's.
+
+        Detection combines local knowledge (the ``out_of_sync`` flag set by
+        ack timeouts and serial gaps) with a direct pair comparison — the
+        simulator stand-in for the code digest a real deployment would
+        piggyback on data traffic.  Crashed nodes are skipped: they cannot
+        be repaired until they reboot.
+        """
+        if not self._faults_active:
+            return []
+        reference = self.pair
+        return [
+            node.node_id
+            for node in self.nodes
+            if node.node_id not in self._crashed
+            and (node.out_of_sync or node.pair != reference)
+        ]
+
+    def _resync(self, *, reliable: bool = False) -> int:
+        """Sink rebroadcasts the full code to repair divergence.
+
+        The recovery flood normally travels through the same fault plan as
+        any other message (so it too can fail, leaving the repair for the
+        next detection round); ``reliable=True`` models the escalation a
+        real deployment applies when repeated resyncs fail (per-hop acks
+        on every link) and always reaches every live node.  Returns the
+        transmissions spent.
+        """
+        pair = self.pair
+        msg = CodeAnnouncement(code=pair.code, order=pair.order, serial=self._serial - 1)
+        self.fault_stats.resyncs += 1
+        if reliable:
+            for node in self.nodes:
+                if node.node_id not in self._crashed:
+                    self._deliver(node, msg)
+            cost = self._broadcast_cost(pair, origin=0)
+        else:
+            self._deliver(self.nodes[0], msg)  # the sink trusts itself
+            cost, _ = self._flood_with_faults(pair, 0, msg)
+        self.fault_stats.resync_messages += cost
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("protocol.messages", type="code_resync").inc(cost)
+            reg.counter("protocol.bytes", type="code_resync").inc(
+                cost * msg.size_bytes()
+            )
+            reg.counter("protocol.resyncs").inc()
+            OBS.tracer.event(
+                "protocol.code_resync",
+                serial=msg.serial,
+                messages=cost,
+                reliable=reliable,
+            )
+        return cost
+
+    def maintain(self) -> Tuple[int, int]:
+        """One divergence-detection pass plus (at most) one recovery flood.
+
+        Called by the churn simulator at the end of every round.  Returns
+        ``(divergent replica count, recovery messages spent)`` — both zero
+        when all replicas agree or no fault plan is active.
+        """
+        if not self._faults_active:
+            return (0, 0)
+        divergent = self.divergent_nodes()
+        if not divergent:
+            return (0, 0)
+        self.fault_stats.divergences += len(divergent)
+        if OBS.enabled:
+            OBS.registry.counter("protocol.divergences").inc(len(divergent))
+            OBS.registry.histogram("protocol.divergent_replicas").observe(
+                len(divergent)
+            )
+        messages = self._resync()
+        return (len(divergent), messages)
+
+    def settle(self, max_attempts: int = 8) -> int:
+        """End-of-run repair: reboot outages, drain delays, fix divergence.
+
+        Still-crashed nodes reboot (stale), all delayed traffic is either
+        delivered or discarded as superseded, and the sink resyncs until
+        every replica agrees — escalating to a reliable flood after
+        ``max_attempts`` faulty ones, so :meth:`assert_consistent` is
+        guaranteed to pass afterwards.  Returns the messages spent.
+        """
+        if not self._faults_active:
+            return 0
+        for node in sorted(self._crashed):
+            self.nodes[node].out_of_sync = True
+            self.fault_stats.recoveries += 1
+        self._crashed.clear()
+        self._recover_at.clear()
+        assert self.fault_plan is not None
+        self._tick += self.fault_plan.max_delay
+        self._flush_pending()
+        messages = 0
+        attempts = 0
+        while True:
+            divergent = self.divergent_nodes()
+            if not divergent:
+                break
+            if attempts > max_attempts:  # a reliable resync already ran
+                raise AssertionError(
+                    f"settle failed to converge: {len(divergent)} replicas "
+                    "still divergent after a reliable resync"
+                )
+            attempts += 1
+            self.fault_stats.divergences += len(divergent)
+            messages += self._resync(reliable=attempts >= max_attempts)
+        # Anything still in flight is older than the resync everyone just
+        # applied; delivering it later could only be ignored.
+        self._pending.clear()
+        return messages
+
+    # ------------------------------------------------------------------
     # Section VI-B1: link getting worse
     # ------------------------------------------------------------------
     def handle_link_worse(self, u: int, v: int) -> UpdateReport:
@@ -203,7 +567,7 @@ class DistributedProtocol:
         If the link is in the tree, its child endpoint re-evaluates its
         parent choice; a strictly better, constraint-respecting alternative
         triggers one Parent-Changing broadcast.  Degraded non-tree links
-        need no action.
+        need no action.  A crashed child cannot react at all.
         """
         report = UpdateReport()
         if OBS.enabled:
@@ -215,6 +579,8 @@ class DistributedProtocol:
             child = v
         else:
             return report  # not a tree link; nothing to maintain
+        if child in self._crashed:
+            return report  # a dead node makes no decisions
         new_parent = self.nodes[child].choose_new_parent()
         if new_parent is None:
             return report
@@ -231,10 +597,13 @@ class DistributedProtocol:
         implicit: a move is skipped when it would create a cycle (new parent
         inside the mover's subtree), and the recursion is capped at ``3n``
         steps (never reached — each accepted move strictly decreases cost).
+        Crashed endpoints cannot negotiate, so the trigger is ignored.
         """
         report = UpdateReport()
         if OBS.enabled:
             OBS.registry.counter("protocol.updates", trigger="link_better").inc()
+        if u in self._crashed or v in self._crashed:
+            return report
         edge: Optional[Tuple[int, int]] = (u, v)
         max_steps = 3 * self.network.n
         while edge is not None and report.ilu_steps < max_steps:
@@ -273,6 +642,7 @@ class DistributedProtocol:
         # Line 4: the cheaply-attached endpoint v moves under u.
         if (
             v != sink
+            and v not in self._crashed
             and self.nodes[u].can_host_child(u)
             and parent_cost(v) > link_cost
             and u not in pair.component(v)
@@ -284,6 +654,7 @@ class DistributedProtocol:
         # Line 7: the expensively-attached endpoint u moves under v.
         if (
             u != sink
+            and u not in self._crashed
             and self.nodes[v].can_host_child(v)
             and parent_cost(u) > link_cost
             and v not in pair.component(u)

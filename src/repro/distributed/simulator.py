@@ -11,23 +11,44 @@ tree, lets the protocol react (link-getting-worse handler), re-runs the
 centralized IRA on the same mutated network for comparison, and records
 cost, reliability, and message counts — the three series of Figs. 11, 12
 and 13.
+
+Two extensions ride on top of the paper's workload:
+
+* **Mixed churn** (``improve_probability``) — occasional link improvements
+  exercising the ILU trigger.
+* **Control-plane faults** (``fault_plan``) — a
+  :class:`repro.faults.FaultPlan` makes the protocol's own announcements
+  lossy; each round then starts with the fault clock
+  (:meth:`DistributedProtocol.begin_round`) and ends with divergence
+  detection/recovery (:meth:`DistributedProtocol.maintain`), and the run
+  finishes with a :meth:`DistributedProtocol.settle` pass so the end-of-run
+  consistency invariant still holds.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import math
 
 from repro.core.tree import AggregationTree
 from repro.engine import build_tree, get_builder
 from repro.distributed.protocol import DistributedProtocol
+from repro.faults import FaultPlan
 from repro.network.model import Network
 from repro.obs import OBS
 from repro.utils.rng import SeedLike, as_rng
 
-__all__ = ["MaintenanceRecord", "ChurnSimulation"]
+__all__ = ["MaintenanceRecord", "ChurnSimulation", "PRR_FLOOR"]
+
+#: Degradations never push a PRR below this floor: the log-cost model needs
+#: a strictly positive PRR.  Once a link sits on the floor further
+#: degradation rounds are (partially) inert — which the simulation now
+#: reports instead of hiding (see ``MaintenanceRecord.prr_clamped``).
+PRR_FLOOR = 1e-12
 
 
 @dataclass(frozen=True)
@@ -42,10 +63,21 @@ class MaintenanceRecord:
             tree (Fig. 11's two curves).
         distributed_reliability / centralized_reliability: The same trees'
             reliabilities (Fig. 12).
-        messages: Transmissions spent by the protocol this round.
-        cumulative_messages: Running total (Fig. 13's rising curve).
+        messages: Transmissions spent by the link-worse reaction this round.
+        cumulative_messages: Running total of *all* control traffic so far —
+            updates, ILU moves, and fault-recovery floods (Fig. 13's rising
+            curve).
         cumulative_updates: Rounds so far in which a re-parenting happened.
         changed: Whether the protocol re-parented a node this round.
+        applied_cost_delta: The log-cost increase actually applied to the
+            degraded link this round.  Equals ``cost_delta`` normally;
+            smaller (possibly 0) when the link's PRR hit :data:`PRR_FLOOR`.
+        prr_clamped: Whether this round's degradation was truncated by the
+            PRR floor (the old silent-saturation bug, now surfaced).
+        divergences: Divergent replicas detected at the end of this round
+            (always 0 without an active fault plan).
+        recovery_messages: Transmissions spent on this round's resync
+            flood, if any.
     """
 
     round_index: int
@@ -58,6 +90,10 @@ class MaintenanceRecord:
     cumulative_messages: int
     cumulative_updates: int
     changed: bool
+    applied_cost_delta: float = 0.0
+    prr_clamped: bool = False
+    divergences: int = 0
+    recovery_messages: int = 0
 
     @property
     def avg_messages_per_update(self) -> float:
@@ -96,6 +132,11 @@ class ChurnSimulation:
         centralized_config: Extra config knobs for that builder.  When the
             builder declares an ``lc`` knob and the config does not set it,
             the simulation's own ``lc`` is passed automatically.
+        fault_plan: Optional :class:`repro.faults.FaultPlan` applied to the
+            protocol's control traffic.  ``None`` (or an inactive plan)
+            reproduces the perfect-channel results bit for bit; the plan's
+            own seed drives its randomness, so enabling it never perturbs
+            this simulation's churn stream either.
         seed: Randomness for the event choices.
     """
 
@@ -111,6 +152,7 @@ class ChurnSimulation:
         recompute_centralized: bool = True,
         centralized_builder: str = "ira",
         centralized_config: Optional[dict] = None,
+        fault_plan: Optional[FaultPlan] = None,
         seed: SeedLike = None,
     ) -> None:
         if cost_delta <= 0:
@@ -131,17 +173,50 @@ class ChurnSimulation:
         self.centralized_config = dict(centralized_config or {})
         get_builder(centralized_builder)  # fail fast on unknown names
         self.rng = as_rng(seed)
-        self.protocol = DistributedProtocol(network, initial_tree, lc)
+        self.fault_plan = fault_plan
+        self.protocol = DistributedProtocol(
+            network, initial_tree, lc, fault_plan=fault_plan
+        )
         self.records: List[MaintenanceRecord] = []
+        self.settle_messages = 0
         self._cumulative_messages = 0
         self._cumulative_updates = 0
+        self._last_applied_delta = 0.0
+        self._last_clamped = False
+        self._clamp_warned = False
 
     def degrade_random_tree_link(self) -> tuple:
-        """Pick a uniform random link of the maintained tree and degrade it."""
+        """Pick a uniform random link of the maintained tree and degrade it.
+
+        The link's PRR is multiplied by ``exp(-cost_delta)`` but never
+        pushed below :data:`PRR_FLOOR`.  Hitting the floor used to be
+        silent — long runs would quietly stop degrading while every record
+        still claimed a full ``cost_delta`` of churn.  The *actually
+        applied* log-cost delta is now measured and exposed (and a clamped
+        round warns once per simulation and bumps the
+        ``churn.prr_clamped`` counter).
+        """
         edges = self.protocol.tree().edges()
         u, v = edges[int(self.rng.integers(0, len(edges)))]
-        new_prr = self.network.prr(u, v) * math.exp(-self.cost_delta)
-        self.network.set_prr(u, v, max(new_prr, 1e-12))
+        old_prr = self.network.prr(u, v)
+        new_prr = max(old_prr * math.exp(-self.cost_delta), PRR_FLOOR)
+        self._last_applied_delta = math.log(old_prr / new_prr)
+        self._last_clamped = self._last_applied_delta < self.cost_delta * (1.0 - 1e-9)
+        if self._last_clamped:
+            if OBS.enabled:
+                OBS.registry.counter("churn.prr_clamped").inc()
+            if not self._clamp_warned:
+                self._clamp_warned = True
+                warnings.warn(
+                    f"degradation of link ({u}, {v}) clamped at the PRR floor "
+                    f"({PRR_FLOOR:g}): applied cost delta "
+                    f"{self._last_applied_delta:.3g} < requested "
+                    f"{self.cost_delta:.3g}; further churn on saturated links "
+                    "is partially inert (see MaintenanceRecord.prr_clamped)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        self.network.set_prr(u, v, new_prr)
         self.protocol.refresh_link(u, v)
         return (u, v)
 
@@ -163,7 +238,10 @@ class ChurnSimulation:
 
     def step(self) -> MaintenanceRecord:
         """Run one churn round and record the comparison."""
+        self.protocol.begin_round(len(self.records) + 1)
         edge = self.degrade_random_tree_link()
+        applied_delta = self._last_applied_delta
+        clamped = self._last_clamped
         report = self.protocol.handle_link_worse(*edge)
         self._cumulative_messages += report.messages
         if report.did_change:
@@ -180,6 +258,10 @@ class ChurnSimulation:
                     self._cumulative_updates += 1
                 if OBS.enabled:
                     OBS.registry.counter("churn.improvements").inc()
+
+        divergences, recovery_messages = self.protocol.maintain()
+        self._cumulative_messages += recovery_messages
+        round_messages += recovery_messages
 
         if OBS.enabled:
             reg = OBS.registry
@@ -213,6 +295,10 @@ class ChurnSimulation:
             cumulative_messages=self._cumulative_messages,
             cumulative_updates=self._cumulative_updates,
             changed=report.did_change,
+            applied_cost_delta=applied_delta,
+            prr_clamped=clamped,
+            divergences=divergences,
+            recovery_messages=recovery_messages,
         )
         self.records.append(record)
         return record
@@ -225,10 +311,19 @@ class ChurnSimulation:
         return build_tree(self.centralized_builder, self.network, **config).tree
 
     def run(self, rounds: int = 100) -> List[MaintenanceRecord]:
-        """Run *rounds* degradation rounds; returns all records."""
+        """Run *rounds* degradation rounds; returns all records.
+
+        Under an active fault plan the run ends with a settle pass
+        (:meth:`DistributedProtocol.settle`): outstanding outages reboot,
+        in-flight delayed messages land, and the sink resyncs whatever
+        diverged — so the closing consistency assertion holds under faults
+        too.  Its message cost lands in :attr:`settle_messages`.
+        """
         if rounds <= 0:
             raise ValueError(f"rounds must be positive, got {rounds}")
         for _ in range(rounds):
             self.step()
+        self.settle_messages = self.protocol.settle()
+        self._cumulative_messages += self.settle_messages
         self.protocol.assert_consistent()
         return list(self.records)

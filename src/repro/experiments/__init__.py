@@ -15,6 +15,7 @@
 | :mod:`repro.experiments.ext_latency` | extension — latency/reliability/lifetime triangle |
 | :mod:`repro.experiments.ext_estimation` | extension — beacon-budget vs estimation regret |
 | :mod:`repro.experiments.ext_stability` | extension — structural churn under estimation noise |
+| :mod:`repro.experiments.ext_faulty_control` | extension — maintained tree vs control-plane loss rate |
 
 Every ``run_*`` function is deterministic given its ``base_seed``/``seed``
 and accepts reduced trial counts for quick runs; paper-scale defaults
@@ -49,6 +50,11 @@ from repro.experiments.ext_stability import (
     ExtStabilityResult,
     run_ext_stability,
 )
+from repro.experiments.ext_faulty_control import (
+    ExtFaultyControlResult,
+    FaultSweepPoint,
+    run_ext_faulty_control,
+)
 from repro.experiments.ext_latency import (
     ExtLatencyResult,
     LatencyEntry,
@@ -67,8 +73,10 @@ __all__ = [
     "EstimationPoint",
     "ExtBaselinesResult",
     "ExtEstimationResult",
+    "ExtFaultyControlResult",
     "ExtStabilityResult",
     "ExtLatencyResult",
+    "FaultSweepPoint",
     "Fig1Result",
     "Fig2Result",
     "Fig3Result",
@@ -85,6 +93,7 @@ __all__ = [
     "run_energy_hole",
     "run_ext_baselines",
     "run_ext_estimation",
+    "run_ext_faulty_control",
     "run_ext_latency",
     "run_ext_stability",
     "run_fig1",

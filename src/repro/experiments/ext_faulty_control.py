@@ -1,0 +1,232 @@
+"""Extension: maintained-tree quality under a lossy *control* plane.
+
+The Figs. 11–13 churn study assumes the protocol's own Parent-Changing and
+Code-Announcement floods always arrive — only the data plane is lossy.
+This extension drops that assumption: the same churn workload runs under a
+:class:`repro.faults.FaultPlan` sweep, pinning the control-plane loss rate
+to increasing values (with proportional duplicate/delay rates riding
+along), and reports what the faults cost:
+
+* **quality** — final cost and reliability of the maintained tree versus
+  the centralized IRA recomputation (does a lossy control plane actually
+  degrade the tree, or does divergence detection + code-rebroadcast resync
+  keep it on track?);
+* **overhead** — total control messages, now including per-link
+  retransmissions and recovery floods, versus the perfect-channel
+  baseline.
+
+The ``loss_rate = 0`` point uses a fully inactive plan and therefore
+reproduces the perfect-channel experiment bit for bit — it *is* the
+baseline, not an approximation of it.  Every run ends with the protocol's
+settle pass, so the consistency invariant holds at every sweep point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.tree import PAPER_COST_SCALE
+from repro.distributed.simulator import ChurnSimulation
+from repro.experiments.common import build_tree
+from repro.experiments.fig7_dfl import AAML_PRR_FILTER
+from repro.faults import FaultPlan
+from repro.network.dfl import dfl_network
+from repro.network.model import Network
+from repro.utils.ascii_chart import line_chart
+from repro.utils.rng import stable_hash_seed
+from repro.utils.tables import format_table
+
+__all__ = ["FaultSweepPoint", "ExtFaultyControlResult", "run_ext_faulty_control"]
+
+DEFAULT_LOSS_RATES: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3)
+
+
+@dataclass(frozen=True)
+class FaultSweepPoint:
+    """One churn run at one control-plane loss rate.
+
+    Attributes:
+        loss_rate: Pinned per-attempt drop probability of the fault plan.
+        final_cost / final_reliability: Maintained tree at the end of the
+            run (paper cost units / plain reliability).
+        centralized_cost / centralized_reliability: The centralized IRA
+            recomputation at the same point, for reference.
+        total_messages: All control transmissions — updates, retries,
+            recovery floods, and the end-of-run settle pass.
+        recovery_messages: The resync-flood share of the total (in-run
+            plus settle).
+        updates: Rounds in which a re-parenting happened.
+        fault_stats: The protocol's closing fault/recovery totals.
+    """
+
+    loss_rate: float
+    final_cost: float
+    final_reliability: float
+    centralized_cost: float
+    centralized_reliability: float
+    total_messages: int
+    recovery_messages: int
+    updates: int
+    fault_stats: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class ExtFaultyControlResult:
+    """The full loss-rate sweep."""
+
+    points: Tuple[FaultSweepPoint, ...]
+    rounds: int
+    lc: float
+
+    @property
+    def baseline(self) -> FaultSweepPoint:
+        """The sweep point at the lowest loss rate (0 = perfect channel)."""
+        return min(self.points, key=lambda p: p.loss_rate)
+
+    def quality_series(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """(maintained reliability, centralized reliability) per point."""
+        dist = tuple(p.final_reliability for p in self.points)
+        cent = tuple(p.centralized_reliability for p in self.points)
+        return dist, cent
+
+    def overhead_series(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """(total messages, recovery messages) per point."""
+        total = tuple(p.total_messages for p in self.points)
+        recovery = tuple(p.recovery_messages for p in self.points)
+        return total, recovery
+
+    def render(self) -> str:
+        rows = [
+            [
+                f"{p.loss_rate:.2f}",
+                round(p.final_cost, 1),
+                round(p.centralized_cost, 1),
+                round(p.final_reliability, 4),
+                p.total_messages,
+                p.recovery_messages,
+                p.fault_stats["retries"],
+                p.fault_stats["divergences"],
+                p.fault_stats["resyncs"],
+                p.updates,
+            ]
+            for p in self.points
+        ]
+        table = format_table(
+            [
+                "loss",
+                "cost",
+                "IRA cost",
+                "rel",
+                "total msgs",
+                "recovery",
+                "retries",
+                "diverged",
+                "resyncs",
+                "updates",
+            ],
+            rows,
+            title=(
+                "Extension — maintained tree vs control-plane loss rate "
+                f"({self.rounds} churn rounds; costs in paper units)"
+            ),
+        )
+        base = self.baseline
+        worst = max(self.points, key=lambda p: p.loss_rate)
+        footer = (
+            f"\nbaseline (loss {base.loss_rate:.2f}): {base.total_messages} msgs, "
+            f"reliability {base.final_reliability:.4f}; "
+            f"worst (loss {worst.loss_rate:.2f}): {worst.total_messages} msgs "
+            f"({worst.total_messages / max(base.total_messages, 1):.1f}x), "
+            f"reliability {worst.final_reliability:.4f}"
+        )
+        return table + footer
+
+    def render_chart(self) -> str:
+        rates = tuple(p.loss_rate for p in self.points)
+        dist_r, cent_r = self.quality_series()
+        total_m, recovery_m = self.overhead_series()
+        quality = line_chart(
+            {"maintained": (rates, dist_r), "IRA": (rates, cent_r)},
+            title="reliability vs control-plane loss rate",
+            height=10,
+        )
+        overhead = line_chart(
+            {
+                "total msgs": (rates, total_m),
+                "recovery msgs": (rates, recovery_m),
+            },
+            title="control messages vs control-plane loss rate",
+            height=10,
+        )
+        return quality + "\n\n" + overhead
+
+
+def run_ext_faulty_control(
+    network: Optional[Network] = None,
+    *,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    rounds: int = 100,
+    lc_divisor: float = 1.5,
+    cost_delta: float = 1e-3,
+    max_retries: int = 2,
+    seed: int = 17,
+) -> ExtFaultyControlResult:
+    """Sweep the churn experiment over control-plane loss rates.
+
+    Args:
+        network: Instance to churn (default: canonical DFL; copied per
+            sweep point, never mutated).
+        loss_rates: Pinned drop rates to sweep.  Duplicate and delay rates
+            ride along at half the drop rate each, so the zero point is a
+            fully inactive plan (exact perfect-channel baseline).
+        rounds: Churn rounds per point (paper workload: 100).
+        lc_divisor: ``LC = L_AAML / lc_divisor`` for the maintained bound.
+        cost_delta: Per-round degradation (paper: 1e-3).
+        max_retries: Per-link retransmission budget of the fault plan.
+        seed: Churn randomness; each point's fault plan derives its own
+            independent stream from (seed, loss rate).
+    """
+    if not loss_rates:
+        raise ValueError("loss_rates must be non-empty")
+    base = network if network is not None else dfl_network()
+    aaml = build_tree("aaml", base.filtered(AAML_PRR_FILTER))
+    lc = aaml.lifetime / lc_divisor
+
+    points = []
+    for rate in loss_rates:
+        net = base.copy()
+        initial = build_tree("ira", net, lc=lc)
+        plan = FaultPlan(
+            drop_rate=rate,
+            duplicate_rate=rate / 2.0,
+            delay_rate=rate / 2.0,
+            max_retries=max_retries,
+            seed=stable_hash_seed("ext_faulty_control", seed, rate),
+        )
+        sim = ChurnSimulation(
+            net,
+            initial.tree,
+            lc,
+            cost_delta=cost_delta,
+            fault_plan=plan,
+            seed=seed,
+        )
+        records = sim.run(rounds)
+        last = records[-1]
+        stats = sim.protocol.fault_stats.to_dict()
+        in_run_recovery = sum(r.recovery_messages for r in records)
+        points.append(
+            FaultSweepPoint(
+                loss_rate=float(rate),
+                final_cost=last.distributed_cost * PAPER_COST_SCALE,
+                final_reliability=last.distributed_reliability,
+                centralized_cost=last.centralized_cost * PAPER_COST_SCALE,
+                centralized_reliability=last.centralized_reliability,
+                total_messages=last.cumulative_messages + sim.settle_messages,
+                recovery_messages=in_run_recovery + sim.settle_messages,
+                updates=last.cumulative_updates,
+                fault_stats=stats,
+            )
+        )
+    return ExtFaultyControlResult(points=tuple(points), rounds=rounds, lc=lc)

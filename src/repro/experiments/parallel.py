@@ -12,8 +12,11 @@ Design notes (per the scientific-Python guidance this project follows):
   CPU-bound Python;
 * chunked map — each worker gets a contiguous block of trial indices to
   amortise process start-up and pickling;
-* the pool is only engaged above a size threshold — for a handful of
-  trials the fork+import cost dwarfs the work.
+* the pool is only engaged when the caller asks for it — an explicit
+  ``n_jobs > 1`` is always honoured (it used to be silently demoted to the
+  serial path below a size threshold); :data:`MIN_ITEMS_FOR_POOL` remains
+  the published guidance for callers deciding whether a sweep is big
+  enough to be worth forking for.
 """
 
 from __future__ import annotations
@@ -26,7 +29,11 @@ __all__ = ["default_workers", "parallel_build", "parallel_map"]
 
 T = TypeVar("T")
 
-#: Below this many items the serial path is used unconditionally.
+#: Advisory pool threshold: below this many items the fork+import cost
+#: typically dwarfs the work, so callers picking a worker count themselves
+#: should prefer ``n_jobs=None`` (serial).  :func:`parallel_map` no longer
+#: applies it to an *explicit* ``n_jobs > 1`` — the caller knows their
+#: per-item cost better than a global constant does.
 MIN_ITEMS_FOR_POOL = 8
 
 
@@ -95,7 +102,13 @@ def parallel_map(
         n_items: Number of items.
         n_jobs: Process count; ``None`` or ``1`` runs serially (``None``
             stays serial to keep the default path dependency-free;
-            pass ``default_workers()`` to use all cores).
+            pass ``default_workers()`` to use all cores).  An explicit
+            ``n_jobs > 1`` always engages the pool — the
+            :data:`MIN_ITEMS_FOR_POOL` heuristic only applies when the
+            caller left the decision to this function.  (It used to apply
+            unconditionally, silently running serially for small sweeps the
+            caller explicitly asked to parallelise — e.g. few trials that
+            are each expensive.)
         chunk_size: Items per worker task (default: balanced blocks).
 
     Returns results in index order, identical to the serial evaluation.
@@ -107,7 +120,7 @@ def parallel_map(
     if n_jobs is not None and n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
 
-    if n_jobs is None or n_jobs == 1 or n_items < MIN_ITEMS_FOR_POOL:
+    if n_jobs is None or n_jobs == 1:
         return [func(i) for i in range(n_items)]
 
     workers = min(n_jobs, n_items)

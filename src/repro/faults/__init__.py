@@ -1,0 +1,23 @@
+"""Fault-injection plane for the distributed maintenance protocol.
+
+The paper's channel model is lossy for the *data* plane but Section VI's
+control traffic is usually simulated perfectly.  This package supplies the
+missing robustness layer:
+
+* :class:`FaultPlan` — a seeded, per-link fault model (drop / duplicate /
+  delay, PRR-derived or explicit rates) plus node crash/recovery events;
+* :class:`CrashEvent` — one scheduled outage;
+* :class:`DeliveryOutcome` — the drawn fate of a single delivery attempt;
+* :class:`FaultStats` — the protocol's running fault/recovery totals.
+
+:mod:`repro.distributed.protocol` consumes the plan during every flood
+(retry-with-ack, divergence detection, code-rebroadcast resync) and
+:class:`repro.distributed.simulator.ChurnSimulation` exposes it as the
+``fault_plan=`` knob; ``repro obs faults`` and the ``ext-faulty-control``
+experiment drive it from the command line.
+"""
+
+from repro.faults.plan import CrashEvent, DeliveryOutcome, FaultPlan
+from repro.faults.stats import FaultStats
+
+__all__ = ["CrashEvent", "DeliveryOutcome", "FaultPlan", "FaultStats"]

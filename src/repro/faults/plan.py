@@ -1,0 +1,232 @@
+"""Configurable fault model for the distributed protocol's control plane.
+
+The paper's whole premise is that links are lossy (PRR < 1), yet Section
+VI's maintenance traffic — Parent-Changing and Code-Announcement floods —
+is usually simulated over a perfect channel.  A :class:`FaultPlan` closes
+that gap: it decides, per link-level delivery attempt, whether a control
+message is **dropped**, **duplicated**, or **delayed**, and schedules node
+**crash/recovery** events.  The protocol layer
+(:mod:`repro.distributed.protocol`) consults the plan during every flood
+and reacts with retransmissions, divergence detection, and code-rebroadcast
+resyncs; the plan itself only draws outcomes.
+
+Loss probabilities default to the physically-motivated choice — one minus
+the link's PRR, the same quantity the data plane pays — and can be pinned
+to an explicit rate for controlled sweeps (``drop_rate=0.1``).  A plan with
+every rate at zero and no crash events is *inactive*: the protocol takes
+its exact legacy code path and never touches the plan's RNG, so
+``FaultPlan(drop_rate=0)`` is bitwise-identical to running without a plan.
+
+All randomness flows through :mod:`repro.utils.rng` (rule REP101), so a
+seeded plan replays the identical fault sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["CrashEvent", "DeliveryOutcome", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class DeliveryOutcome:
+    """What happened to one link-level delivery attempt.
+
+    Attributes:
+        delivered: Whether the receiver got the message at all.
+        duplicated: Whether a spurious second copy also arrived (lost ack
+            made the sender re-forward; the serial guard absorbs it).
+        delay: Extra churn rounds before the message is applied (0 =
+            immediately; only meaningful when ``delivered``).
+    """
+
+    delivered: bool
+    duplicated: bool = False
+    delay: int = 0
+
+
+#: The outcome drawn when nothing goes wrong — shared, never mutated.
+_CLEAN_DELIVERY = DeliveryOutcome(delivered=True)
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """A scheduled node outage.
+
+    Attributes:
+        node: The sensor that goes down (the sink, node 0, is mains-powered
+            in the paper's deployment and cannot crash).
+        at_round: 1-based churn round at the start of which the node dies.
+        recover_round: Round at the start of which it reboots (with a stale
+            replica, so it must be resynced); ``None`` keeps it down until
+            the end-of-run settle pass.
+    """
+
+    node: int
+    at_round: int
+    recover_round: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.node <= 0:
+            raise ValueError(
+                f"crash node must be a non-sink sensor (> 0), got {self.node}"
+            )
+        if self.at_round < 1:
+            raise ValueError(f"at_round must be >= 1, got {self.at_round}")
+        if self.recover_round is not None and self.recover_round <= self.at_round:
+            raise ValueError(
+                f"recover_round ({self.recover_round}) must be after "
+                f"at_round ({self.at_round})"
+            )
+
+
+def _check_rate(value: float, name: str) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+class FaultPlan:
+    """Seeded per-link fault injector for control-plane floods.
+
+    Args:
+        drop_rate: Probability one delivery attempt is lost.  ``None`` (the
+            default) derives it from the link: ``1 - PRR``, i.e. control
+            packets fail exactly as often as data packets on that link.  An
+            explicit value pins every link to the same rate; ``0.0`` makes
+            the plan inactive (bitwise-identical to no plan) when every
+            other knob is also zero.
+        duplicate_rate: Probability a *successful* delivery arrives twice
+            (ack loss → spurious retransmission).
+        delay_rate: Probability a successful delivery is deferred.
+        max_delay: Largest deferral, in churn rounds (uniform on
+            ``1..max_delay``); delays compound down a flood path.
+        max_retries: Retransmissions the sender may spend per receiver
+            after the first attempt fails (retry-with-ack, bounded); each
+            retry costs one extra control message.
+        crash_rate: Per-round, per-node probability of an unscheduled
+            crash.
+        crash_duration: Rounds an unscheduled crash lasts before the node
+            reboots (stale, needing resync).
+        crash_events: Explicit :class:`CrashEvent` schedule, on top of any
+            probabilistic crashes.
+        seed: Fault randomness (independent of the churn simulation's own
+            stream, so an inactive plan never perturbs it).
+    """
+
+    def __init__(
+        self,
+        *,
+        drop_rate: Optional[float] = None,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        max_delay: int = 2,
+        max_retries: int = 2,
+        crash_rate: float = 0.0,
+        crash_duration: int = 5,
+        crash_events: Sequence[CrashEvent] = (),
+        seed: SeedLike = None,
+    ) -> None:
+        self.drop_rate = None if drop_rate is None else _check_rate(drop_rate, "drop_rate")
+        self.duplicate_rate = _check_rate(duplicate_rate, "duplicate_rate")
+        self.delay_rate = _check_rate(delay_rate, "delay_rate")
+        self.crash_rate = _check_rate(crash_rate, "crash_rate")
+        if max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {max_delay}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if crash_duration < 1:
+            raise ValueError(f"crash_duration must be >= 1, got {crash_duration}")
+        self.max_delay = int(max_delay)
+        self.max_retries = int(max_retries)
+        self.crash_duration = int(crash_duration)
+        self.crash_events: Tuple[CrashEvent, ...] = tuple(crash_events)
+        self.rng = as_rng(seed)
+        self._crashes_by_round: Dict[int, List[CrashEvent]] = {}
+        for event in self.crash_events:
+            self._crashes_by_round.setdefault(event.at_round, []).append(event)
+
+    # ------------------------------------------------------------------
+    # Activity
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether this plan can ever produce a fault.
+
+        An inactive plan (every rate pinned to zero, no crash schedule)
+        short-circuits the protocol onto its legacy fault-free path without
+        a single RNG draw — the bitwise-identity guarantee.  Note the
+        *default* ``drop_rate=None`` is active: it means PRR-derived loss.
+        """
+        return (
+            self.drop_rate != 0.0
+            or self.duplicate_rate > 0.0
+            or self.delay_rate > 0.0
+            or self.crash_rate > 0.0
+            or bool(self.crash_events)
+        )
+
+    # ------------------------------------------------------------------
+    # Per-link outcomes
+    # ------------------------------------------------------------------
+    def drop_probability(self, prr: float) -> float:
+        """Loss probability of one attempt over a link with the given PRR."""
+        if self.drop_rate is not None:
+            return self.drop_rate
+        return min(max(1.0 - prr, 0.0), 1.0)
+
+    def attempt(self, prr: float) -> DeliveryOutcome:
+        """Draw the fate of one delivery attempt over one link.
+
+        Draw order is fixed (drop, then duplicate, then delay) and draws
+        are only made for knobs that can fire, so a given seed replays the
+        identical fault sequence regardless of which knobs are zero.
+        """
+        p_drop = self.drop_probability(prr)
+        if p_drop > 0.0 and self.rng.random() < p_drop:
+            return DeliveryOutcome(delivered=False)
+        duplicated = (
+            self.duplicate_rate > 0.0 and self.rng.random() < self.duplicate_rate
+        )
+        delay = 0
+        if self.delay_rate > 0.0 and self.rng.random() < self.delay_rate:
+            delay = int(self.rng.integers(1, self.max_delay + 1))
+        if not duplicated and delay == 0:
+            return _CLEAN_DELIVERY
+        return DeliveryOutcome(delivered=True, duplicated=duplicated, delay=delay)
+
+    # ------------------------------------------------------------------
+    # Crash schedule
+    # ------------------------------------------------------------------
+    def scheduled_crashes(self, round_index: int) -> List[CrashEvent]:
+        """Explicit crash events that fire at the start of *round_index*."""
+        return list(self._crashes_by_round.get(round_index, ()))
+
+    def draw_crash(self) -> bool:
+        """One probabilistic crash draw (``crash_rate`` per node per round)."""
+        return self.crash_rate > 0.0 and bool(self.rng.random() < self.crash_rate)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """JSON-compatible knob dump (for manifests and CLI headlines)."""
+        return {
+            "drop_rate": "prr-derived" if self.drop_rate is None else self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "max_delay": self.max_delay,
+            "max_retries": self.max_retries,
+            "crash_rate": self.crash_rate,
+            "crash_duration": self.crash_duration,
+            "crash_events": len(self.crash_events),
+            "active": self.active,
+        }
+
+    def __repr__(self) -> str:
+        knobs = ", ".join(f"{k}={v!r}" for k, v in self.describe().items())
+        return f"FaultPlan({knobs})"

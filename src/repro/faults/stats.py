@@ -1,0 +1,54 @@
+"""Aggregate fault/recovery accounting kept by the protocol.
+
+The protocol maintains one :class:`FaultStats` per deployment regardless of
+whether an instrumentation session is active — experiments (notably
+``ext_faulty_control``) read overheads from it directly, while the obs
+layer additionally records the same events as counters/histograms when
+enabled.  Every field is a plain running total, so the object doubles as a
+cheap structured summary (:meth:`to_dict`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict
+
+__all__ = ["FaultStats"]
+
+
+@dataclass
+class FaultStats:
+    """Running totals of control-plane faults and the recovery they forced.
+
+    Attributes:
+        drops: Delivery attempts lost (including exhausted retries).
+        retries: Extra per-link retransmissions spent recovering lost
+            attempts (each one is a real control message).
+        duplicates: Spurious duplicate deliveries (absorbed by the serial
+            guard).
+        delays: Deliveries that arrived late (applied in a later round).
+        missed: Receiver-level delivery failures after all retries — each
+            one leaves a replica out of sync until a resync reaches it.
+        divergences: Divergent replicas observed at detection points (a
+            replica divergent across several rounds is counted each time).
+        resyncs: Code-rebroadcast recovery floods issued by the sink.
+        resync_messages: Transmissions those recovery floods cost.
+        crashes: Node outages (scheduled plus probabilistic).
+        recoveries: Node reboots (every reboot leaves the node stale, so it
+            also shows up as a divergence until resynced).
+    """
+
+    drops: int = 0
+    retries: int = 0
+    duplicates: int = 0
+    delays: int = 0
+    missed: int = 0
+    divergences: int = 0
+    resyncs: int = 0
+    resync_messages: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (JSON-compatible)."""
+        return asdict(self)

@@ -6,7 +6,9 @@ metrics/tracer call in hot algorithm code sits behind ``OBS.enabled`` (or
 ``is_enabled()``).  This rule checks the packages on the build hot path —
 ``repro.core``, ``repro.engine``, ``repro.baselines`` — and flags any
 ``OBS.registry`` / ``OBS.tracer`` access that is not lexically inside a
-guarded ``if``/conditional expression.
+guarded ``if``/conditional expression.  The distributed protocol and the
+fault-injection plane (``repro.distributed``, ``repro.faults``) sit on the
+per-round simulation hot path, so they are held to the same contract.
 
 Recognized guards, matching the idioms already in the tree::
 
@@ -30,7 +32,13 @@ from repro.lint.registry import lint_rule
 __all__ = ["HOT_PACKAGES", "check_obs_guard"]
 
 #: Packages whose per-call overhead budget forbids unguarded instrumentation.
-HOT_PACKAGES = ("repro.core", "repro.engine", "repro.baselines")
+HOT_PACKAGES = (
+    "repro.core",
+    "repro.engine",
+    "repro.baselines",
+    "repro.distributed",
+    "repro.faults",
+)
 
 _GUARDED_ATTRS = frozenset({"registry", "tracer"})
 

@@ -6,6 +6,7 @@ Examples::
     repro obs aaml --nodes 30 --seed 2         # instrumented AAML build
     repro obs build rasmalai --nodes 30        # any registered builder
     repro obs churn --rounds 20                # protocol churn on the DFL net
+    repro obs faults --drop-rate 0.2           # churn under control-plane faults
     repro obs rounds --nodes 20 --rounds 200   # aggregation-round simulation
     repro obs fig fig3                         # any figure experiment
     repro obs ira --nodes 20 --dump-trace      # print the JSONL trace
@@ -45,6 +46,7 @@ _FIG_NAMES = (
     "ext-baselines",
     "ext-energyhole",
     "ext-estimation",
+    "ext-faulty-control",
     "ext-latency",
     "ext-stability",
 )
@@ -155,6 +157,60 @@ def build_obs_parser() -> argparse.ArgumentParser:
         help="also recompute the centralized IRA tree each round (slow)",
     )
 
+    p = sub.add_parser(
+        "faults",
+        help="churn with a fault-injected control plane (drops/dups/delays)",
+    )
+    _add_output_options(p)
+    p.add_argument(
+        "--rounds", type=int, default=20, help="churn rounds (default 20)"
+    )
+    p.add_argument("--seed", type=int, default=11, help="churn seed (default 11)")
+    p.add_argument(
+        "--drop-rate",
+        type=float,
+        default=None,
+        help="per-attempt control-message loss probability "
+        "(default: derived from each link's PRR)",
+    )
+    p.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.0,
+        help="probability a delivery arrives twice (default 0)",
+    )
+    p.add_argument(
+        "--delay-rate",
+        type=float,
+        default=0.0,
+        help="probability a delivery is deferred to a later round (default 0)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="per-link retransmission budget (default 2)",
+    )
+    p.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="per-node per-round crash probability (default 0)",
+    )
+    p.add_argument(
+        "--cost-delta",
+        type=float,
+        default=0.25,
+        help="per-round link-cost degradation (default 0.25 — much faster "
+        "than the paper's 1e-3, so the protocol actually re-parents and "
+        "the fault machinery fires within a short run)",
+    )
+    p.add_argument(
+        "--centralized",
+        action="store_true",
+        help="also recompute the centralized IRA tree each round (slow)",
+    )
+
     p = sub.add_parser("fig", help="any figure/extension experiment")
     p.add_argument("name", choices=_FIG_NAMES, help="experiment to run")
     p.add_argument("--trials", type=int, default=None, help="trial count")
@@ -177,6 +233,15 @@ def _positive(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
     max_depth = getattr(args, "max_depth", None)
     if max_depth is not None and max_depth < 1:
         parser.error("--max-depth must be >= 1")
+    for attr in ("drop_rate", "duplicate_rate", "delay_rate", "crash_rate"):
+        rate = getattr(args, attr, None)
+        if rate is not None and not 0.0 <= rate <= 1.0:
+            parser.error(f"--{attr.replace('_', '-')} must be in [0, 1]")
+    retries = getattr(args, "max_retries", None)
+    if retries is not None and retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if getattr(args, "cost_delta", 1.0) <= 0:
+        parser.error("--cost-delta must be positive")
     prob = getattr(args, "link_prob", 0.5)
     if not 0.0 < prob <= 1.0:
         parser.error("--link-prob must be in (0, 1]")
@@ -275,6 +340,46 @@ def _run_churn(args: argparse.Namespace) -> Dict[str, object]:
     }
 
 
+def _run_faults(args: argparse.Namespace) -> Dict[str, object]:
+    from repro.distributed.simulator import ChurnSimulation
+    from repro.engine import build_tree
+    from repro.experiments.fig7_dfl import AAML_PRR_FILTER
+    from repro.faults import FaultPlan
+    from repro.network.dfl import dfl_network
+    from repro.utils.rng import stable_hash_seed
+
+    net = dfl_network()
+    aaml = build_tree("aaml", net.filtered(AAML_PRR_FILTER))
+    lc = aaml.lifetime / 1.5
+    initial = build_tree("ira", net, lc=lc)
+    plan = FaultPlan(
+        drop_rate=args.drop_rate,
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        max_retries=args.max_retries,
+        crash_rate=args.crash_rate,
+        seed=stable_hash_seed("obs_faults", args.seed),
+    )
+    sim = ChurnSimulation(
+        net,
+        initial.tree,
+        lc,
+        cost_delta=args.cost_delta,
+        recompute_centralized=args.centralized,
+        fault_plan=plan,
+        seed=args.seed,
+    )
+    records = sim.run(args.rounds)
+    summary: Dict[str, object] = {
+        "rounds": len(records),
+        "updates": records[-1].cumulative_updates,
+        "messages": records[-1].cumulative_messages + sim.settle_messages,
+        "settle_messages": sim.settle_messages,
+    }
+    summary.update(sim.protocol.fault_stats.to_dict())
+    return summary
+
+
 def _run_fig(args: argparse.Namespace) -> Dict[str, object]:
     import repro.cli as main_cli
 
@@ -322,6 +427,7 @@ _RUNNERS: Dict[str, Callable[[argparse.Namespace], Dict[str, object]]] = {
     "build": _run_named_build,
     "rounds": _run_rounds,
     "churn": _run_churn,
+    "faults": _run_faults,
     "fig": _run_fig,
 }
 

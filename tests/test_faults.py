@@ -1,0 +1,467 @@
+"""Tests for the fault-injection plane (repro.faults + protocol threading)."""
+
+import warnings
+
+import pytest
+
+from repro.baselines.aaml import build_aaml_tree
+from repro.core.ira import build_ira_tree
+from repro.distributed.protocol import DistributedProtocol, UpdateReport
+from repro.distributed.simulator import PRR_FLOOR, ChurnSimulation
+from repro.engine import build_tree
+from repro.faults import CrashEvent, DeliveryOutcome, FaultPlan
+from repro.network.dfl import dfl_network
+from repro.network.energy import EnergyModel
+
+
+@pytest.fixture
+def setup():
+    net = dfl_network().copy()
+    lc = build_aaml_tree(net.filtered(0.95)).lifetime / 1.5
+    tree = build_ira_tree(net, lc).tree
+    return net, tree, lc
+
+
+def _fresh_sim(fault_plan, *, seed=9, **kwargs):
+    net = dfl_network().copy()
+    lc = build_aaml_tree(net.filtered(0.95)).lifetime / 1.5
+    tree = build_ira_tree(net, lc).tree
+    return ChurnSimulation(
+        net,
+        tree,
+        lc,
+        recompute_centralized=False,
+        fault_plan=fault_plan,
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestFaultPlan:
+    def test_rate_validation(self):
+        for knob in ("drop_rate", "duplicate_rate", "delay_rate", "crash_rate"):
+            with pytest.raises(ValueError, match=knob):
+                FaultPlan(**{knob: 1.5})
+            with pytest.raises(ValueError, match=knob):
+                FaultPlan(**{knob: -0.1})
+        with pytest.raises(ValueError, match="max_delay"):
+            FaultPlan(max_delay=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            FaultPlan(max_retries=-1)
+        with pytest.raises(ValueError, match="crash_duration"):
+            FaultPlan(crash_duration=0)
+
+    def test_crash_event_validation(self):
+        with pytest.raises(ValueError, match="non-sink"):
+            CrashEvent(node=0, at_round=1)
+        with pytest.raises(ValueError, match="at_round"):
+            CrashEvent(node=1, at_round=0)
+        with pytest.raises(ValueError, match="recover_round"):
+            CrashEvent(node=1, at_round=3, recover_round=3)
+
+    def test_active_semantics(self):
+        assert not FaultPlan(drop_rate=0.0).active
+        # The default drop_rate=None means PRR-derived loss: active.
+        assert FaultPlan().active
+        assert FaultPlan(drop_rate=0.1).active
+        assert FaultPlan(drop_rate=0.0, duplicate_rate=0.1).active
+        assert FaultPlan(drop_rate=0.0, delay_rate=0.1).active
+        assert FaultPlan(drop_rate=0.0, crash_rate=0.1).active
+        assert FaultPlan(
+            drop_rate=0.0, crash_events=[CrashEvent(node=1, at_round=1)]
+        ).active
+
+    def test_drop_probability(self):
+        assert FaultPlan(drop_rate=0.25).drop_probability(0.9) == 0.25
+        assert FaultPlan().drop_probability(0.9) == pytest.approx(0.1)
+        assert FaultPlan().drop_probability(1.0) == 0.0
+
+    def test_attempt_seeded_replay(self):
+        plan1 = FaultPlan(drop_rate=0.5, duplicate_rate=0.3, delay_rate=0.3, seed=3)
+        plan2 = FaultPlan(drop_rate=0.5, duplicate_rate=0.3, delay_rate=0.3, seed=3)
+        seq1 = [plan1.attempt(0.9) for _ in range(50)]
+        seq2 = [plan2.attempt(0.9) for _ in range(50)]
+        assert seq1 == seq2
+        assert any(not o.delivered for o in seq1)
+        assert any(o.delivered for o in seq1)
+
+    def test_clean_outcome_shape(self):
+        clean = FaultPlan(drop_rate=0.0).attempt(0.5)
+        assert clean == DeliveryOutcome(delivered=True, duplicated=False, delay=0)
+
+    def test_describe_and_repr(self):
+        plan = FaultPlan(drop_rate=0.2, max_retries=1)
+        desc = plan.describe()
+        assert desc["drop_rate"] == 0.2
+        assert desc["active"] is True
+        assert FaultPlan().describe()["drop_rate"] == "prr-derived"
+        assert "drop_rate" in repr(plan)
+
+    def test_crash_schedule_lookup(self):
+        ev = CrashEvent(node=2, at_round=4, recover_round=6)
+        plan = FaultPlan(drop_rate=0.0, crash_events=[ev])
+        assert plan.scheduled_crashes(4) == [ev]
+        assert plan.scheduled_crashes(5) == []
+
+
+class TestBitwiseIdentity:
+    """FaultPlan(drop_rate=0) must reproduce the no-plan run bit for bit."""
+
+    def test_inactive_plan_identical_records(self):
+        baseline = _fresh_sim(None)
+        baseline_records = baseline.run(40)
+        inactive = _fresh_sim(FaultPlan(drop_rate=0.0, seed=123))
+        inactive_records = inactive.run(40)
+        assert inactive_records == baseline_records
+        assert inactive.settle_messages == 0
+        assert inactive.protocol.fault_stats.to_dict() == (
+            baseline.protocol.fault_stats.to_dict()
+        )
+        assert all(v == 0 for v in inactive.protocol.fault_stats.to_dict().values())
+
+    def test_inactive_plan_identical_fig_series(self):
+        from repro.experiments.fig11_13_distributed import DistributedResult
+
+        base = DistributedResult(records=tuple(_fresh_sim(None).run(30)), lc=1.0)
+        faul = DistributedResult(
+            records=tuple(_fresh_sim(FaultPlan(drop_rate=0.0)).run(30)), lc=1.0
+        )
+        assert base.fig11_series() == faul.fig11_series()
+        assert base.fig12_series() == faul.fig12_series()
+        assert base.fig13_series() == faul.fig13_series()
+
+    def test_inactive_plan_never_draws(self):
+        plan = FaultPlan(drop_rate=0.0, seed=7)
+        state_before = plan.rng.bit_generator.state
+        _fresh_sim(plan).run(10)
+        assert plan.rng.bit_generator.state == state_before
+
+
+class TestFaultyFloods:
+    def test_total_loss_detected_and_settled(self):
+        plan = FaultPlan(drop_rate=1.0, max_retries=1, seed=1)
+        sim = _fresh_sim(plan, cost_delta=0.5)
+        sim.run(10)
+        stats = sim.protocol.fault_stats
+        assert stats.drops > 0
+        assert stats.retries > 0
+        assert stats.missed > 0
+        assert stats.divergences > 0
+        assert stats.resyncs > 0
+        sim.protocol.assert_consistent()  # settle() escalated to reliable
+
+    def test_duplicates_absorbed(self):
+        plan = FaultPlan(drop_rate=0.0, duplicate_rate=1.0, seed=2)
+        sim = _fresh_sim(plan, cost_delta=0.5)
+        records = sim.run(15)
+        stats = sim.protocol.fault_stats
+        assert stats.duplicates > 0
+        assert stats.drops == 0
+        # A duplicate is harmless: no replica ever diverges.
+        assert all(r.divergences == 0 for r in records)
+        sim.protocol.assert_consistent()
+
+    def test_delays_cause_divergence_then_recovery(self):
+        plan = FaultPlan(drop_rate=0.0, delay_rate=1.0, max_delay=2, seed=3)
+        sim = _fresh_sim(plan, cost_delta=0.5)
+        records = sim.run(15)
+        stats = sim.protocol.fault_stats
+        assert stats.delays > 0
+        assert any(r.divergences > 0 for r in records) or stats.divergences > 0
+        sim.protocol.assert_consistent()
+
+    def test_duplicate_and_retry_messages_are_counted(self):
+        clean = _fresh_sim(FaultPlan(drop_rate=0.0), cost_delta=0.5)
+        clean_records = clean.run(20)
+        lossy = _fresh_sim(FaultPlan(drop_rate=0.4, max_retries=3, seed=5), cost_delta=0.5)
+        lossy_records = lossy.run(20)
+        lossy_total = lossy_records[-1].cumulative_messages + lossy.settle_messages
+        assert lossy.protocol.fault_stats.retries > 0
+        assert lossy_total > clean_records[-1].cumulative_messages
+
+    def test_scheduled_crash_and_recovery(self):
+        plan = FaultPlan(
+            drop_rate=0.0,
+            crash_events=[CrashEvent(node=5, at_round=2, recover_round=5)],
+        )
+        sim = _fresh_sim(plan)
+        sim.run(10)
+        stats = sim.protocol.fault_stats
+        assert stats.crashes == 1
+        assert stats.recoveries == 1
+        # The reboot leaves node 5 stale, so it must have been resynced.
+        assert stats.resyncs >= 1
+        sim.protocol.assert_consistent()
+
+    def test_crash_without_recovery_settles(self):
+        plan = FaultPlan(
+            drop_rate=0.0, crash_events=[CrashEvent(node=3, at_round=1)]
+        )
+        sim = _fresh_sim(plan)
+        sim.run(8)
+        stats = sim.protocol.fault_stats
+        assert stats.crashes == 1
+        assert stats.recoveries == 1  # forced reboot in settle()
+        sim.protocol.assert_consistent()
+
+    def test_crash_event_out_of_range_rejected(self, setup):
+        net, tree, lc = setup
+        plan = FaultPlan(
+            drop_rate=0.0, crash_events=[CrashEvent(node=999, at_round=1)]
+        )
+        with pytest.raises(ValueError, match="999"):
+            DistributedProtocol(net, tree, lc, fault_plan=plan)
+
+    def test_seeded_divergence_and_resync_scenario(self):
+        """The ISSUE's pinned scenario: seeded loss rate forces divergence,
+        recovery repairs it, and the consistency invariant holds at the end."""
+        plan = FaultPlan(drop_rate=0.5, max_retries=1, seed=42)
+        sim = _fresh_sim(plan, seed=11, cost_delta=0.5)
+        records = sim.run(25)
+        stats = sim.protocol.fault_stats
+        assert stats.divergences > 0, "seeded 50% loss must diverge replicas"
+        assert stats.resyncs > 0
+        assert stats.resync_messages > 0
+        assert any(r.recovery_messages > 0 for r in records) or (
+            sim.settle_messages > 0
+        )
+        sim.protocol.assert_consistent()
+
+    def test_prr_derived_loss_default(self):
+        # drop_rate=None: control packets fail like data packets (1 - PRR).
+        sim = _fresh_sim(FaultPlan(seed=6), cost_delta=0.5)
+        sim.run(15)
+        assert sim.protocol.fault_stats.drops > 0
+        sim.protocol.assert_consistent()
+
+
+class TestMixedChurnUnderFaults:
+    def test_ilu_under_faults_stays_consistent(self):
+        plan = FaultPlan(drop_rate=0.3, max_retries=2, seed=8)
+        sim = _fresh_sim(
+            plan, seed=3, improve_probability=1.0, improve_delta=0.05
+        )
+        sim.run(30)
+        assert sim.records[-1].cumulative_updates > 0
+        sim.protocol.assert_consistent()
+
+    def test_mixed_churn_divergence_recovers(self):
+        plan = FaultPlan(drop_rate=0.6, delay_rate=0.3, max_retries=0, seed=13)
+        sim = _fresh_sim(
+            plan, seed=4, improve_probability=0.5, improve_delta=0.02
+        )
+        sim.run(30)
+        stats = sim.protocol.fault_stats
+        assert stats.divergences > 0
+        sim.protocol.assert_consistent()
+        # The lifetime bound survives faulty maintenance too.
+        assert sim.protocol.tree().lifetime() >= sim.lc * (1 - 1e-9)
+
+
+class TestNodeGapTolerance:
+    def _node(self, tolerate):
+        from repro.distributed.messages import CodeAnnouncement
+        from repro.distributed.node import SensorNode
+
+        node = SensorNode(
+            node_id=1,
+            energy_model=EnergyModel(tx=1.0, rx=0.5),
+            energies={v: 100.0 for v in range(4)},
+            lc=1.0,
+            link_costs={0: 0.1, 2: 0.2},
+            tolerate_gaps=tolerate,
+        )
+        node.on_code_announcement(
+            CodeAnnouncement(code=(0, 0), order=(1, 2, 3, 0))
+        )
+        return node
+
+    def test_gap_flags_out_of_sync_when_tolerated(self):
+        from repro.distributed.messages import ParentChange
+
+        node = self._node(tolerate=True)
+        node.on_parent_change(ParentChange(child=3, new_parent=1, serial=5))
+        assert node.out_of_sync
+        # Later traffic is ignored while stale, instead of corrupting state.
+        pair_before = node.pair
+        node.on_parent_change(ParentChange(child=2, new_parent=1, serial=6))
+        assert node.pair == pair_before
+
+    def test_gap_still_raises_by_default(self):
+        from repro.distributed.messages import ParentChange
+
+        node = self._node(tolerate=False)
+        with pytest.raises(RuntimeError, match="missed"):
+            node.on_parent_change(ParentChange(child=3, new_parent=1, serial=5))
+
+    def test_code_announcement_resyncs(self):
+        from repro.distributed.messages import CodeAnnouncement, ParentChange
+
+        node = self._node(tolerate=True)
+        node.on_parent_change(ParentChange(child=3, new_parent=1, serial=7))
+        assert node.out_of_sync
+        node.on_code_announcement(
+            CodeAnnouncement(code=(0, 0), order=(1, 2, 3, 0), serial=7)
+        )
+        assert not node.out_of_sync
+        assert node.last_serial == 7
+
+
+class TestPrrClampSurfaced:
+    """Satellite: the PRR floor used to swallow degradations silently."""
+
+    def _sim(self, cost_delta):
+        from repro.network.model import Network
+
+        net = Network(4)
+        net.add_link(0, 1, 0.9)
+        net.add_link(1, 2, 0.8)
+        net.add_link(2, 3, 0.7)
+        tree = build_tree("mst", net).tree
+        return ChurnSimulation(
+            net, tree, 1.0, cost_delta=cost_delta, seed=1,
+            recompute_centralized=False,
+        )
+
+    def test_normal_round_applies_full_delta(self):
+        sim = self._sim(1e-3)
+        record = sim.step()
+        assert not record.prr_clamped
+        assert record.applied_cost_delta == pytest.approx(1e-3)
+
+    def test_clamped_round_is_reported(self):
+        sim = self._sim(60.0)  # e^-60 pushes any PRR below the floor
+        with pytest.warns(RuntimeWarning, match="clamped at the PRR floor"):
+            record = sim.step()
+        assert record.prr_clamped
+        assert 0.0 < record.applied_cost_delta < 60.0
+        u, v = record.degraded_edge
+        assert sim.network.prr(u, v) == PRR_FLOOR
+
+    def test_warning_fires_once_counter_every_time(self):
+        from repro.obs import instrument
+
+        sim = self._sim(60.0)
+        with instrument() as session:
+            with pytest.warns(RuntimeWarning, match="clamped"):
+                sim.step()
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # a second warning would raise
+                sim.step()
+                sim.step()
+        clamp_counts = [
+            c.value
+            for c in session.registry.counters()
+            if c.name == "churn.prr_clamped"
+        ]
+        assert sum(clamp_counts) == 3
+
+    def test_fully_saturated_link_applies_zero_delta(self):
+        sim = self._sim(60.0)
+        with pytest.warns(RuntimeWarning):
+            first = sim.step()
+        # Degrading the same floored link again achieves nothing — and says so.
+        while True:
+            record = sim.step()
+            if record.degraded_edge == first.degraded_edge:
+                break
+        assert record.prr_clamped
+        assert record.applied_cost_delta == 0.0
+
+
+class TestControlEnergyTyping:
+    """Satellite: control_energy_j used to duck-type its energy model."""
+
+    def test_accepts_energy_model(self, setup):
+        net, tree, lc = setup
+        report = UpdateReport(messages=3, receptions=10)
+        expected = 3 * net.energy_model.tx + 10 * net.energy_model.rx
+        assert report.control_energy_j(net.energy_model) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("bad", [0.5, "telosb", None, {"tx": 1.0, "rx": 0.5}])
+    def test_rejects_non_energy_model(self, bad):
+        report = UpdateReport(messages=1, receptions=1)
+        with pytest.raises(TypeError, match="EnergyModel"):
+            report.control_energy_j(bad)
+
+
+class TestFaultStatsAndObs:
+    def test_fault_stats_to_dict_roundtrip(self):
+        from repro.faults import FaultStats
+
+        stats = FaultStats(drops=2, resyncs=1)
+        d = stats.to_dict()
+        assert d["drops"] == 2 and d["resyncs"] == 1
+        assert set(d) == {
+            "drops", "retries", "duplicates", "delays", "missed",
+            "divergences", "resyncs", "resync_messages", "crashes",
+            "recoveries",
+        }
+
+    def test_obs_counters_emitted_under_faults(self):
+        from repro.obs import instrument
+        from repro.obs.metrics import metric_key
+
+        with instrument(seed=1) as session:
+            sim = _fresh_sim(FaultPlan(drop_rate=0.5, seed=21), cost_delta=0.5)
+            sim.run(15)
+        keys = {
+            metric_key(c.name, dict(c.labels)) for c in session.registry.counters()
+        }
+        assert any(k.startswith("faults.drops") for k in keys)
+        assert any(k.startswith("protocol.divergences") for k in keys)
+        assert any(
+            k.startswith("protocol.messages") and "code_resync" in k for k in keys
+        )
+
+
+class TestExtFaultyControlExperiment:
+    def test_sweep_shapes_and_baseline(self):
+        from repro.experiments import run_ext_faulty_control
+
+        result = run_ext_faulty_control(
+            loss_rates=(0.0, 0.3), rounds=8, cost_delta=0.5, seed=17
+        )
+        assert len(result.points) == 2
+        base, faulty = result.points
+        assert base.loss_rate == 0.0
+        assert base.fault_stats["drops"] == 0
+        assert faulty.fault_stats["drops"] > 0
+        assert faulty.total_messages >= base.total_messages
+        assert result.baseline is base
+        text = result.render()
+        assert "loss" in text and "recovery" in text
+        chart = result.render_chart()
+        assert "reliability" in chart
+
+    def test_empty_rates_rejected(self):
+        from repro.experiments import run_ext_faulty_control
+
+        with pytest.raises(ValueError, match="loss_rates"):
+            run_ext_faulty_control(loss_rates=())
+
+
+class TestCliSurfaces:
+    def test_mrlc_ext_faulty_control(self, capsys):
+        from repro.cli import main
+
+        assert main(["ext-faulty-control", "--rounds", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "control-plane loss" in out
+
+    def test_obs_faults_subcommand(self, capsys):
+        from repro.obs.cli import obs_main
+
+        code = obs_main(
+            ["faults", "--rounds", "5", "--drop-rate", "0.4", "--no-write"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drops=" in out
+
+    def test_obs_faults_bad_rate_rejected(self):
+        from repro.obs.cli import obs_main
+
+        with pytest.raises(SystemExit) as exc:
+            obs_main(["faults", "--drop-rate", "1.5", "--no-write"])
+        assert exc.value.code == 2

@@ -1,15 +1,24 @@
 """Tests for repro.experiments.parallel."""
 
 import math
+import os
 
 import pytest
 
 from repro.experiments.fig8_same_energy import run_fig8
-from repro.experiments.parallel import default_workers, parallel_map
+from repro.experiments.parallel import (
+    MIN_ITEMS_FOR_POOL,
+    default_workers,
+    parallel_map,
+)
 
 
 def _square(i: int) -> int:
     return i * i
+
+
+def _worker_pid(i: int) -> int:
+    return os.getpid()
 
 
 class TestParallelMap:
@@ -25,8 +34,22 @@ class TestParallelMap:
         assert parallel == serial
 
     def test_small_inputs_stay_serial(self):
-        # Below the pool threshold the result is the same either way.
+        # Below the advisory threshold the result is the same either way.
         assert parallel_map(_square, 4, n_jobs=4) == [0, 1, 4, 9]
+
+    def test_explicit_n_jobs_engages_pool_below_threshold(self):
+        # Regression: an explicit n_jobs > 1 used to be silently demoted to
+        # the serial path when n_items < MIN_ITEMS_FOR_POOL.  Worker pids
+        # prove real subprocesses ran even for a tiny item count.
+        n_items = MIN_ITEMS_FOR_POOL - 1
+        pids = parallel_map(_worker_pid, n_items, n_jobs=2)
+        assert len(pids) == n_items
+        assert os.getpid() not in pids
+
+    def test_default_n_jobs_stays_serial(self):
+        # n_jobs=None is the dependency-free default: same process, no pool.
+        pids = parallel_map(_worker_pid, MIN_ITEMS_FOR_POOL + 2)
+        assert set(pids) == {os.getpid()}
 
     def test_chunking_preserves_order(self):
         out = parallel_map(_square, 30, n_jobs=3, chunk_size=4)
