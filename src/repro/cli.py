@@ -11,6 +11,8 @@ Usage (installed as ``mrlc`` or via ``python -m repro``)::
     mrlc obs ira --nodes 50   # instrumented run (see repro.obs.cli)
     mrlc builders             # list registered tree builders + knobs
     mrlc lint src/            # repo-invariant checker (see repro.lint.cli)
+    mrlc serve run            # tree-serving daemon (see repro.serve.cli)
+    mrlc serve bench          # synthetic load against the serving layer
 
 Output is the plain-text table of the same rows/series the paper's figure
 plots (costs in the paper's −1000·log2 q units).  The ``obs`` subcommand
@@ -209,6 +211,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The serving layer is its own sub-CLI, like `obs` and `lint`.
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.quick:

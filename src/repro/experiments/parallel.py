@@ -16,13 +16,18 @@ Design notes (per the scientific-Python guidance this project follows):
   ``n_jobs > 1`` is always honoured (it used to be silently demoted to the
   serial path below a size threshold); :data:`MIN_ITEMS_FOR_POOL` remains
   the published guidance for callers deciding whether a sweep is big
-  enough to be worth forking for.
+  enough to be worth forking for;
+* long-running callers can pass a pre-created ``executor`` — the serving
+  layer (:mod:`repro.serve`) dispatches many small batches and must not
+  pay fork+import per batch, so both entry points accept an existing
+  :class:`concurrent.futures.Executor` and leave its lifecycle to the
+  owner (no ``shutdown`` on exit).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 __all__ = ["default_workers", "parallel_build", "parallel_map"]
@@ -66,6 +71,7 @@ def parallel_build(
     config: Optional[Dict[str, Any]] = None,
     n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> List[Any]:
     """Run one registry builder over ``n_trials`` independent networks.
 
@@ -75,6 +81,9 @@ def parallel_build(
     index alone (derive seeds from ``i``), which makes the sweep
     schedule-independent exactly like :func:`parallel_map`.
 
+    ``executor`` reuses a caller-owned worker pool (see
+    :func:`parallel_map`) instead of spawning one per call.
+
     Returns the :class:`repro.engine.BuildResult` list in trial order.
     """
     from functools import partial
@@ -83,7 +92,9 @@ def parallel_build(
 
     get_builder(builder)  # fail fast on unknown names before forking
     func = partial(_build_indexed, builder, network_factory, dict(config or {}))
-    return parallel_map(func, n_trials, n_jobs=n_jobs, chunk_size=chunk_size)
+    return parallel_map(
+        func, n_trials, n_jobs=n_jobs, chunk_size=chunk_size, executor=executor
+    )
 
 
 def parallel_map(
@@ -92,6 +103,7 @@ def parallel_map(
     *,
     n_jobs: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    executor: Optional[Executor] = None,
 ) -> List[T]:
     """Evaluate ``[func(0), ..., func(n_items - 1)]``, possibly in parallel.
 
@@ -110,6 +122,13 @@ def parallel_map(
             caller explicitly asked to parallelise — e.g. few trials that
             are each expensive.)
         chunk_size: Items per worker task (default: balanced blocks).
+        executor: Pre-created worker pool to submit blocks to.  The pool is
+            *borrowed*: it is not shut down on return, so a long-running
+            caller (the tree server, a sweep loop) pays process start-up
+            once and reuses the same workers across many calls.  With an
+            executor, ``n_jobs`` only sizes the chunking (default
+            :func:`default_workers`); the executor's own worker count
+            bounds actual parallelism.
 
     Returns results in index order, identical to the serial evaluation.
     """
@@ -120,20 +139,23 @@ def parallel_map(
     if n_jobs is not None and n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
 
-    if n_jobs is None or n_jobs == 1:
+    if executor is None and (n_jobs is None or n_jobs == 1):
         return [func(i) for i in range(n_items)]
 
-    workers = min(n_jobs, n_items)
+    workers = min(n_jobs if n_jobs is not None else default_workers(), n_items)
     if chunk_size is None:
         chunk_size = max(1, (n_items + workers - 1) // workers)
     blocks = [
         list(range(start, min(start + chunk_size, n_items)))
         for start in range(0, n_items, chunk_size)
     ]
+    tasks = [(func, block) for block in blocks]
     results: List[T] = []
+    if executor is not None:
+        for block_result in executor.map(_run_block, tasks):
+            results.extend(block_result)
+        return results
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        for block_result in pool.map(
-            _run_block, [(func, block) for block in blocks]
-        ):
+        for block_result in pool.map(_run_block, tasks):
             results.extend(block_result)
     return results

@@ -8,7 +8,8 @@ metrics/tracer call in hot algorithm code sits behind ``OBS.enabled`` (or
 ``OBS.registry`` / ``OBS.tracer`` access that is not lexically inside a
 guarded ``if``/conditional expression.  The distributed protocol and the
 fault-injection plane (``repro.distributed``, ``repro.faults``) sit on the
-per-round simulation hot path, so they are held to the same contract.
+per-round simulation hot path, and the serving layer (``repro.serve``)
+sits on the per-request path, so they are held to the same contract.
 
 Recognized guards, matching the idioms already in the tree::
 
@@ -38,6 +39,7 @@ HOT_PACKAGES = (
     "repro.baselines",
     "repro.distributed",
     "repro.faults",
+    "repro.serve",
 )
 
 _GUARDED_ATTRS = frozenset({"registry", "tracer"})

@@ -24,6 +24,7 @@ Tree schema (version 1)::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Dict, Union
@@ -39,6 +40,7 @@ __all__ = [
     "network_from_dict",
     "save_network",
     "load_network",
+    "topology_fingerprint",
     "tree_to_dict",
     "tree_from_dict",
     "save_tree",
@@ -96,6 +98,48 @@ def network_from_dict(data: Dict) -> Network:
     for u, v, prr in data["links"]:
         network.add_link(int(u), int(v), float(prr))
     return network
+
+
+#: Version tag mixed into every fingerprint; bump when the canonical byte
+#: encoding below changes so stale cache keys cannot alias new ones.
+_FINGERPRINT_TAG = "repro-topology-v1"
+
+
+def topology_fingerprint(network: Network) -> str:
+    """Content-addressed identity of *network*'s algorithmic inputs.
+
+    Returns a hex SHA-256 digest over a canonical byte encoding of exactly
+    the fields tree builders consume: node count, the per-packet energy
+    model, the per-node initial energies, and the sorted link list with
+    PRRs.  Two networks with equal values hash identically regardless of
+    link insertion order (links are serialized in canonical ``(u, v)`` key
+    order) or numeric representation (every number is passed through
+    ``float()``/``int()`` and rendered with ``repr``, the shortest
+    round-trip form, so a PRR stored as ``np.float64(0.95)`` and a plain
+    ``0.95`` agree — while genuinely different values such as a float32
+    rounding of 0.95 do not).
+
+    Node ``positions`` are deliberately excluded: no builder reads them, so
+    two deployments differing only in coordinates produce identical trees
+    and may share cache entries.  The serving layer
+    (:mod:`repro.serve`) keys both of its cache tiers on this digest.
+    """
+    h = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        h.update(text.encode("ascii"))
+        h.update(b"\n")
+
+    feed(_FINGERPRINT_TAG)
+    feed(str(int(network.n)))
+    feed(repr(float(network.energy_model.tx)))
+    feed(repr(float(network.energy_model.rx)))
+    for energy in network.initial_energies:
+        feed(repr(float(energy)))
+    feed(str(network.n_edges))
+    for edge in network.edges():  # canonical sorted-key order
+        feed(f"{int(edge.u)},{int(edge.v)},{repr(float(edge.prr))}")
+    return h.hexdigest()
 
 
 def save_network(network: Network, path: Union[str, Path]) -> None:

@@ -1,0 +1,184 @@
+"""``repro serve`` — run the tree server or drive synthetic load at it.
+
+Examples::
+
+    repro serve run                          # foreground JSONL server :8731
+    repro serve run --port 0 --mode process  # free port, sharded workers
+    repro serve bench --nodes 200            # synthetic repeat-query load
+    repro serve bench --mode process --workers 4 --out BENCH_serve.json
+
+``run`` starts the asyncio TCP front end (JSON lines; see
+:mod:`repro.serve.protocol` for the operations) and serves until
+interrupted.  ``bench`` runs the in-process synthetic workload
+(:mod:`repro.serve.bench`), prints the throughput/hit-rate report, and
+with ``--out`` appends it to the ``BENCH_serve.json`` trajectory file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import List, Optional
+
+from repro.serve.bench import (
+    DEFAULT_BENCH_BUILDERS,
+    append_bench_run,
+    run_serve_bench,
+)
+from repro.serve.server import ServeConfig, TreeServer
+from repro.serve.workers import POOL_MODES, WorkerPool
+
+__all__ = ["serve_main", "build_serve_parser"]
+
+
+def _add_pool_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mode",
+        choices=POOL_MODES,
+        default="inline",
+        help="worker pool mode (default inline; 'process' shards across "
+        "CPU cores)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for thread/process modes (default: cores - 1)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        help="max requests per micro-batch (default 16)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission ceiling before ServerOverloadedError (default 1024)",
+    )
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro serve`` argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-running MRLC tree-serving layer over the builder "
+        "registry: batched, sharded, content-addressed-cached.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="foreground JSON-lines TCP server")
+    run.add_argument("--host", default="127.0.0.1", help="bind address")
+    run.add_argument(
+        "--port", type=int, default=8731, help="TCP port (0 = pick free)"
+    )
+    _add_pool_options(run)
+
+    bench = sub.add_parser(
+        "bench", help="drive a synthetic repeat-query workload in-process"
+    )
+    bench.add_argument(
+        "--nodes", type=int, default=120, help="network size (default 120)"
+    )
+    bench.add_argument(
+        "--topologies",
+        type=int,
+        default=3,
+        help="distinct topologies in the workload (default 3)",
+    )
+    bench.add_argument(
+        "--builders",
+        default=",".join(DEFAULT_BENCH_BUILDERS),
+        help="comma-separated registry builder names "
+        f"(default {','.join(DEFAULT_BENCH_BUILDERS)})",
+    )
+    bench.add_argument(
+        "--repeats",
+        type=int,
+        default=12,
+        help="times each unique request is issued (default 12 → ~92%% "
+        "expected hit rate)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    bench.add_argument(
+        "--concurrency",
+        type=int,
+        default=32,
+        help="in-flight submissions per wave (default 32)",
+    )
+    bench.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the cold-rebuild divergence check (faster)",
+    )
+    bench.add_argument(
+        "--out",
+        default=None,
+        help="append the report to this BENCH_serve.json trajectory file",
+    )
+    _add_pool_options(bench)
+    return parser
+
+
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(
+        batch_size=args.batch_size, max_pending=args.max_pending
+    )
+
+
+def _run_server(args: argparse.Namespace) -> int:
+    from repro.serve.tcp import serve_forever
+
+    async def _main() -> None:
+        pool = WorkerPool(mode=args.mode, n_workers=args.workers)
+        async with TreeServer(pool=pool, config=_serve_config(args)) as server:
+            await serve_forever(server, args.host, args.port)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, shutting down")
+    return 0
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    builders = tuple(
+        name.strip() for name in args.builders.split(",") if name.strip()
+    )
+    report = run_serve_bench(
+        n_nodes=args.nodes,
+        n_topologies=args.topologies,
+        builders=builders,
+        repeats=args.repeats,
+        seed=args.seed,
+        mode=args.mode,
+        workers=args.workers,
+        concurrency=args.concurrency,
+        config=_serve_config(args),
+        verify=not args.no_verify,
+    )
+    print(report.render())
+    if args.out:
+        append_bench_run(args.out, report)
+        print(f"[appended run to {args.out}]")
+    return 1 if report.divergent else 0
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``repro serve ...``; returns the exit code."""
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    for name in ("workers", "batch_size", "max_pending"):
+        value = getattr(args, name, None)
+        if value is not None and value < 1:
+            parser.error(f"--{name.replace('_', '-')} must be positive")
+    if args.command == "run":
+        return _run_server(args)
+    if getattr(args, "repeats", 1) < 1 or getattr(args, "topologies", 1) < 1:
+        parser.error("--repeats and --topologies must be positive")
+    if getattr(args, "concurrency", 1) < 1:
+        parser.error("--concurrency must be positive")
+    return _run_bench(args)

@@ -1,0 +1,139 @@
+"""JSON-lines wire protocol for the tree server.
+
+Each request and response is one JSON document per line.  Operations:
+
+``{"op": "ping"}``
+    → ``{"ok": true, "op": "ping"}`` — liveness probe.
+
+``{"op": "register", "network": {<repro-network doc>}}``
+    → ``{"ok": true, "fingerprint": "..."}`` — upload a topology once;
+    later builds may reference it by fingerprint only.
+
+``{"op": "build", "builder": "ira", "network": {...} | null,
+"fingerprint": "..." | null, "params": {...}, "lc": 900000, "seed": 7,
+"id": "anything"}``
+    → ``{"ok": true, "id": ..., "builder": ..., "fingerprint": ...,
+    "key": ..., "cache": {"hit": ..., "source": ...}, "metrics": {...},
+    "tree": {<repro-tree doc>}}`` — the build itself.  ``id`` is echoed
+    verbatim so clients can pipeline requests on one connection.
+
+``{"op": "stats"}``
+    → ``{"ok": true, "stats": {...}}`` — the server's
+    :meth:`~repro.serve.server.TreeServer.stats` snapshot.
+
+``{"op": "min_cut", "fingerprint": "...", "u": 3, "v": 0}``
+    → ``{"ok": true, "value": ...}`` — probe the topology's memoized
+    Gomory–Hu structure (``v`` defaults to the sink).
+
+Errors come back as ``{"ok": false, "error": "...", "kind":
+"overloaded" | "unknown-topology" | "bad-request"}`` with the request
+``id`` echoed when present; ``overloaded`` is the backpressure signal and
+the only kind worth retrying verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.network.serialization import network_from_dict, tree_to_dict
+import numpy as np
+
+from repro.serve.request import (
+    BuildRequest,
+    BuildResponse,
+    ServeError,
+    ServerOverloadedError,
+    UnknownTopologyError,
+)
+
+__all__ = [
+    "decode_build_request",
+    "encode_error",
+    "encode_response",
+]
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce builder meta values to plain JSON types for the wire."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def decode_build_request(doc: Dict[str, Any]) -> BuildRequest:
+    """Parse a ``build`` op document into a :class:`BuildRequest`.
+
+    Raises :class:`ServeError` on structural problems so the transport can
+    answer with a ``bad-request`` error instead of dropping the line.
+    """
+    builder = doc.get("builder")
+    if not isinstance(builder, str) or not builder:
+        raise ServeError("build request needs a 'builder' name")
+    network_doc = doc.get("network")
+    network = None
+    if network_doc is not None:
+        try:
+            network = network_from_dict(network_doc)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"bad network document: {exc}") from exc
+    params = doc.get("params") or {}
+    if not isinstance(params, dict):
+        raise ServeError("'params' must be an object")
+    fingerprint = doc.get("fingerprint")
+    if fingerprint is not None and not isinstance(fingerprint, str):
+        raise ServeError("'fingerprint' must be a string")
+    return BuildRequest(
+        builder=builder,
+        network=network,
+        params=params,
+        lc_bound=doc.get("lc"),
+        seed=doc.get("seed"),
+        fingerprint=fingerprint,
+    )
+
+
+def encode_response(
+    response: BuildResponse, request_id: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Serialize a :class:`BuildResponse` to its wire document."""
+    info = response.cache_info
+    doc: Dict[str, Any] = {
+        "ok": True,
+        "builder": response.builder,
+        "fingerprint": info.fingerprint,
+        "key": info.key,
+        "cache": {"hit": info.hit, "source": info.source},
+        "metrics": {k: _jsonable(v) for k, v in response.metrics.items()},
+        "tree": tree_to_dict(response.tree),
+    }
+    if request_id is not None:
+        doc["id"] = request_id
+    return doc
+
+
+def encode_error(
+    error: BaseException, request_id: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Serialize any serve-side failure to its wire document."""
+    if isinstance(error, ServerOverloadedError):
+        kind = "overloaded"
+    elif isinstance(error, UnknownTopologyError):
+        kind = "unknown-topology"
+    else:
+        kind = "bad-request"
+    doc: Dict[str, Any] = {
+        "ok": False,
+        "kind": kind,
+        "error": f"{type(error).__name__}: {error}",
+    }
+    if request_id is not None:
+        doc["id"] = request_id
+    return doc

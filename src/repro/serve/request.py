@@ -1,0 +1,228 @@
+"""Typed request/response model for the tree-serving layer.
+
+A :class:`BuildRequest` names *what* to build — a topology, a registered
+builder, its config knobs, an optional lifetime bound and seed — and the
+server answers with a :class:`BuildResponse` carrying the tree, its summary
+metrics, and a :class:`CacheInfo` describing where the answer came from.
+
+Two derived identities make the cache tiers work:
+
+* the **topology fingerprint** (:func:`repro.network.serialization.
+  topology_fingerprint`) — content address of the network alone, shared by
+  every request on that topology regardless of builder or knobs;
+* the **request key** (:func:`request_key`) — SHA-256 over fingerprint +
+  builder name + the canonical JSON of the *effective* params, so
+  ``BuildRequest(..., lc_bound=500)`` and ``BuildRequest(...,
+  params={"lc": 500})`` address the same cache slot and knob ordering
+  never matters.
+
+Builders stay pure functions of ``(network, params, seed)``: the request
+model resolves knob defaults through the registry
+(:mod:`repro.engine.registry`) and refuses seeds or lifetime bounds the
+named builder does not declare, instead of silently dropping them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core.tree import AggregationTree
+from repro.engine import get_builder
+from repro.network.model import Network
+
+__all__ = [
+    "BuildRequest",
+    "BuildResponse",
+    "CacheInfo",
+    "ServeError",
+    "ServerOverloadedError",
+    "UnknownTopologyError",
+    "canonical_params_json",
+    "effective_params",
+    "request_key",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for tree-serving errors (bad requests, admission, ...)."""
+
+
+class ServerOverloadedError(ServeError):
+    """Raised at admission when the pending-request ceiling is reached.
+
+    This is the backpressure signal: the request was *not* queued, and the
+    client should retry after backing off (or the load driver should slow
+    down).  Queued work is never dropped.
+    """
+
+
+class UnknownTopologyError(ServeError):
+    """A fingerprint-only request referenced a topology never registered."""
+
+
+@dataclass(frozen=True)
+class BuildRequest:
+    """One tree-construction request.
+
+    Attributes:
+        builder: Registry name of the algorithm (``"ira"``, ``"mst"``, ...).
+        network: The topology to build on.  May be ``None`` when
+            *fingerprint* names a topology the server has already seen —
+            the wire protocol uses this so clients upload a network once
+            and then address it by content hash.
+        params: Builder config knobs (the registry validates them at build
+            time; unknown knobs fail inside the builder).
+        lc_bound: Convenience alias for the paper's lifetime bound; merged
+            into ``params["lc"]`` for builders that declare an ``lc`` knob.
+        seed: Deterministic seed, merged into ``params["seed"]`` for
+            builders that declare one (randomized builders must be replayable
+            for the cache-identity guarantee to hold).
+        fingerprint: Optional precomputed topology fingerprint; trusted as
+            the topology's identity when given, so hot clients fingerprint
+            once per topology instead of once per request.
+    """
+
+    builder: str
+    network: Optional[Network] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    lc_bound: Optional[float] = None
+    seed: Optional[int] = None
+    fingerprint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.network is None and self.fingerprint is None:
+            raise ServeError(
+                "BuildRequest needs a network or a fingerprint referencing "
+                "a previously registered topology"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Where a response came from, for observability and tests.
+
+    Attributes:
+        hit: Whether the build itself was skipped (result-store hit or
+            coalesced onto an identical in-flight request).
+        source: ``"result"`` (content-addressed store), ``"inflight"``
+            (coalesced), or ``"built"`` (cold build this request).
+        fingerprint: Topology fingerprint of the request.
+        key: Full request key (fingerprint + builder + effective params).
+    """
+
+    hit: bool
+    source: str
+    fingerprint: str
+    key: str
+
+
+@dataclass(frozen=True)
+class BuildResponse:
+    """The server's answer to one :class:`BuildRequest`.
+
+    Attributes:
+        builder: Registry name that produced the tree.
+        tree: The constructed aggregation tree.
+        metrics: Flat summary — ``cost`` / ``reliability`` / ``lifetime`` /
+            ``elapsed_s`` plus the builder's own meta entries.
+        cache_info: Provenance of the answer (cache tier, keys).
+    """
+
+    builder: str
+    tree: AggregationTree
+    metrics: Dict[str, Any]
+    cache_info: CacheInfo
+
+    def signature(self) -> str:
+        """Canonical text form of the *served content* (tree + metrics).
+
+        Two responses are bitwise-identical answers iff their signatures
+        are equal: parents in sorted node order and every float rendered
+        with ``repr`` (the shortest exact round-trip form).  Tests use this
+        to pin that cache hits equal cold builds without comparing floats
+        with ``==`` at hundreds of call sites.
+        """
+        parents = ",".join(
+            f"{v}:{p}" for v, p in sorted(self.tree.parents.items())
+        )
+        metrics = ",".join(
+            f"{k}={_canonical_scalar(self.metrics[k])}"
+            for k in sorted(self.metrics)
+        )
+        return f"{self.builder}|{parents}|{metrics}"
+
+
+def _canonical_scalar(value: Any) -> Any:
+    """Normalize one leaf value for hashing/signatures (dtype-stable)."""
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return value
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical_scalar(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _canonical_scalar(v) for k, v in value.items()}
+    return repr(value)
+
+
+def canonical_params_json(params: Mapping[str, Any]) -> str:
+    """Sorted-key, dtype-normalized JSON of a params mapping.
+
+    Key order and numpy scalar types never change the output, so the
+    request key is stable across call-site styles.
+    """
+    return json.dumps(
+        {str(k): _canonical_scalar(v) for k, v in params.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def effective_params(request: BuildRequest) -> Dict[str, Any]:
+    """Merge ``lc_bound``/``seed`` sugar into the builder's knob namespace.
+
+    Raises :class:`ServeError` when the sugar conflicts with an explicit
+    param or names a knob the builder does not declare — dropping either
+    silently would cache a different build than the client asked for.
+    """
+    builder = get_builder(request.builder)
+    params = dict(request.params)
+    if request.lc_bound is not None:
+        if "lc" not in builder.knobs:
+            raise ServeError(
+                f"builder {request.builder!r} takes no lifetime bound "
+                f"(lc_bound={request.lc_bound!r})"
+            )
+        if "lc" in params:
+            raise ServeError(
+                "request sets both params['lc'] and lc_bound; pass one"
+            )
+        params["lc"] = float(request.lc_bound)
+    if request.seed is not None:
+        if "seed" not in builder.knobs:
+            raise ServeError(
+                f"builder {request.builder!r} is deterministic and takes "
+                f"no seed (seed={request.seed!r})"
+            )
+        if "seed" in params:
+            raise ServeError(
+                "request sets both params['seed'] and seed; pass one"
+            )
+        params["seed"] = int(request.seed)
+    return params
+
+
+def request_key(fingerprint: str, builder: str, params: Mapping[str, Any]) -> str:
+    """Content address of one (topology, builder, effective params) build."""
+    material = f"{fingerprint}|{builder}|{canonical_params_json(params)}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

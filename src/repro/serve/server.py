@@ -1,0 +1,434 @@
+"""The async tree server: admission → cache → batcher → worker shards.
+
+Request lifecycle (one ``await server.submit(request)``):
+
+1. **Resolve** — the builder name is resolved through the engine registry
+   (fail fast on typos), ``lc_bound``/``seed`` sugar is merged into the
+   effective params, and the topology fingerprint is computed (or taken
+   precomputed / memoized from the structure cache).
+2. **Cache** — the content-addressed result store is probed with the full
+   request key; a hit returns immediately (``cache_info.source ==
+   "result"``).  Otherwise, if an *identical* request is already queued or
+   building, this one coalesces onto its future (``"inflight"``) — the
+   build runs once however many clients ask.
+3. **Admission** — if the pending count (queued + building) has reached
+   ``max_pending``, the request is refused with
+   :class:`~repro.serve.request.ServerOverloadedError` *before* touching
+   the queue: backpressure rejects new work, never drops accepted work.
+   Disconnected topologies are refused here too (no builder can span
+   them).
+4. **Batch** — the batcher task drains the queue into micro-batches: up to
+   ``batch_size`` requests, waiting at most ``batch_window_s`` for
+   stragglers after the first arrival.  A batch is grouped by topology
+   fingerprint and split into shards, which the worker pool executes
+   concurrently (processes in ``process`` mode — this is the sharded
+   path; see :mod:`repro.serve.workers`).
+5. **Resolve futures** — finished builds populate the result store and
+   wake every coalesced waiter; per-item build errors become exceptions on
+   exactly the futures that asked for them.
+
+Builders remain pure ``(network, params, seed)`` functions, which is the
+whole foundation: identical keys ⇒ identical trees, so serving from cache
+is *bitwise* identical to a cold build (pinned per builder in
+``tests/test_serve_cache.py``).
+
+Observability: with an active :func:`repro.obs.instrument` session the
+server reports ``serve.requests`` / ``serve.cache_hits`` /
+``serve.rejected`` counters, ``serve.queue_depth`` / ``serve.inflight``
+gauges, and ``serve.batch_size`` / ``serve.build_seconds`` histograms —
+all behind ``OBS.enabled`` guards (lint rule REP102 covers this package).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.engine import BuildResult, get_builder
+from repro.network.model import Network
+from repro.obs import OBS
+from repro.serve.cache import ResultCache, StructureCache, WarmStructures
+from repro.serve.request import (
+    BuildRequest,
+    BuildResponse,
+    CacheInfo,
+    ServeError,
+    ServerOverloadedError,
+    effective_params,
+    request_key,
+)
+from repro.serve.workers import ShardOutcome, WorkItem, WorkerPool
+
+__all__ = ["ServeConfig", "TreeServer", "make_response"]
+
+
+def make_response(
+    result: BuildResult,
+    fingerprint: str,
+    key: str,
+    *,
+    hit: bool,
+    source: str,
+) -> BuildResponse:
+    """Assemble the public response for one finished build.
+
+    Module-level (not a server method) so offline verifiers — the bench
+    driver's divergence check, tests — produce byte-identical response
+    shapes from a cold :func:`repro.engine.build_tree` call.
+    """
+    metrics: Dict[str, Any] = {
+        "cost": result.cost,
+        "reliability": result.reliability,
+        "lifetime": result.lifetime,
+        "elapsed_s": result.elapsed_s,
+    }
+    for name, value in result.meta.items():
+        metrics.setdefault(name, value)
+    return BuildResponse(
+        builder=result.builder,
+        tree=result.tree,
+        metrics=metrics,
+        cache_info=CacheInfo(
+            hit=hit, source=source, fingerprint=fingerprint, key=key
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Scheduler and cache knobs.
+
+    Attributes:
+        batch_size: Max requests per micro-batch.
+        batch_window_s: How long the batcher waits for stragglers after the
+            first request of a batch arrives (0 disables waiting).
+        max_pending: Admission ceiling on requests queued or building;
+            submissions beyond it raise ``ServerOverloadedError``.
+        result_cache_size: Capacity of the content-addressed result store.
+        structure_cache_size: Capacity (in topologies) of the warm store.
+        precheck_connectivity: Refuse requests on disconnected topologies
+            at admission instead of failing inside every builder.
+    """
+
+    batch_size: int = 16
+    batch_window_s: float = 0.002
+    max_pending: int = 1024
+    result_cache_size: int = 4096
+    structure_cache_size: int = 256
+    precheck_connectivity: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+
+
+@dataclass
+class _Pending:
+    """One queued build and the future its submitters share."""
+
+    key: str
+    warm: WarmStructures
+    item: WorkItem
+    future: "asyncio.Future[BuildResult]"
+
+
+class TreeServer:
+    """Long-running MRLC-as-a-service front end over the builder registry.
+
+    Use as an async context manager (or call :meth:`start` / :meth:`aclose`
+    explicitly)::
+
+        async with TreeServer() as server:
+            response = await server.submit(BuildRequest("mst", network=net))
+
+    The server owns its caches; the worker pool is owned only when the
+    caller did not pass one in.
+    """
+
+    def __init__(
+        self,
+        *,
+        pool: Optional[WorkerPool] = None,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._pool = pool if pool is not None else WorkerPool(mode="inline")
+        self._owns_pool = pool is None
+        self.results = ResultCache(self.config.result_cache_size)
+        self.structures = StructureCache(self.config.structure_cache_size)
+        self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
+        self._inflight: Dict[str, _Pending] = {}
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self._closed = False
+        # Monotonic stats (cheap ints; obs mirrors them when enabled).
+        self.requests = 0
+        self.built = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.batches = 0
+        self.max_batch = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "TreeServer":
+        """Spawn the batcher task (idempotent)."""
+        if self._batcher is None:
+            self._closed = False
+            self._batcher = asyncio.create_task(
+                self._batch_loop(), name="repro-serve-batcher"
+            )
+        return self
+
+    async def aclose(self) -> None:
+        """Drain nothing, cancel the batcher, fail queued requests."""
+        self._closed = True
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        while not self._queue.empty():
+            pending = self._queue.get_nowait()
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServeError("server closed before the build ran")
+                )
+        self._inflight.clear()
+        if self._owns_pool:
+            self._pool.close()
+
+    async def __aenter__(self) -> "TreeServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def register_topology(self, network: Network) -> str:
+        """Register *network* for later fingerprint-only requests.
+
+        Returns the topology fingerprint clients should quote.
+        """
+        fingerprint = self.structures.fingerprint_of(network)
+        self.structures.get_or_create(fingerprint, network)
+        return fingerprint
+
+    def min_cut(self, fingerprint: str, u: int, v: Optional[int] = None) -> float:
+        """Min-cut query against a registered topology's warm cut tree."""
+        warm = self.structures.get_or_create(fingerprint, None)
+        return warm.min_cut(u, v)
+
+    async def submit(self, request: BuildRequest) -> BuildResponse:
+        """Serve one request; see the module docstring for the lifecycle."""
+        if self._batcher is None:
+            raise ServeError("server not started; use `async with TreeServer()`")
+        get_builder(request.builder)  # fail fast before any queueing
+        params = effective_params(request)
+        if request.fingerprint is not None:
+            fingerprint = request.fingerprint
+        else:
+            fingerprint = self.structures.fingerprint_of(request.network)
+        warm = self.structures.get_or_create(fingerprint, request.network)
+        key = request_key(fingerprint, request.builder, params)
+
+        self.requests += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "serve.requests", builder=request.builder
+            ).inc()
+
+        cached = self.results.get(key)
+        if cached is not None:
+            if OBS.enabled:
+                OBS.registry.counter("serve.cache_hits", tier="result").inc()
+            return self._respond(cached, fingerprint, key, hit=True, source="result")
+
+        pending = self._inflight.get(key)
+        if pending is not None:
+            self.coalesced += 1
+            if OBS.enabled:
+                OBS.registry.counter("serve.cache_hits", tier="inflight").inc()
+            result = await asyncio.shield(pending.future)
+            return self._respond(result, fingerprint, key, hit=True, source="inflight")
+
+        # Admission control: bound queued + building work.
+        if len(self._inflight) >= self.config.max_pending:
+            self.rejected += 1
+            if OBS.enabled:
+                OBS.registry.counter("serve.rejected").inc()
+            raise ServerOverloadedError(
+                f"{len(self._inflight)} requests pending "
+                f"(max_pending={self.config.max_pending}); retry later"
+            )
+        if self.config.precheck_connectivity and not warm.is_connected():
+            raise ServeError(
+                "topology is disconnected; no spanning aggregation tree exists"
+            )
+
+        loop = asyncio.get_running_loop()
+        entry = _Pending(
+            key=key,
+            warm=warm,
+            item=WorkItem(key=key, builder=request.builder, params=params),
+            future=loop.create_future(),
+        )
+        self._inflight[key] = entry
+        self._queue.put_nowait(entry)
+        if OBS.enabled:
+            OBS.registry.gauge("serve.queue_depth").set(self._queue.qsize())
+            OBS.registry.gauge("serve.inflight").set(len(self._inflight))
+        result = await asyncio.shield(entry.future)
+        return self._respond(result, fingerprint, key, hit=False, source="built")
+
+    async def submit_many(
+        self, requests: Iterable[BuildRequest]
+    ) -> List[BuildResponse]:
+        """Submit concurrently and gather in request order."""
+        return list(
+            await asyncio.gather(*(self.submit(r) for r in requests))
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """One flat snapshot of scheduler + cache health."""
+        served = self.results.hits + self.coalesced
+        return {
+            "requests": self.requests,
+            "built": self.built,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "max_batch": self.max_batch,
+            "queue_depth": self._queue.qsize(),
+            "inflight": len(self._inflight),
+            "hit_rate": served / self.requests if self.requests else 0.0,
+            "result_cache": self.results.stats(),
+            "structure_cache": self.structures.stats(),
+            "pool_mode": self._pool.mode,
+            "pool_workers": self._pool.n_workers,
+        }
+
+    # ------------------------------------------------------------------
+    # Scheduler internals
+    # ------------------------------------------------------------------
+    def _respond(
+        self,
+        result: BuildResult,
+        fingerprint: str,
+        key: str,
+        *,
+        hit: bool,
+        source: str,
+    ) -> BuildResponse:
+        return make_response(result, fingerprint, key, hit=hit, source=source)
+
+    async def _collect_batch(self) -> List[_Pending]:
+        """Block for the first request, then drain stragglers briefly."""
+        first = await self._queue.get()
+        batch = [first]
+        window = self.config.batch_window_s
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + window
+        while len(batch) < self.config.batch_size:
+            if not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+                continue
+            remaining = deadline - loop.time()
+            if remaining <= 0 or window == 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    def _shard(self, batch: List[_Pending]) -> List[Tuple[WarmStructures, List[_Pending]]]:
+        """Group by topology, then split groups across pool parallelism."""
+        groups: Dict[str, List[_Pending]] = {}
+        for pending in batch:
+            groups.setdefault(pending.warm.fingerprint, []).append(pending)
+        shard_cap = max(
+            1, (len(batch) + self._pool.parallelism - 1) // self._pool.parallelism
+        )
+        shards: List[Tuple[WarmStructures, List[_Pending]]] = []
+        for members in groups.values():
+            for start in range(0, len(members), shard_cap):
+                chunk = members[start : start + shard_cap]
+                shards.append((chunk[0].warm, chunk))
+        return shards
+
+    async def _batch_loop(self) -> None:
+        while True:
+            batch = await self._collect_batch()
+            self.batches += 1
+            self.max_batch = max(self.max_batch, len(batch))
+            if OBS.enabled:
+                OBS.registry.counter("serve.batches").inc()
+                OBS.registry.histogram("serve.batch_size").observe(len(batch))
+                OBS.registry.gauge("serve.queue_depth").set(self._queue.qsize())
+            shards = self._shard(batch)
+            outcomes = await asyncio.gather(
+                *(
+                    self._pool.run_shard(warm, [p.item for p in members])
+                    for warm, members in shards
+                ),
+                return_exceptions=True,
+            )
+            for (warm, members), shard_result in zip(shards, outcomes):
+                if isinstance(shard_result, BaseException):
+                    self._fail_shard(members, shard_result)
+                    continue
+                self._settle_shard(members, shard_result)
+
+    def _fail_shard(
+        self, members: List[_Pending], error: BaseException
+    ) -> None:
+        for pending in members:
+            self._inflight.pop(pending.key, None)
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServeError(f"worker shard failed: {error!r}")
+                )
+
+    def _settle_shard(
+        self, members: List[_Pending], outcomes: List[ShardOutcome]
+    ) -> None:
+        by_key = {outcome.key: outcome for outcome in outcomes}
+        for pending in members:
+            self._inflight.pop(pending.key, None)
+            outcome = by_key.get(pending.key)
+            if pending.future.done():
+                continue
+            if outcome is None:
+                pending.future.set_exception(
+                    ServeError(f"worker returned no outcome for {pending.key[:16]}…")
+                )
+            elif outcome.result is None:
+                pending.future.set_exception(
+                    ServeError(f"build failed: {outcome.error}")
+                )
+            else:
+                self.built += 1
+                self.results.put(pending.key, outcome.result)
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "serve.builds", builder=outcome.result.builder
+                    ).inc()
+                    OBS.registry.histogram(
+                        "serve.build_seconds", builder=outcome.result.builder
+                    ).observe(outcome.result.elapsed_s)
+                    OBS.registry.gauge("serve.inflight").set(
+                        len(self._inflight)
+                    )
+                pending.future.set_result(outcome.result)

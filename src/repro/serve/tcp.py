@@ -1,0 +1,138 @@
+"""Asyncio TCP front end speaking the JSON-lines protocol.
+
+One coroutine per connection; each line is decoded, dispatched against the
+in-process :class:`~repro.serve.server.TreeServer`, and answered with one
+line.  Requests on one connection are handled strictly in order (a client
+wanting pipelined concurrency opens more connections — the server's
+batcher coalesces and batches across all of them), which keeps the framing
+trivial and the per-connection memory bounded.
+
+This transport is deliberately thin: all admission, caching, batching, and
+sharding live in the server object, so in-process callers (tests, the
+bench driver, embedding applications) exercise exactly the code paths a
+socket client does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.network.serialization import network_from_dict
+from repro.serve.protocol import (
+    decode_build_request,
+    encode_error,
+    encode_response,
+)
+from repro.serve.request import ServeError
+from repro.serve.server import TreeServer
+
+__all__ = ["start_tcp_server", "serve_forever"]
+
+#: Refuse single lines larger than this (64 MiB) instead of buffering them.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+async def _handle_doc(server: TreeServer, doc: Dict[str, Any]) -> Dict[str, Any]:
+    request_id = doc.get("id")
+    op = doc.get("op", "build")
+    try:
+        if op == "ping":
+            return {"ok": True, "op": "ping", **_echo_id(request_id)}
+        if op == "stats":
+            return {"ok": True, "stats": server.stats(), **_echo_id(request_id)}
+        if op == "register":
+            network_doc = doc.get("network")
+            if network_doc is None:
+                raise ServeError("register needs a 'network' document")
+            try:
+                network = network_from_dict(network_doc)
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServeError(f"bad network document: {exc}") from exc
+            fingerprint = server.register_topology(network)
+            return {
+                "ok": True,
+                "fingerprint": fingerprint,
+                **_echo_id(request_id),
+            }
+        if op == "min_cut":
+            fingerprint = doc.get("fingerprint")
+            if not isinstance(fingerprint, str):
+                raise ServeError("min_cut needs a 'fingerprint' string")
+            value = server.min_cut(fingerprint, int(doc["u"]), doc.get("v"))
+            return {"ok": True, "value": value, **_echo_id(request_id)}
+        if op == "build":
+            response = await server.submit(decode_build_request(doc))
+            return encode_response(response, request_id)
+        raise ServeError(f"unknown op {op!r}")
+    except Exception as exc:  # noqa: BLE001 — every failure answers the line
+        return encode_error(exc, request_id)
+
+
+def _echo_id(request_id: Optional[Any]) -> Dict[str, Any]:
+    return {} if request_id is None else {"id": request_id}
+
+
+async def _handle_connection(
+    server: TreeServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (ConnectionResetError, asyncio.LimitOverrunError):
+                break
+            if not line:
+                break
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                doc = json.loads(text)
+                if not isinstance(doc, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                reply: Dict[str, Any] = encode_error(
+                    ServeError(f"bad JSON line: {exc}")
+                )
+            else:
+                reply = await _handle_doc(server, doc)
+            writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def start_tcp_server(
+    server: TreeServer, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Bind the JSONL transport; ``port=0`` picks a free port.
+
+    The returned asyncio server's first socket reports the bound address
+    (``srv.sockets[0].getsockname()``).  The caller owns both lifecycles:
+    close the asyncio server, then ``await tree_server.aclose()``.
+    """
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w),
+        host,
+        port,
+        limit=MAX_LINE_BYTES,
+    )
+
+
+async def serve_forever(
+    server: TreeServer, host: str = "127.0.0.1", port: int = 8731
+) -> None:
+    """Foreground entry: start the transport and serve until cancelled."""
+    tcp = await start_tcp_server(server, host, port)
+    addr = tcp.sockets[0].getsockname()
+    print(f"repro serve: listening on {addr[0]}:{addr[1]} (JSON lines)")
+    async with tcp:
+        await tcp.serve_forever()

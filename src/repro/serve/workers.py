@@ -1,0 +1,243 @@
+"""Worker pool: where batched build shards actually execute.
+
+Three modes, one async-facing API (:meth:`WorkerPool.run_shard`):
+
+* ``inline`` — builds run synchronously on the event-loop thread.  Zero
+  concurrency, zero pickling, perfectly deterministic scheduling; the mode
+  tests and small servers use.
+* ``thread`` — builds run on a shared :class:`ThreadPoolExecutor`.  The
+  event loop stays responsive while a build computes; CPU parallelism is
+  still GIL-bound, so this mode is for latency, not throughput.
+* ``process`` — shards are shipped to a shared
+  :class:`ProcessPoolExecutor` (the sharded, "as fast as the hardware
+  allows" mode).  Work items travel as ``(key, builder, params)`` triples
+  next to the topology's pickled payload; each worker process keeps a
+  fingerprint-keyed decode memo so a hot topology is unpickled once per
+  worker, not once per shard.
+
+The executor is created once and reused for the server's lifetime — the
+same discipline :func:`repro.experiments.parallel.parallel_map` supports
+via its ``executor`` argument, and :attr:`WorkerPool.executor` exposes the
+underlying pool so sweep code can share the very same workers.
+
+Worker-side results cross the process boundary as plain parent maps plus
+meta dicts; the server re-binds them to its own ``Network`` object, which
+reproduces the identical tree (same parents over the same links ⇒ same
+cost/reliability/lifetime floats).  ``BuildResult.raw`` does not survive
+the boundary (solver internals are not worth pickling) and is ``None`` for
+process-built responses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import traceback
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.tree import AggregationTree
+from repro.engine import BuildResult, build_tree
+from repro.experiments.parallel import default_workers
+from repro.network.model import Network
+from repro.serve.cache import WarmStructures
+
+__all__ = ["ShardOutcome", "WorkItem", "WorkerPool", "POOL_MODES"]
+
+#: Supported pool modes, in increasing order of machinery.
+POOL_MODES = ("inline", "thread", "process")
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One queued build: the request key plus what the builder needs."""
+
+    key: str
+    builder: str
+    params: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One work item's result: a build or a re-raisable error string."""
+
+    key: str
+    result: Optional[BuildResult]
+    error: Optional[str] = None
+
+
+def _build_one(network: Network, item: WorkItem) -> ShardOutcome:
+    try:
+        result = build_tree(item.builder, network, **dict(item.params))
+        return ShardOutcome(key=item.key, result=result)
+    except Exception as exc:  # noqa: BLE001 — reported per item, not fatal
+        return ShardOutcome(
+            key=item.key,
+            result=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _build_shard_local(
+    network: Network, items: Sequence[WorkItem]
+) -> List[ShardOutcome]:
+    return [_build_one(network, item) for item in items]
+
+
+# ----------------------------------------------------------------------
+# Process-mode plumbing (module-level: must pickle by reference)
+# ----------------------------------------------------------------------
+
+#: Per-worker-process decode memo: fingerprint -> Network.  Bounded FIFO so
+#: a long-lived worker serving many topologies cannot grow without limit.
+_WORKER_NETWORKS: "OrderedDict[str, Network]" = OrderedDict()
+_WORKER_MEMO_CAPACITY = 64
+
+
+def _worker_network(fingerprint: str, payload: bytes) -> Network:
+    network = _WORKER_NETWORKS.get(fingerprint)
+    if network is None:
+        network = pickle.loads(payload)
+        _WORKER_NETWORKS[fingerprint] = network
+        while len(_WORKER_NETWORKS) > _WORKER_MEMO_CAPACITY:
+            _WORKER_NETWORKS.popitem(last=False)
+    else:
+        _WORKER_NETWORKS.move_to_end(fingerprint)
+    return network
+
+
+def _build_shard_remote(
+    fingerprint: str,
+    payload: bytes,
+    items: Sequence[Tuple[str, str, Dict[str, Any]]],
+) -> List[Tuple[str, Optional[Dict[int, int]], Dict[str, Any], float, Optional[str]]]:
+    """Run one shard inside a worker process.
+
+    Returns wire-friendly tuples ``(key, parents, meta, elapsed_s, error)``
+    — no ``AggregationTree``/``Network`` objects travel back, only the
+    parent map the server re-binds locally.
+    """
+    network = _worker_network(fingerprint, payload)
+    out: List[
+        Tuple[str, Optional[Dict[int, int]], Dict[str, Any], float, Optional[str]]
+    ] = []
+    for key, builder, params in items:
+        try:
+            result = build_tree(builder, network, **params)
+            out.append(
+                (key, dict(result.tree.parents), dict(result.meta), result.elapsed_s, None)
+            )
+        except Exception as exc:  # noqa: BLE001 — reported per item
+            detail = f"{type(exc).__name__}: {exc}"
+            if not str(exc):
+                detail = f"{type(exc).__name__}: {traceback.format_exc(limit=1)}"
+            out.append((key, None, {}, 0.0, detail))
+    return out
+
+
+class WorkerPool:
+    """A reusable executor with an async shard-execution front end."""
+
+    def __init__(
+        self, mode: str = "inline", n_workers: Optional[int] = None
+    ) -> None:
+        if mode not in POOL_MODES:
+            raise ValueError(
+                f"mode must be one of {POOL_MODES}, got {mode!r}"
+            )
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.mode = mode
+        self.n_workers = (
+            1 if mode == "inline" else (n_workers or default_workers())
+        )
+        self._executor: Optional[Executor] = None
+        if mode == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="repro-serve"
+            )
+        elif mode == "process":
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers)
+
+    @property
+    def executor(self) -> Optional[Executor]:
+        """The long-lived executor (``None`` in inline mode).
+
+        Exposed so other layers reuse the same workers, e.g.
+        ``parallel_map(..., executor=pool.executor)``.
+        """
+        return self._executor
+
+    @property
+    def parallelism(self) -> int:
+        """How many shards are worth dispatching concurrently."""
+        return self.n_workers
+
+    async def run_shard(
+        self, warm: WarmStructures, items: Sequence[WorkItem]
+    ) -> List[ShardOutcome]:
+        """Execute *items* (all on *warm*'s topology) in this pool."""
+        if not items:
+            return []
+        if self.mode == "inline":
+            return _build_shard_local(warm.network, items)
+        loop = asyncio.get_running_loop()
+        if self.mode == "thread":
+            return await loop.run_in_executor(
+                self._executor, _build_shard_local, warm.network, list(items)
+            )
+        wire_items = [
+            (item.key, item.builder, dict(item.params)) for item in items
+        ]
+        rows = await loop.run_in_executor(
+            self._executor,
+            _shard_call,
+            warm.fingerprint,
+            warm.payload(),
+            wire_items,
+        )
+        outcomes: List[ShardOutcome] = []
+        by_key = {item.key: item for item in items}
+        for key, parents, meta, elapsed, error in rows:
+            if parents is None:
+                outcomes.append(ShardOutcome(key=key, result=None, error=error))
+                continue
+            item = by_key[key]
+            tree = AggregationTree(warm.network, parents)
+            outcomes.append(
+                ShardOutcome(
+                    key=key,
+                    result=BuildResult(
+                        builder=item.builder,
+                        tree=tree,
+                        params=dict(item.params),
+                        meta=meta,
+                        raw=None,
+                        elapsed_s=elapsed,
+                    ),
+                )
+            )
+        return outcomes
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _shard_call(
+    fingerprint: str,
+    payload: bytes,
+    items: List[Tuple[str, str, Dict[str, Any]]],
+):
+    """Picklable trampoline for ``run_in_executor`` (no kwargs support)."""
+    return _build_shard_remote(fingerprint, payload, items)

@@ -21,6 +21,12 @@ def _worker_pid(i: int) -> int:
     return os.getpid()
 
 
+def _trial_network(i: int):
+    from repro.network.topology import random_graph
+
+    return random_graph(12, 0.5, seed=1000 + i)
+
+
 class TestParallelMap:
     def test_empty(self):
         assert parallel_map(_square, 0) == []
@@ -72,3 +78,48 @@ class TestParallelExperiments:
         assert serial.costs("ira") == parallel.costs("ira")
         assert serial.costs("aaml") == parallel.costs("aaml")
         assert [t.lc for t in serial.trials] == [t.lc for t in parallel.trials]
+
+
+class TestExecutorReuse:
+    """A caller-owned pool amortizes worker startup across many sweeps."""
+
+    def test_borrowed_executor_matches_serial(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        serial = parallel_map(_square, 40, n_jobs=1)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            first = parallel_map(_square, 40, executor=pool)
+            second = parallel_map(_square, 40, executor=pool)
+            # The pool must survive both calls (borrowed, never shut down).
+            assert pool.submit(_square, 6).result() == 36
+        assert first == serial
+        assert second == serial
+
+    def test_borrowed_executor_actually_runs_in_workers(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pids = parallel_map(_worker_pid, MIN_ITEMS_FOR_POOL + 2, executor=pool)
+        assert os.getpid() not in pids
+
+    def test_executor_with_small_input_still_uses_pool(self):
+        # An explicit executor overrides the serial-below-threshold shortcut.
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pids = parallel_map(_worker_pid, 3, executor=pool)
+        assert len(pids) == 3
+        assert os.getpid() not in pids
+
+    def test_parallel_build_accepts_executor(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.experiments.parallel import parallel_build
+
+        serial = parallel_build("mst", _trial_network, 4, n_jobs=1)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            pooled = parallel_build("mst", _trial_network, 4, executor=pool)
+        assert [r.tree.parents for r in pooled] == [
+            r.tree.parents for r in serial
+        ]
+        assert [r.cost for r in pooled] == [r.cost for r in serial]

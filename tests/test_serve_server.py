@@ -1,0 +1,418 @@
+"""Scheduler, transport, and CLI behavior of the serving layer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.network.model import Network
+from repro.network.serialization import network_to_dict
+from repro.network.topology import random_graph
+from repro.obs import instrument
+from repro.serve import (
+    BuildRequest,
+    ServeConfig,
+    ServeError,
+    ServerOverloadedError,
+    TreeServer,
+    UnknownTopologyError,
+    WorkerPool,
+)
+from repro.serve.cli import serve_main
+from repro.serve.tcp import start_tcp_server
+
+
+def _nets(count, n=14, p=0.4, seed0=900):
+    return [random_graph(n, p, seed=seed0 + i) for i in range(count)]
+
+
+class TestScheduler:
+    def test_batches_respect_batch_size(self):
+        nets = _nets(6)
+        config = ServeConfig(batch_size=2, batch_window_s=0.05)
+
+        async def run():
+            async with TreeServer(config=config) as server:
+                await server.submit_many(
+                    BuildRequest("mst", network=net) for net in nets
+                )
+                return server.stats()
+
+        stats = asyncio.run(run())
+        assert stats["built"] == 6
+        assert stats["max_batch"] <= 2
+        assert stats["batches"] >= 3
+
+    def test_identical_inflight_requests_coalesce(self):
+        net = random_graph(14, 0.4, seed=42)
+        # A wide batch window keeps all submissions in one scheduling round.
+        config = ServeConfig(batch_size=8, batch_window_s=0.05)
+
+        async def run():
+            async with TreeServer(config=config) as server:
+                responses = await server.submit_many(
+                    BuildRequest("mst", network=net) for _ in range(5)
+                )
+                return responses, server.stats()
+
+        responses, stats = asyncio.run(run())
+        assert stats["built"] == 1
+        assert stats["coalesced"] == 4
+        assert len({r.signature() for r in responses}) == 1
+        sources = sorted(r.cache_info.source for r in responses)
+        assert sources.count("built") == 1
+        assert sources.count("inflight") == 4
+
+    def test_backpressure_rejects_beyond_max_pending(self):
+        nets = _nets(5)
+        config = ServeConfig(batch_size=8, max_pending=2, batch_window_s=0.05)
+
+        async def run():
+            async with TreeServer(config=config) as server:
+                results = await asyncio.gather(
+                    *(
+                        server.submit(BuildRequest("mst", network=net))
+                        for net in nets
+                    ),
+                    return_exceptions=True,
+                )
+                stats = server.stats()
+                # Rejected work retries fine once the queue drains.
+                retry = await server.submit(
+                    BuildRequest("mst", network=nets[-1])
+                )
+                return results, stats, retry
+
+        results, stats, retry = asyncio.run(run())
+        rejected = [r for r in results if isinstance(r, ServerOverloadedError)]
+        served = [r for r in results if not isinstance(r, BaseException)]
+        assert len(rejected) == 3 and len(served) == 2
+        assert stats["rejected"] == 3
+        assert retry.tree.parents  # retry succeeded after the drain
+
+    def test_submit_before_start_raises(self):
+        server = TreeServer()
+        net = random_graph(10, 0.5, seed=1)
+        with pytest.raises(ServeError, match="not started"):
+            asyncio.run(server.submit(BuildRequest("mst", network=net)))
+
+    def test_close_fails_queued_requests(self):
+        net = random_graph(10, 0.5, seed=2)
+
+        async def run():
+            server = await TreeServer().start()
+            response = await server.submit(BuildRequest("mst", network=net))
+            await server.aclose()
+            with pytest.raises(ServeError, match="not started"):
+                await server.submit(BuildRequest("mst", network=net))
+            return response
+
+        response = asyncio.run(run())
+        assert response.builder == "mst"
+
+    def test_unknown_builder_fails_fast(self):
+        from repro.engine import UnknownBuilderError
+
+        net = random_graph(10, 0.5, seed=3)
+
+        async def run():
+            async with TreeServer() as server:
+                await server.submit(BuildRequest("not_a_builder", network=net))
+
+        with pytest.raises(UnknownBuilderError):
+            asyncio.run(run())
+
+    def test_disconnected_topology_refused_at_admission(self):
+        net = Network(4)
+        net.add_link(0, 1, 0.9)
+        net.add_link(2, 3, 0.9)  # second component: no spanning tree
+
+        async def run():
+            async with TreeServer() as server:
+                await server.submit(BuildRequest("mst", network=net))
+
+        with pytest.raises(ServeError, match="disconnected"):
+            asyncio.run(run())
+
+    def test_fingerprint_only_request_needs_registration(self):
+        net = random_graph(10, 0.5, seed=4)
+
+        async def run(register: bool):
+            async with TreeServer() as server:
+                fingerprint = (
+                    server.register_topology(net)
+                    if register
+                    else "0" * 64
+                )
+                return await server.submit(
+                    BuildRequest("mst", fingerprint=fingerprint)
+                )
+
+        with pytest.raises(UnknownTopologyError):
+            asyncio.run(run(register=False))
+        response = asyncio.run(run(register=True))
+        assert response.builder == "mst"
+
+    def test_build_errors_reach_exactly_the_requester(self):
+        net = random_graph(10, 0.5, seed=5)
+        # delay_bounded with an impossible depth fails inside the builder.
+        bad = BuildRequest(
+            "delay_bounded", network=net, params={"max_depth": 0}
+        )
+        good = BuildRequest("mst", network=net)
+
+        async def run():
+            async with TreeServer() as server:
+                return await asyncio.gather(
+                    server.submit(bad),
+                    server.submit(good),
+                    return_exceptions=True,
+                )
+
+        bad_result, good_result = asyncio.run(run())
+        assert isinstance(bad_result, ServeError)
+        assert not isinstance(good_result, BaseException)
+
+    def test_min_cut_uses_memoized_structure(self):
+        net = random_graph(12, 0.5, seed=6)
+
+        async def run():
+            async with TreeServer() as server:
+                fingerprint = server.register_topology(net)
+                first = server.min_cut(fingerprint, 5)
+                second = server.min_cut(fingerprint, 7, 3)
+                warm = server.structures.get(fingerprint)
+                return first, second, warm.cut_queries
+
+        first, second, queries = asyncio.run(run())
+        assert first > 0 and second > 0
+        assert queries == 2
+
+
+class TestPoolModes:
+    @pytest.mark.parametrize("mode,workers", [("thread", 2), ("process", 2)])
+    def test_pooled_results_match_inline(self, mode, workers):
+        nets = _nets(3, n=20, p=0.3, seed0=950)
+        requests = [BuildRequest("mst", network=net) for net in nets] + [
+            BuildRequest("random_tree", network=nets[0], seed=9)
+        ]
+
+        async def run(pool):
+            async with TreeServer(pool=pool) as server:
+                return await server.submit_many(requests)
+
+        inline = asyncio.run(run(WorkerPool(mode="inline")))
+        with WorkerPool(mode=mode, n_workers=workers) as pool:
+            pooled = asyncio.run(run(pool))
+        for a, b in zip(inline, pooled):
+            assert a.tree.parents == b.tree.parents
+            assert a.metrics["cost"] == pytest.approx(
+                b.metrics["cost"], abs=0
+            )
+
+    def test_invalid_pool_arguments(self):
+        with pytest.raises(ValueError, match="mode"):
+            WorkerPool(mode="gpu")
+        with pytest.raises(ValueError, match="n_workers"):
+            WorkerPool(mode="thread", n_workers=0)
+
+
+class TestObsIntegration:
+    def test_serve_counters_recorded_when_instrumented(self):
+        net = random_graph(12, 0.5, seed=8)
+
+        async def run():
+            async with TreeServer() as server:
+                await server.submit(BuildRequest("mst", network=net))
+                await server.submit(BuildRequest("mst", network=net))
+
+        with instrument(params={"test": "serve"}) as session:
+            asyncio.run(run())
+            snapshot = session.registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters.get("serve.requests{builder=mst}") == 2
+        assert counters.get("serve.cache_hits{tier=result}") == 1
+        assert counters.get("serve.builds{builder=mst}") == 1
+        assert any(k.startswith("serve.batch_size") for k in snapshot["histograms"])
+
+    def test_uninstrumented_serving_records_nothing(self):
+        net = random_graph(12, 0.5, seed=9)
+
+        async def run():
+            async with TreeServer() as server:
+                await server.submit(BuildRequest("mst", network=net))
+                return server.stats()
+
+        stats = asyncio.run(run())  # no instrument(): must not blow up
+        assert stats["built"] == 1
+
+
+class TestTcpTransport:
+    def test_full_wire_session(self):
+        net = random_graph(16, 0.4, seed=77)
+
+        async def run():
+            async with TreeServer() as server:
+                tcp = await start_tcp_server(server, port=0)
+                port = tcp.sockets[0].getsockname()[1]
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+
+                async def rpc(doc):
+                    writer.write(json.dumps(doc).encode() + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                ping = await rpc({"op": "ping", "id": 0})
+                registered = await rpc(
+                    {"op": "register", "network": network_to_dict(net)}
+                )
+                fingerprint = registered["fingerprint"]
+                cold = await rpc(
+                    {
+                        "op": "build",
+                        "builder": "mst",
+                        "fingerprint": fingerprint,
+                        "id": "req-1",
+                    }
+                )
+                warm = await rpc(
+                    {
+                        "op": "build",
+                        "builder": "mst",
+                        "fingerprint": fingerprint,
+                        "id": "req-2",
+                    }
+                )
+                cut = await rpc(
+                    {"op": "min_cut", "fingerprint": fingerprint, "u": 3}
+                )
+                stats = await rpc({"op": "stats"})
+                bad_builder = await rpc(
+                    {
+                        "op": "build",
+                        "builder": "nope",
+                        "fingerprint": fingerprint,
+                    }
+                )
+                unknown_topo = await rpc(
+                    {"op": "build", "builder": "mst", "fingerprint": "f" * 64}
+                )
+                bad_json = None
+                writer.write(b"{not json}\n")
+                await writer.drain()
+                bad_json = json.loads(await reader.readline())
+
+                writer.close()
+                await writer.wait_closed()
+                tcp.close()
+                await tcp.wait_closed()
+                return (
+                    ping,
+                    cold,
+                    warm,
+                    cut,
+                    stats,
+                    bad_builder,
+                    unknown_topo,
+                    bad_json,
+                )
+
+        (
+            ping,
+            cold,
+            warm,
+            cut,
+            stats,
+            bad_builder,
+            unknown_topo,
+            bad_json,
+        ) = asyncio.run(run())
+        assert ping == {"ok": True, "op": "ping", "id": 0}
+        assert cold["ok"] and cold["id"] == "req-1"
+        assert cold["cache"] == {"hit": False, "source": "built"}
+        assert warm["cache"] == {"hit": True, "source": "result"}
+        assert warm["tree"] == cold["tree"]  # bitwise-identical documents
+        assert warm["metrics"] == cold["metrics"]
+        assert cut["ok"] and cut["value"] > 0
+        assert stats["stats"]["requests"] == 2
+        assert not bad_builder["ok"] and bad_builder["kind"] == "bad-request"
+        assert not unknown_topo["ok"]
+        assert unknown_topo["kind"] == "unknown-topology"
+        assert not bad_json["ok"]
+
+
+class TestServeCli:
+    def test_bench_subcommand_prints_report(self, capsys):
+        exit_code = serve_main(
+            [
+                "bench",
+                "--nodes",
+                "16",
+                "--topologies",
+                "2",
+                "--repeats",
+                "5",
+                "--builders",
+                "mst,spt",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "hit rate" in out
+        assert "divergent       0" in out
+
+    def test_bench_out_appends_trajectory(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_serve.json"
+        argv = [
+            "bench",
+            "--nodes",
+            "12",
+            "--topologies",
+            "1",
+            "--repeats",
+            "3",
+            "--builders",
+            "mst",
+            "--out",
+            str(target),
+        ]
+        assert serve_main(argv) == 0
+        assert serve_main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads(target.read_text())
+        assert doc["format"] == "repro-bench-serve"
+        assert len(doc["runs"]) == 2
+        assert doc["runs"][0]["divergent"] == 0
+        assert doc["runs"][0]["hit_rate"] >= 0.6
+
+    def test_main_cli_dispatches_serve(self, capsys):
+        from repro.cli import main
+
+        exit_code = main(
+            [
+                "serve",
+                "bench",
+                "--nodes",
+                "12",
+                "--topologies",
+                "1",
+                "--repeats",
+                "3",
+                "--builders",
+                "bfs",
+            ]
+        )
+        assert exit_code == 0
+        assert "serve bench" in capsys.readouterr().out
+
+    def test_bench_rejects_bad_arguments(self):
+        with pytest.raises(SystemExit):
+            serve_main(["bench", "--repeats", "0"])
+        with pytest.raises(SystemExit):
+            serve_main(["bench", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            serve_main(["nonsense"])
