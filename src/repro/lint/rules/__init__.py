@@ -9,11 +9,12 @@ Rule        Severity  Invariant
 ``REP104``  error     builder registry: registered, unique, right signature
 ``REP105``  error     ``AggregationTree`` is never mutated after creation
 ``REP106``  error     ``__all__`` is truthful; re-exports resolve
+``REP107``  error     durations use ``perf_counter``, never ``time.time()``
 ==========  ========  =====================================================
 
 (``REP000`` is the driver's pseudo-rule for unparsable files.)
 """
 
-from repro.lint.rules import builders, exports, floats, frozen, obs, rng
+from repro.lint.rules import builders, exports, floats, frozen, obs, rng, timing
 
-__all__ = ["builders", "exports", "floats", "frozen", "obs", "rng"]
+__all__ = ["builders", "exports", "floats", "frozen", "obs", "rng", "timing"]

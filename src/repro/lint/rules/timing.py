@@ -1,0 +1,127 @@
+"""REP107 — timing discipline: durations come from monotonic clocks.
+
+``time.time()`` is the wall clock: NTP steps it, DST never but leap
+smearing does, and a VM migration can move it by minutes.  Any *duration*
+computed from it — ``t1 - t0`` around a build, a latency histogram, an
+SLO breach decision — silently corrupts under clock adjustment, which is
+exactly when a long-running server's telemetry matters most.  The repo's
+timing already runs on ``time.perf_counter()`` (benchmarks, tracer epoch,
+serve latency); this rule keeps it that way.
+
+Banned everywhere in ``src``: calling ``time.time`` (via the module
+attribute, an alias, or ``from time import time``).
+
+Allowed: a ``time.time()`` call whose value is *recorded as a wall-clock
+instant*, recognized structurally — the call is directly assigned to, or
+passed as a keyword argument / stored under a dict key, whose name
+mentions ``timestamp`` / ``wall`` / ``utc`` / ``epoch``.  That is the one
+legitimate use (labelling a record with "when did this run happen", e.g.
+``BenchReport(timestamp=time.time())``); arithmetic on such a value still
+has to happen against another wall-clock instant, never a monotonic one.
+
+The fix is ``time.perf_counter()`` for intervals (or ``time.monotonic()``
+when cross-thread comparability matters more than resolution).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set, Tuple
+
+from repro.lint.context import FileContext, Project
+from repro.lint.findings import Severity
+from repro.lint.registry import lint_rule
+
+__all__ = ["WALL_CLOCK_NAME_MARKERS", "check_timing_discipline"]
+
+#: Substrings that mark a binding as an intentional wall-clock instant.
+WALL_CLOCK_NAME_MARKERS = ("timestamp", "wall", "utc", "epoch")
+
+_FIX_HINT = (
+    "use time.perf_counter() for durations; time.time() only for "
+    "wall-clock record fields named like 'timestamp'"
+)
+
+
+def _is_wall_clock_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in WALL_CLOCK_NAME_MARKERS)
+
+
+def _target_name(node: ast.expr) -> str:
+    """The trailing identifier of an assignment target (``a.b`` → ``b``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return ""
+
+
+def _wall_clock_sanctioned(tree: ast.AST) -> Set[int]:
+    """ids of Call nodes whose value lands in a wall-clock-named slot."""
+    sanctioned: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.keyword):
+            if node.arg is not None and _is_wall_clock_name(node.arg):
+                sanctioned.add(id(node.value))
+        elif isinstance(node, ast.Assign):
+            if all(_is_wall_clock_name(_target_name(t)) for t in node.targets):
+                sanctioned.add(id(node.value))
+        elif isinstance(node, ast.AnnAssign):
+            if _is_wall_clock_name(_target_name(node.target)):
+                sanctioned.add(id(node.value))
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and _is_wall_clock_name(key.value)
+                ):
+                    sanctioned.add(id(value))
+    return sanctioned
+
+
+@lint_rule("REP107", Severity.ERROR)
+def check_timing_discipline(
+    ctx: FileContext, project: Project
+) -> Iterator[Tuple[ast.AST, str]]:
+    """time.time() measures wall clock, not durations — use perf_counter"""
+    time_aliases: Set[str] = set()  # names bound to the time module
+    func_aliases: Set[str] = set()  # names bound to the time.time function
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_aliases.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        func_aliases.add(alias.asname or "time")
+
+    if not time_aliases and not func_aliases:
+        return
+
+    sanctioned = _wall_clock_sanctioned(ctx.tree)
+    attr_chains = {f"{alias}.time" for alias in time_aliases}
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or id(node) in sanctioned:
+            continue
+        func = node.func
+        called = ""
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and f"{func.value.id}.{func.attr}" in attr_chains
+            ):
+                called = f"{func.value.id}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in func_aliases:
+            called = func.id
+        if called:
+            yield (
+                node,
+                f"call to {called}() reads the adjustable wall clock; "
+                f"{_FIX_HINT}",
+            )

@@ -1,0 +1,243 @@
+"""``BENCH_*.json`` regression sentinel: compare the newest run to history.
+
+The ROADMAP's benchmark trajectories (``BENCH_serve.json`` today; any
+``{"format": "repro-bench-*", "runs": [...]}`` document tomorrow) are
+append-only logs of measured performance across PRs.  Until now they were
+written but never read; this module is the reader — and the ratchet.
+
+:func:`diff_trajectory` compares the newest run's metrics against a
+baseline window (the median of up to *window* immediately preceding
+runs; medians shrug off one noisy CI run where a mean would not) and
+flags any metric that moved in its bad direction by more than
+*threshold* (a relative fraction — ``0.5`` means "flag a >50% drop of a
+higher-is-better metric").  ``repro obs bench-diff`` wraps it as a CLI
+that exits nonzero on regression, which is what CI gates on.
+
+Wall-clock benchmarks are noisy across machines, so the defaults are
+deliberately loose (50%): the sentinel exists to catch the order-of-
+magnitude cliffs a bad PR introduces — an accidentally disabled cache, a
+quadratic slip — not 5% jitter.  Tighten ``--threshold`` when comparing
+runs from one machine.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "BenchDiff",
+    "MetricDiff",
+    "MetricSpec",
+    "DEFAULT_METRICS",
+    "diff_trajectory",
+    "diff_trajectory_file",
+    "load_trajectory",
+]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One trajectory metric the sentinel watches.
+
+    Attributes:
+        name: Key into each run document (``"warm_rps"``, ``"hit_rate"``).
+        higher_is_better: Direction of goodness; a drop of a
+            higher-is-better metric is a regression, and vice versa.
+    """
+
+    name: str
+    higher_is_better: bool = True
+
+
+#: What to watch per trajectory format.  ``divergent`` is deliberately
+#: absent: correctness is asserted exactly (see the CI serve smoke), not
+#: thresholded.
+DEFAULT_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
+    "repro-bench-serve": (
+        MetricSpec("warm_rps", higher_is_better=True),
+        MetricSpec("cold_rps", higher_is_better=True),
+        MetricSpec("hit_rate", higher_is_better=True),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric's newest-vs-baseline comparison.
+
+    ``change`` is the signed relative move in the *good* direction:
+    +0.10 means 10% better, −0.60 means 60% worse.  ``regressed`` is
+    ``change < -threshold``.
+    """
+
+    name: str
+    newest: float
+    baseline: float
+    change: float
+    regressed: bool
+
+
+@dataclass(frozen=True)
+class BenchDiff:
+    """The sentinel's verdict for one trajectory file."""
+
+    path: str
+    format: str
+    n_runs: int
+    window: int
+    threshold: float
+    metrics: Tuple[MetricDiff, ...]
+    skipped_reason: Optional[str] = None
+
+    @property
+    def regressed(self) -> bool:
+        return any(m.regressed for m in self.metrics)
+
+    def render(self) -> str:
+        """Readable verdict block (one line per metric)."""
+        header = f"bench-diff {self.path} [{self.format}]"
+        if self.skipped_reason is not None:
+            return f"{header}: SKIPPED ({self.skipped_reason})"
+        lines = [
+            f"{header}: newest of {self.n_runs} runs vs median of "
+            f"previous {self.window} (threshold {self.threshold:.0%})"
+        ]
+        for m in self.metrics:
+            verdict = "REGRESSED" if m.regressed else "ok"
+            lines.append(
+                f"  {m.name:<12} {m.newest:>12.4g}  baseline {m.baseline:>12.4g}"
+                f"  change {m.change:+8.1%}  {verdict}"
+            )
+        return "\n".join(lines)
+
+
+def load_trajectory(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and structurally validate one ``BENCH_*.json`` document.
+
+    Raises ``ValueError`` on anything that is not a
+    ``{"format": str, "runs": [dict, ...]}`` trajectory.
+    """
+    target = Path(path)
+    try:
+        doc = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{target}: not valid JSON ({exc})") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("format"), str):
+        raise ValueError(f"{target}: missing a 'format' string")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not all(
+        isinstance(run, dict) for run in runs
+    ):
+        raise ValueError(f"{target}: 'runs' must be a list of run documents")
+    return doc
+
+
+def _metric_values(
+    runs: Sequence[Dict[str, Any]], name: str
+) -> List[float]:
+    values = []
+    for run in runs:
+        value = run.get(name)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ValueError(
+                f"run is missing numeric metric {name!r}: has {sorted(run)}"
+            )
+        values.append(float(value))
+    return values
+
+
+def diff_trajectory(
+    doc: Dict[str, Any],
+    *,
+    metrics: Optional[Sequence[MetricSpec]] = None,
+    window: int = 5,
+    threshold: float = 0.5,
+    path: str = "<trajectory>",
+) -> BenchDiff:
+    """Compare *doc*'s newest run against the median of the prior window.
+
+    With fewer than two runs (or an unknown format and no explicit
+    *metrics*) the diff is *skipped*, not failed: a brand-new trajectory
+    file has no history to regress against.
+    """
+    if not 0 < threshold:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    fmt = str(doc.get("format"))
+    runs: List[Dict[str, Any]] = list(doc.get("runs", []))
+
+    def skipped(reason: str) -> BenchDiff:
+        return BenchDiff(
+            path=path,
+            format=fmt,
+            n_runs=len(runs),
+            window=window,
+            threshold=threshold,
+            metrics=(),
+            skipped_reason=reason,
+        )
+
+    if metrics is None:
+        specs = DEFAULT_METRICS.get(fmt)
+        if specs is None:
+            return skipped(
+                f"no default metrics for format {fmt!r}; pass --metrics"
+            )
+    else:
+        specs = tuple(metrics)
+    if len(runs) < 2:
+        return skipped(f"needs >= 2 runs for a baseline, has {len(runs)}")
+
+    newest = runs[-1]
+    history = runs[-1 - window : -1]
+    diffs: List[MetricDiff] = []
+    for spec in specs:
+        baseline = statistics.median(_metric_values(history, spec.name))
+        value = _metric_values([newest], spec.name)[0]
+        if baseline == 0:
+            # A zero baseline can't express relative change; any nonzero
+            # move in the bad direction counts as a full-size move.
+            relative = 0.0 if value == 0 else (1.0 if value > 0 else -1.0)
+        else:
+            relative = (value - baseline) / abs(baseline)
+        change = relative if spec.higher_is_better else -relative
+        diffs.append(
+            MetricDiff(
+                name=spec.name,
+                newest=value,
+                baseline=baseline,
+                change=change,
+                regressed=change < -threshold,
+            )
+        )
+    return BenchDiff(
+        path=path,
+        format=fmt,
+        n_runs=len(runs),
+        window=min(window, len(history)),
+        threshold=threshold,
+        metrics=tuple(diffs),
+    )
+
+
+def diff_trajectory_file(
+    path: Union[str, Path],
+    *,
+    metrics: Optional[Sequence[MetricSpec]] = None,
+    window: int = 5,
+    threshold: float = 0.5,
+) -> BenchDiff:
+    """Load *path* and :func:`diff_trajectory` it."""
+    doc = load_trajectory(path)
+    return diff_trajectory(
+        doc,
+        metrics=metrics,
+        window=window,
+        threshold=threshold,
+        path=str(path),
+    )

@@ -10,6 +10,8 @@ Examples::
     repro obs rounds --nodes 20 --rounds 200   # aggregation-round simulation
     repro obs fig fig3                         # any figure experiment
     repro obs ira --nodes 20 --dump-trace      # print the JSONL trace
+    repro obs top --port 8731                  # live serve dashboard
+    repro obs bench-diff BENCH_serve.json      # benchmark regression gate
 
 All tree construction goes through the builder registry
 (:mod:`repro.engine.registry`); ``repro builders`` lists the names the
@@ -33,23 +35,24 @@ from repro.utils.ascii_chart import histogram_summary
 
 __all__ = ["obs_main", "build_obs_parser"]
 
-#: Figure/extension experiments runnable under ``repro obs fig``.
-_FIG_NAMES = (
-    "fig1",
-    "fig2",
-    "fig3",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "ext-baselines",
-    "ext-energyhole",
-    "ext-estimation",
-    "ext-faulty-control",
-    "ext-latency",
-    "ext-stability",
-)
+def fig_names() -> tuple:
+    """Figure/extension experiments runnable under ``repro obs fig``.
+
+    Derived from the main CLI's experiment registry
+    (``repro.cli._COMMANDS``) so a newly registered experiment is
+    automatically runnable instrumented — the two commands cannot drift
+    (pinned by ``tests/test_obs_cli.py``).  Figures sort numerically
+    (fig2 before fig10), extensions after.  The import is deferred
+    because :mod:`repro.cli` imports this module lazily in turn.
+    """
+    import repro.cli as main_cli
+
+    figs = sorted(
+        (n for n in main_cli._COMMANDS if not n.startswith("ext-")),
+        key=lambda n: (len(n), n),
+    )
+    exts = sorted(n for n in main_cli._COMMANDS if n.startswith("ext-"))
+    return tuple(figs) + tuple(exts)
 
 
 def _add_graph_options(parser: argparse.ArgumentParser) -> None:
@@ -212,13 +215,57 @@ def build_obs_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("fig", help="any figure/extension experiment")
-    p.add_argument("name", choices=_FIG_NAMES, help="experiment to run")
+    p.add_argument("name", choices=fig_names(), help="experiment to run")
     p.add_argument("--trials", type=int, default=None, help="trial count")
     p.add_argument("--rounds", type=int, default=None, help="round count")
     p.add_argument(
         "--jobs", type=int, default=None, help="worker processes for sweeps"
     )
     _add_output_options(p)
+
+    p = sub.add_parser(
+        "top", help="live terminal dashboard over a running tree server"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument(
+        "--port", type=int, default=8731, help="server port (default 8731)"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh interval in seconds (default 1.0)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="regression sentinel over a BENCH_*.json trajectory file",
+    )
+    p.add_argument("path", help="trajectory file (e.g. BENCH_serve.json)")
+    p.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="baseline = median of up to this many preceding runs (default 5)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="relative bad-direction move that counts as a regression "
+        "(default 0.5 = 50%%; loose on purpose for cross-machine noise)",
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated metric names to watch (prefix with '-' for "
+        "lower-is-better), overriding the format's defaults",
+    )
 
     return parser
 
@@ -432,10 +479,59 @@ _RUNNERS: Dict[str, Callable[[argparse.Namespace], Dict[str, object]]] = {
 }
 
 
+def _run_top(args: argparse.Namespace) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        args.host,
+        args.port,
+        interval_s=args.interval,
+        iterations=1 if args.once else None,
+    )
+
+
+def _run_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs.benchdiff import MetricSpec, diff_trajectory_file
+
+    metrics = None
+    if args.metrics:
+        metrics = tuple(
+            MetricSpec(name.lstrip("-"), higher_is_better=not name.startswith("-"))
+            for name in args.metrics.split(",")
+            if name.strip("-")
+        )
+    try:
+        diff = diff_trajectory_file(
+            args.path,
+            metrics=metrics,
+            window=args.window,
+            threshold=args.threshold,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro obs bench-diff: {exc}")
+        return 2
+    print(diff.render())
+    return 1 if diff.regressed else 0
+
+
 def obs_main(argv: Optional[List[str]] = None) -> int:
     """Entry point for ``repro obs ...``; returns the process exit code."""
     parser = build_obs_parser()
     args = parser.parse_args(argv)
+
+    # The tooling subcommands observe *other* runs — no instrumentation
+    # session of their own, no metrics report.
+    if args.command == "top":
+        if args.interval <= 0:
+            parser.error("--interval must be positive")
+        return _run_top(args)
+    if args.command == "bench-diff":
+        if args.window < 1:
+            parser.error("--window must be >= 1")
+        if args.threshold <= 0:
+            parser.error("--threshold must be positive")
+        return _run_bench_diff(args)
+
     _positive(parser, args)
 
     seed = getattr(args, "seed", None)

@@ -1,0 +1,216 @@
+"""Metrics export: Prometheus text, JSON snapshots, and time-series rings.
+
+PR 2's registry was built for one-shot experiment runs: record, finish,
+snapshot.  A long-running server needs the other direction — *live*
+export a scraper or dashboard can poll.  This module renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in two wire formats:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, sanitized names, label sets, quantile series for
+  histograms), so any standard scraper ingests the server's metrics;
+* :func:`render_json` — a JSON document with full histogram summaries
+  (count/sum/min/p50/p90/p99/max), the shape the ``metrics`` TCP op and
+  ``repro obs top`` consume.
+
+:func:`parse_prometheus` is the minimal inverse (sample lines back into
+``{name{labels}: value}``); CI's export smoke uses it to assert the text
+actually parses, and tests use it to round-trip.
+
+:class:`TimeSeriesRing` is the bounded history primitive behind the serve
+layer's snapshot loop (:mod:`repro.serve.telemetry`): a deque of
+``(t, value)`` samples with O(1) append and a fixed memory ceiling, so a
+server that runs for weeks keeps minutes of queryable history instead of
+an unbounded list.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TimeSeriesRing",
+    "parse_prometheus",
+    "prometheus_name",
+    "render_json",
+    "render_prometheus",
+]
+
+#: Histogram quantiles exported as Prometheus summary series.
+_QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+_LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted metric name into a Prometheus metric name.
+
+    ``serve.build_seconds`` → ``repro_serve_build_seconds``: dots become
+    underscores, every other illegal character is dropped, and the repo
+    prefix namespaces the family.
+    """
+    flat = _NAME_OK.sub("_", name.replace(".", "_"))
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _label_str(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: repr keeps floats exact, ints stay ints."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters export as ``counter``, gauges as ``gauge``, histograms as
+    ``summary`` families — ``{quantile="0.5|0.9|0.99"}`` series plus the
+    conventional ``_count`` and ``_sum`` children.  Families are sorted by
+    name so successive scrapes diff cleanly.
+    """
+    lines: List[str] = []
+    families: Dict[str, List[str]] = {}
+
+    def family(name: str, kind: str) -> List[str]:
+        if name not in families:
+            families[name] = [f"# TYPE {name} {kind}"]
+        return families[name]
+
+    for counter in registry.counters():
+        name = prometheus_name(counter.name, prefix)
+        family(name, "counter").append(
+            f"{name}{_label_str(counter.labels)} {_fmt(counter.value)}"
+        )
+    for gauge in registry.gauges():
+        name = prometheus_name(gauge.name, prefix)
+        family(name, "gauge").append(
+            f"{name}{_label_str(gauge.labels)} {_fmt(gauge.value)}"
+        )
+    for hist in registry.histograms():
+        name = prometheus_name(hist.name, prefix)
+        rows = family(name, "summary")
+        for q, _ in _QUANTILES:
+            value = hist.percentile(100 * q) if hist.count else 0.0
+            quantile_label = f'quantile="{q}"'
+            rows.append(
+                f"{name}{_label_str(hist.labels, quantile_label)} {_fmt(value)}"
+            )
+        rows.append(f"{name}_count{_label_str(hist.labels)} {hist.count}")
+        rows.append(f"{name}_sum{_label_str(hist.labels)} {_fmt(hist.sum)}")
+
+    for name in sorted(families):
+        lines.extend(families[name])
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse exposition text back into ``{name{labels}: value}``.
+
+    Comment/``# TYPE`` lines are skipped; any other non-empty line that is
+    not a valid sample raises ``ValueError`` — this is the "the export
+    actually parses" assertion CI's smoke runs.
+    """
+    samples: Dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno} is not a Prometheus sample: {raw!r}")
+        labels = match.group("labels")
+        key = match.group("name")
+        if labels:
+            pairs = _LABEL_PAIR.findall(labels)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in pairs)
+            if rebuilt != labels:
+                raise ValueError(f"line {lineno} has malformed labels: {raw!r}")
+            key += "{" + labels + "}"
+        samples[key] = float(match.group("value"))
+    return samples
+
+
+def render_json(registry: MetricsRegistry) -> Dict[str, Any]:
+    """JSON-ready snapshot: the registry dump plus per-histogram summaries.
+
+    Identical to :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` —
+    re-exported here so both exporter formats are importable from one
+    module and the TCP ``metrics`` op has a single provider.
+    """
+    return registry.snapshot()
+
+
+class TimeSeriesRing:
+    """Bounded ``(t, value)`` history for one live metric.
+
+    Appending beyond *capacity* drops the oldest sample — the server keeps
+    a sliding window of recent history, never an unbounded log.
+    """
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def capacity(self) -> int:
+        return self._samples.maxlen or 0
+
+    def sample(self, t: float, value: float) -> None:
+        """Append one sample (monotonic *t*, from the sampler's clock)."""
+        self._samples.append((float(t), float(value)))
+
+    def latest(self) -> Optional[Tuple[float, float]]:
+        """Most recent ``(t, value)``, or ``None`` when empty."""
+        return self._samples[-1] if self._samples else None
+
+    def values(self) -> List[float]:
+        """The buffered values, oldest first."""
+        return [v for _, v in self._samples]
+
+    def series(self) -> List[Tuple[float, float]]:
+        """The buffered ``(t, value)`` pairs, oldest first."""
+        return list(self._samples)
+
+    def delta_rate(self) -> float:
+        """Per-second rate of change across the window (0 when degenerate).
+
+        For a ring fed a monotonic counter this is the average event rate
+        over the buffered window — e.g. requests/sec from ``requests``.
+        """
+        if len(self._samples) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = self._samples[0], self._samples[-1]
+        if t1 <= t0:
+            return 0.0
+        return (v1 - v0) / (t1 - t0)
+
+    def to_doc(self) -> Dict[str, Any]:
+        """JSON form: ``{"name", "capacity", "samples": [[t, v], ...]}``."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "samples": [[t, v] for t, v in self._samples],
+        }

@@ -115,7 +115,11 @@ class Histogram:
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
-        """count / sum / min / p50 / p90 / max — the scannable digest."""
+        """count / sum / min / p50 / p90 / p99 / max — the scannable digest.
+
+        ``p99`` is the tail-latency signal serving SLOs are written
+        against; p50/p90 alone hide the stragglers that break them.
+        """
         if not self.values:
             return {"count": 0, "sum": 0.0}
         return {
@@ -124,6 +128,7 @@ class Histogram:
             "min": min(self.values),
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p99": self.percentile(99),
             "max": max(self.values),
         }
 
@@ -223,13 +228,14 @@ class MetricsRegistry:
                     s.get("count", 0),
                     s.get("p50", float("nan")),
                     s.get("p90", float("nan")),
+                    s.get("p99", float("nan")),
                     s.get("max", float("nan")),
                 ]
                 for key, s in sorted(snap["histograms"].items())
             ]
             sections.append(
                 format_table(
-                    ["histogram", "count", "p50", "p90", "max"],
+                    ["histogram", "count", "p50", "p90", "p99", "max"],
                     rows,
                     title="Histograms",
                 )

@@ -1,0 +1,147 @@
+"""Service-level objectives: per-op latency/error budgets and burn counters.
+
+An :class:`SLO` declares what "healthy" means for one server operation —
+"99% of ``build`` ops answer within 250 ms, 99.9% succeed" — and an
+:class:`SLOTracker` counts how the live traffic is actually doing against
+it.  The serve layer declares SLOs in :class:`~repro.serve.server.
+ServeConfig` and records every TCP op into the tracker; the resulting
+burn rates are surfaced in the ``stats`` op so a dashboard (``repro obs
+top``) shows budget burn next to throughput.
+
+Burn rate is the standard SRE quantity: *observed bad fraction ÷ allowed
+bad fraction*.  1.0 means the op is burning its budget exactly as fast as
+the objective tolerates; 2.0 means the budget lasts half the intended
+window; anything < 1.0 is healthy.  With no traffic the burn is 0 — an
+idle server is not out of budget.
+
+The tracker is deliberately plain counters (no histograms, no clock
+reads of its own): one ``record()`` is a dict lookup and three integer
+updates, cheap enough to sit on the per-request path unguarded — it is
+server state, not instrumentation, so it works with ``OBS`` disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["SLO", "SLOTracker", "SLOWindow"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One operation's objective.
+
+    Attributes:
+        op: Server operation the objective covers (``"build"``,
+            ``"min_cut"``, ...).
+        latency_budget_s: Per-request latency threshold; a slower answer
+            is a latency breach.
+        latency_target: Fraction of requests that must meet the threshold
+            (default 0.99 → 1% breach budget).
+        error_target: Fraction of requests that must succeed
+            (default 0.999 → 0.1% error budget).
+    """
+
+    op: str
+    latency_budget_s: float
+    latency_target: float = 0.99
+    error_target: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.latency_budget_s <= 0:
+            raise ValueError(
+                f"latency_budget_s must be positive, got {self.latency_budget_s}"
+            )
+        for name in ("latency_target", "error_target"):
+            value = getattr(self, name)
+            if not 0.0 < value < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value}")
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "SLO":
+        """Build from a config document (``{"op", "latency_budget_s", ...}``)."""
+        return cls(
+            op=str(doc["op"]),
+            latency_budget_s=float(doc["latency_budget_s"]),
+            latency_target=float(doc.get("latency_target", 0.99)),
+            error_target=float(doc.get("error_target", 0.999)),
+        )
+
+
+@dataclass
+class SLOWindow:
+    """Running counts for one op since the tracker was created."""
+
+    total: int = 0
+    latency_breaches: int = 0
+    errors: int = 0
+
+
+class SLOTracker:
+    """Counts live traffic against a set of declared :class:`SLO` objectives."""
+
+    def __init__(self, slos: Tuple[SLO, ...] = ()) -> None:
+        seen = set()
+        for slo in slos:
+            if slo.op in seen:
+                raise ValueError(f"duplicate SLO for op {slo.op!r}")
+            seen.add(slo.op)
+        self.slos: Dict[str, SLO] = {slo.op: slo for slo in slos}
+        self._windows: Dict[str, SLOWindow] = {
+            op: SLOWindow() for op in self.slos
+        }
+
+    def __bool__(self) -> bool:
+        return bool(self.slos)
+
+    def record(self, op: str, latency_s: float, *, ok: bool = True) -> None:
+        """Count one finished request against *op*'s objective (if declared)."""
+        slo = self.slos.get(op)
+        if slo is None:
+            return
+        window = self._windows[op]
+        window.total += 1
+        if not ok:
+            window.errors += 1
+        elif latency_s > slo.latency_budget_s:
+            # An errored request burns the error budget, not both budgets.
+            window.latency_breaches += 1
+
+    def window(self, op: str) -> Optional[SLOWindow]:
+        """The raw counts for *op*, or ``None`` if no SLO covers it."""
+        return self._windows.get(op)
+
+    @staticmethod
+    def _burn(bad: int, total: int, target: float) -> float:
+        if total == 0:
+            return 0.0
+        return (bad / total) / (1.0 - target)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-op budget health: counts, burn rates, and a verdict flag.
+
+        ``latency_burn`` / ``error_burn`` are observed-bad-fraction over
+        allowed-bad-fraction; ``healthy`` is both burns ≤ 1.0.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for op, slo in self.slos.items():
+            window = self._windows[op]
+            latency_burn = self._burn(
+                window.latency_breaches, window.total, slo.latency_target
+            )
+            error_burn = self._burn(
+                window.errors, window.total, slo.error_target
+            )
+            out[op] = {
+                "latency_budget_s": slo.latency_budget_s,
+                "latency_target": slo.latency_target,
+                "error_target": slo.error_target,
+                "total": window.total,
+                "latency_breaches": window.latency_breaches,
+                "errors": window.errors,
+                "latency_burn": latency_burn,
+                "error_burn": error_burn,
+                "healthy": latency_burn <= 1.0 and error_burn <= 1.0,
+            }
+        return out

@@ -12,7 +12,12 @@ and grep well:
 * ``name`` — dotted event name (``layer.what``), e.g. ``ira.iteration``;
 * ``kind`` — ``"event"`` for points, ``"span"`` for timed regions;
 * ``dur`` — span duration in seconds (spans only);
-* ``fields`` — free-form JSON payload (numbers, strings, bools).
+* ``fields`` — free-form JSON payload (numbers, strings, bools);
+* ``trace`` / ``span`` / ``parent`` — span-context ids
+  (:mod:`repro.obs.spanctx`): every span belongs to a trace, knows its own
+  id, and points at its parent span, so a request's spans reassemble into
+  a tree even when they interleave across asyncio tasks or arrive from
+  another process (:meth:`Tracer.add_span`).
 
 The wall-clock epoch of ``t == 0`` is recorded once in the header line
 (``kind == "trace_start"``) so traces can be correlated across processes.
@@ -27,6 +32,8 @@ from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.obs.spanctx import SpanContext, activate_span, current_span
 
 __all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER", "read_jsonl"]
 
@@ -55,6 +62,9 @@ class TraceEvent:
         t: Monotonic seconds since the tracer's epoch.
         dur: Span duration in seconds (``None`` for point events).
         fields: Free-form payload.
+        trace_id: Trace the record belongs to (``None`` outside any trace).
+        span_id: The span's own id (spans only).
+        parent_id: Enclosing span's id (``None`` at a trace root).
     """
 
     name: str
@@ -62,11 +72,20 @@ class TraceEvent:
     t: float
     dur: Optional[float] = None
     fields: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
 
     def to_json(self) -> str:
         doc: Dict[str, Any] = {"t": round(self.t, 9), "name": self.name, "kind": self.kind}
         if self.dur is not None:
             doc["dur"] = round(self.dur, 9)
+        if self.trace_id is not None:
+            doc["trace"] = self.trace_id
+        if self.span_id is not None:
+            doc["span"] = self.span_id
+        if self.parent_id is not None:
+            doc["parent"] = self.parent_id
         if self.fields:
             doc["fields"] = {k: _json_safe(v) for k, v in self.fields.items()}
         return json.dumps(doc, sort_keys=True)
@@ -91,23 +110,49 @@ class Tracer:
         return time.perf_counter() - self._t0
 
     def event(self, name: str, **fields: Any) -> None:
-        """Record a point event at the current monotonic time."""
+        """Record a point event at the current monotonic time.
+
+        When an ambient span is active (see :mod:`repro.obs.spanctx`), the
+        event is stamped with its trace id and parented on it.
+        """
+        ambient = current_span()
         self.events.append(
-            TraceEvent(name=name, kind="event", t=self._now(), fields=fields)
+            TraceEvent(
+                name=name,
+                kind="event",
+                t=self._now(),
+                fields=fields,
+                trace_id=ambient.trace_id if ambient is not None else None,
+                parent_id=ambient.span_id if ambient is not None else None,
+            )
         )
 
     @contextmanager
-    def span(self, name: str, **fields: Any) -> Iterator[Dict[str, Any]]:
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[SpanContext] = None,
+        **fields: Any,
+    ) -> Iterator[Dict[str, Any]]:
         """Record a timed region; yields the mutable fields dict.
 
         The span's entry time and duration are recorded even when the body
         raises (the exception type is added as an ``error`` field), so
         traces of failed runs stay complete.
+
+        Span identity: a child context of *parent* when given, else of the
+        ambient span (so nested ``span()`` blocks parent naturally, even
+        across interleaved asyncio tasks), else a fresh root trace.  The
+        span is the ambient context for the duration of the body.
         """
+        base = parent if parent is not None else current_span()
+        context = base.child() if base is not None else SpanContext.root()
         start = self._now()
         payload = dict(fields)
         try:
-            yield payload
+            with activate_span(context):
+                yield payload
         except BaseException as exc:
             payload.setdefault("error", type(exc).__name__)
             raise
@@ -119,8 +164,43 @@ class Tracer:
                     t=start,
                     dur=self._now() - start,
                     fields=payload,
+                    trace_id=context.trace_id,
+                    span_id=context.span_id,
+                    parent_id=context.parent_id,
                 )
             )
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        dur: float,
+        context: SpanContext,
+        t: Optional[float] = None,
+        **fields: Any,
+    ) -> TraceEvent:
+        """Re-attach an externally measured span to this trace.
+
+        The serve layer uses this to splice a worker process's build span
+        (measured worker-side with ``perf_counter``, shipped back with the
+        shard result as a serialized :class:`~repro.obs.spanctx.
+        SpanContext`) into the originating request's trace.  *t* defaults
+        to "it just finished": now minus *dur*, clamped at the epoch.
+        """
+        if t is None:
+            t = max(0.0, self._now() - dur)
+        event = TraceEvent(
+            name=name,
+            kind="span",
+            t=t,
+            dur=dur,
+            fields=fields,
+            trace_id=context.trace_id,
+            span_id=context.span_id,
+            parent_id=context.parent_id,
+        )
+        self.events.append(event)
+        return event
 
     def to_jsonl(self) -> str:
         """The full trace as JSON-lines text (trailing newline included)."""
@@ -142,8 +222,25 @@ class NullTracer(Tracer):
         pass
 
     @contextmanager
-    def span(self, name: str, **fields: Any) -> Iterator[Dict[str, Any]]:
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[SpanContext] = None,
+        **fields: Any,
+    ) -> Iterator[Dict[str, Any]]:
         yield {}
+
+    def add_span(
+        self,
+        name: str,
+        *,
+        dur: float,
+        context: SpanContext,
+        t: Optional[float] = None,
+        **fields: Any,
+    ) -> TraceEvent:
+        return TraceEvent(name=name, kind="span", t=t or 0.0, dur=dur)
 
     def to_jsonl(self) -> str:
         return ""

@@ -42,6 +42,7 @@ from repro.serve.request import (
     request_key,
 )
 from repro.serve.server import ServeConfig, TreeServer, make_response
+from repro.serve.telemetry import ServeTelemetry, TraceBuffer
 from repro.serve.workers import POOL_MODES, ShardOutcome, WorkItem, WorkerPool
 
 __all__ = [
@@ -53,9 +54,11 @@ __all__ = [
     "ResultCache",
     "ServeConfig",
     "ServeError",
+    "ServeTelemetry",
     "ServerOverloadedError",
     "ShardOutcome",
     "StructureCache",
+    "TraceBuffer",
     "TreeServer",
     "UnknownTopologyError",
     "WarmStructures",

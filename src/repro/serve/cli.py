@@ -4,6 +4,8 @@ Examples::
 
     repro serve run                          # foreground JSONL server :8731
     repro serve run --port 0 --mode process  # free port, sharded workers
+    repro serve run --slo build:0.25         # declare a build-latency SLO
+    repro serve run --no-obs                 # no metrics export / tracing
     repro serve bench --nodes 200            # synthetic repeat-query load
     repro serve bench --mode process --workers 4 --out BENCH_serve.json
 
@@ -20,6 +22,7 @@ import argparse
 import asyncio
 from typing import List, Optional
 
+from repro.obs.slo import SLO
 from repro.serve.bench import (
     DEFAULT_BENCH_BUILDERS,
     append_bench_run,
@@ -72,6 +75,26 @@ def build_serve_parser() -> argparse.ArgumentParser:
     run.add_argument("--host", default="127.0.0.1", help="bind address")
     run.add_argument(
         "--port", type=int, default=8731, help="TCP port (0 = pick free)"
+    )
+    run.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="run without an instrumentation session (no metrics export, "
+        "no request traces; default is instrumented)",
+    )
+    run.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="OP:BUDGET_S[:LATENCY_TARGET[:ERROR_TARGET]]",
+        help="declare a latency/error objective, e.g. 'build:0.25' or "
+        "'build:0.25:0.99:0.999'; repeatable, surfaced in the stats op",
+    )
+    run.add_argument(
+        "--snapshot-interval",
+        type=float,
+        default=1.0,
+        help="telemetry sampling interval in seconds (default 1.0)",
     )
     _add_pool_options(run)
 
@@ -129,16 +152,50 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
     )
 
 
+def _parse_slo(spec: str) -> SLO:
+    parts = spec.split(":")
+    if not 2 <= len(parts) <= 4 or not parts[0]:
+        raise ValueError(
+            f"--slo expects OP:BUDGET_S[:LATENCY_TARGET[:ERROR_TARGET]], "
+            f"got {spec!r}"
+        )
+    kwargs = {"op": parts[0], "latency_budget_s": float(parts[1])}
+    if len(parts) >= 3:
+        kwargs["latency_target"] = float(parts[2])
+    if len(parts) == 4:
+        kwargs["error_target"] = float(parts[3])
+    return SLO(**kwargs)
+
+
 def _run_server(args: argparse.Namespace) -> int:
+    from repro.obs import instrument
     from repro.serve.tcp import serve_forever
+
+    try:
+        slos = tuple(_parse_slo(spec) for spec in args.slo)
+    except ValueError as exc:
+        print(f"repro serve: {exc}")
+        return 2
+    config = ServeConfig(
+        batch_size=args.batch_size,
+        max_pending=args.max_pending,
+        slos=slos,
+        snapshot_interval_s=args.snapshot_interval,
+    )
 
     async def _main() -> None:
         pool = WorkerPool(mode=args.mode, n_workers=args.workers)
-        async with TreeServer(pool=pool, config=_serve_config(args)) as server:
+        async with TreeServer(pool=pool, config=config) as server:
             await serve_forever(server, args.host, args.port)
 
     try:
-        asyncio.run(_main())
+        if args.no_obs:
+            asyncio.run(_main())
+        else:
+            # The instrumentation session makes the metrics/trace ops live
+            # for the whole server lifetime.
+            with instrument(params={"serve": True}):
+                asyncio.run(_main())
     except KeyboardInterrupt:
         print("repro serve: interrupted, shutting down")
     return 0
@@ -176,6 +233,8 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         if value is not None and value < 1:
             parser.error(f"--{name.replace('_', '-')} must be positive")
     if args.command == "run":
+        if args.snapshot_interval <= 0:
+            parser.error("--snapshot-interval must be positive")
         return _run_server(args)
     if getattr(args, "repeats", 1) < 1 or getattr(args, "topologies", 1) < 1:
         parser.error("--repeats and --topologies must be positive")

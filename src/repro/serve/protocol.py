@@ -25,6 +25,23 @@ Each request and response is one JSON document per line.  Operations:
     → ``{"ok": true, "value": ...}`` — probe the topology's memoized
     Gomory–Hu structure (``v`` defaults to the sink).
 
+``{"op": "metrics", "format": "prometheus" | "json"}``
+    → ``{"ok": true, "format": "prometheus", "enabled": ..., "body":
+    "<exposition text>"}`` or ``{"ok": true, "format": "json",
+    "enabled": ..., "metrics": {...}, "series": {...}}`` — a live export
+    of the server's metrics registry (Prometheus text or JSON snapshot)
+    plus, in JSON form, the telemetry rings.  ``enabled`` is ``false``
+    (and the registry payload empty) when the server runs without an
+    instrumentation session; the time-series rings are served either way.
+
+``{"op": "trace", "trace": "<trace_id>"}``
+    → ``{"ok": true, "trace": ..., "spans": [...]}`` — the span
+    documents of one request's trace, as quoted by a build response's
+    ``trace`` key.  Unknown (or expired) ids are ``bad-request`` errors.
+
+When the server traced a build, its response carries a ``trace`` key with
+the request's trace id.
+
 Errors come back as ``{"ok": false, "error": "...", "kind":
 "overloaded" | "unknown-topology" | "bad-request"}`` with the request
 ``id`` echoed when present; ``overloaded`` is the backpressure signal and
@@ -114,6 +131,8 @@ def encode_response(
         "metrics": {k: _jsonable(v) for k, v in response.metrics.items()},
         "tree": tree_to_dict(response.tree),
     }
+    if response.trace_id is not None:
+        doc["trace"] = response.trace_id
     if request_id is not None:
         doc["id"] = request_id
     return doc

@@ -132,12 +132,17 @@ class BuildResponse:
         metrics: Flat summary — ``cost`` / ``reliability`` / ``lifetime`` /
             ``elapsed_s`` plus the builder's own meta entries.
         cache_info: Provenance of the answer (cache tier, keys).
+        trace_id: Request trace id when the server had instrumentation
+            active; quote it to the ``trace`` TCP op to fetch this
+            request's span tree.  ``None`` with observability off.
+            Excluded from :meth:`signature` — provenance, not content.
     """
 
     builder: str
     tree: AggregationTree
     metrics: Dict[str, Any]
     cache_info: CacheInfo
+    trace_id: Optional[str] = None
 
     def signature(self) -> str:
         """Canonical text form of the *served content* (tree + metrics).

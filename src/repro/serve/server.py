@@ -35,19 +35,37 @@ is *bitwise* identical to a cold build (pinned per builder in
 Observability: with an active :func:`repro.obs.instrument` session the
 server reports ``serve.requests`` / ``serve.cache_hits`` /
 ``serve.rejected`` counters, ``serve.queue_depth`` / ``serve.inflight``
-gauges, and ``serve.batch_size`` / ``serve.build_seconds`` histograms —
-all behind ``OBS.enabled`` guards (lint rule REP102 covers this package).
+gauges, and ``serve.batch_size`` / ``serve.build_seconds`` /
+``serve.request_seconds`` histograms — all behind ``OBS.enabled`` guards
+(lint rule REP102 covers this package).  Each submitted request
+additionally gets a trace of its own: a ``serve.request`` root span, a
+``serve.queue`` span for time spent waiting on the batcher, and a
+``serve.build`` span measured wherever the build ran — including inside
+a process worker, whose span context travels out on the
+:class:`~repro.serve.workers.WorkItem` and back on the
+:class:`~repro.serve.workers.ShardOutcome` (see
+:mod:`repro.obs.spanctx`).  Completed traces land in the server's
+:class:`~repro.serve.telemetry.TraceBuffer`, and the response carries
+``trace_id`` so a client can fetch them via the ``trace`` TCP op.
+
+Independent of instrumentation, :class:`ServeConfig` may declare
+:class:`~repro.obs.slo.SLO` objectives; the server then counts every
+``submit`` against the ``build`` objective (latency breaches and errors)
+and surfaces burn rates in :meth:`TreeServer.stats`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine import BuildResult, get_builder
 from repro.network.model import Network
 from repro.obs import OBS
+from repro.obs.slo import SLO, SLOTracker
+from repro.obs.spanctx import SpanContext, activate_span
 from repro.serve.cache import ResultCache, StructureCache, WarmStructures
 from repro.serve.request import (
     BuildRequest,
@@ -58,6 +76,7 @@ from repro.serve.request import (
     effective_params,
     request_key,
 )
+from repro.serve.telemetry import ServeTelemetry
 from repro.serve.workers import ShardOutcome, WorkItem, WorkerPool
 
 __all__ = ["ServeConfig", "TreeServer", "make_response"]
@@ -70,6 +89,7 @@ def make_response(
     *,
     hit: bool,
     source: str,
+    trace_id: Optional[str] = None,
 ) -> BuildResponse:
     """Assemble the public response for one finished build.
 
@@ -92,6 +112,7 @@ def make_response(
         cache_info=CacheInfo(
             hit=hit, source=source, fingerprint=fingerprint, key=key
         ),
+        trace_id=trace_id,
     )
 
 
@@ -109,6 +130,11 @@ class ServeConfig:
         structure_cache_size: Capacity (in topologies) of the warm store.
         precheck_connectivity: Refuse requests on disconnected topologies
             at admission instead of failing inside every builder.
+        slos: Declared :class:`~repro.obs.slo.SLO` objectives; an empty
+            tuple (the default) disables SLO accounting entirely.
+        snapshot_interval_s: Cadence of the telemetry sampling loop.
+        telemetry_capacity: Samples kept per telemetry time-series ring.
+        trace_capacity: Completed request traces kept for the ``trace`` op.
     """
 
     batch_size: int = 16
@@ -117,6 +143,10 @@ class ServeConfig:
     result_cache_size: int = 4096
     structure_cache_size: int = 256
     precheck_connectivity: bool = True
+    slos: Tuple[SLO, ...] = ()
+    snapshot_interval_s: float = 1.0
+    telemetry_capacity: int = 256
+    trace_capacity: int = 512
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -125,16 +155,27 @@ class ServeConfig:
             raise ValueError("batch_window_s must be non-negative")
         if self.max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.snapshot_interval_s <= 0:
+            raise ValueError("snapshot_interval_s must be positive")
+        if self.telemetry_capacity < 1 or self.trace_capacity < 1:
+            raise ValueError("telemetry/trace capacities must be >= 1")
 
 
 @dataclass
 class _Pending:
-    """One queued build and the future its submitters share."""
+    """One queued build and the future its submitters share.
+
+    ``ctx`` is the first submitter's request span context (``None`` with
+    observability off); ``enqueued_at`` is its ``perf_counter`` enqueue
+    time, read only to close the ``serve.queue`` span at dispatch.
+    """
 
     key: str
     warm: WarmStructures
     item: WorkItem
     future: "asyncio.Future[BuildResult]"
+    ctx: Optional[SpanContext] = None
+    enqueued_at: float = 0.0
 
 
 class TreeServer:
@@ -164,7 +205,15 @@ class TreeServer:
         self._queue: "asyncio.Queue[_Pending]" = asyncio.Queue()
         self._inflight: Dict[str, _Pending] = {}
         self._batcher: Optional["asyncio.Task[None]"] = None
+        self._telemetry_task: Optional["asyncio.Task[None]"] = None
         self._closed = False
+        self.slo = SLOTracker(self.config.slos)
+        self.telemetry = ServeTelemetry(
+            self,
+            interval_s=self.config.snapshot_interval_s,
+            capacity=self.config.telemetry_capacity,
+            trace_capacity=self.config.trace_capacity,
+        )
         # Monotonic stats (cheap ints; obs mirrors them when enabled).
         self.requests = 0
         self.built = 0
@@ -177,24 +226,30 @@ class TreeServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "TreeServer":
-        """Spawn the batcher task (idempotent)."""
+        """Spawn the batcher and telemetry tasks (idempotent)."""
         if self._batcher is None:
             self._closed = False
             self._batcher = asyncio.create_task(
                 self._batch_loop(), name="repro-serve-batcher"
             )
+        if self._telemetry_task is None:
+            self._telemetry_task = asyncio.create_task(
+                self.telemetry.run(), name="repro-serve-telemetry"
+            )
         return self
 
     async def aclose(self) -> None:
-        """Drain nothing, cancel the batcher, fail queued requests."""
+        """Drain nothing, cancel the tasks, fail queued requests."""
         self._closed = True
-        if self._batcher is not None:
-            self._batcher.cancel()
-            try:
-                await self._batcher
-            except asyncio.CancelledError:
-                pass
-            self._batcher = None
+        for attr in ("_batcher", "_telemetry_task"):
+            task = getattr(self, attr)
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                setattr(self, attr, None)
         while not self._queue.empty():
             pending = self._queue.get_nowait()
             if not pending.future.done():
@@ -229,7 +284,60 @@ class TreeServer:
         return warm.min_cut(u, v)
 
     async def submit(self, request: BuildRequest) -> BuildResponse:
-        """Serve one request; see the module docstring for the lifecycle."""
+        """Serve one request; see the module docstring for the lifecycle.
+
+        This wrapper owns the request's telemetry: it mints the trace's
+        root span context, makes it ambient for the lifecycle, records
+        the ``serve.request`` root span and end-to-end latency histogram
+        on completion, and counts the request against the ``build`` SLO
+        (when one is declared).  With observability off and no SLOs this
+        is a single extra branch on the hot path.
+        """
+        track = bool(self.slo)
+        if not OBS.enabled and not track:
+            return await self._submit(request, None)
+        start = time.perf_counter()
+        ctx: Optional[SpanContext] = None
+        if OBS.enabled:
+            ctx = SpanContext.root()
+        try:
+            if ctx is not None:
+                with activate_span(ctx):
+                    response = await self._submit(request, ctx)
+            else:
+                response = await self._submit(request, None)
+        except Exception as exc:
+            dur = time.perf_counter() - start
+            if track:
+                self.slo.record("build", dur, ok=False)
+            if OBS.enabled and ctx is not None:
+                self._record_span(
+                    "serve.request",
+                    dur,
+                    ctx,
+                    builder=request.builder,
+                    error=type(exc).__name__,
+                )
+            raise
+        dur = time.perf_counter() - start
+        if track:
+            self.slo.record("build", dur, ok=True)
+        if OBS.enabled and ctx is not None:
+            OBS.registry.histogram(
+                "serve.request_seconds", builder=request.builder
+            ).observe(dur)
+            self._record_span(
+                "serve.request",
+                dur,
+                ctx,
+                builder=request.builder,
+                source=response.cache_info.source,
+            )
+        return response
+
+    async def _submit(
+        self, request: BuildRequest, ctx: Optional[SpanContext]
+    ) -> BuildResponse:
         if self._batcher is None:
             raise ServeError("server not started; use `async with TreeServer()`")
         get_builder(request.builder)  # fail fast before any queueing
@@ -251,7 +359,9 @@ class TreeServer:
         if cached is not None:
             if OBS.enabled:
                 OBS.registry.counter("serve.cache_hits", tier="result").inc()
-            return self._respond(cached, fingerprint, key, hit=True, source="result")
+            return self._respond(
+                cached, fingerprint, key, hit=True, source="result", ctx=ctx
+            )
 
         pending = self._inflight.get(key)
         if pending is not None:
@@ -259,7 +369,9 @@ class TreeServer:
             if OBS.enabled:
                 OBS.registry.counter("serve.cache_hits", tier="inflight").inc()
             result = await asyncio.shield(pending.future)
-            return self._respond(result, fingerprint, key, hit=True, source="inflight")
+            return self._respond(
+                result, fingerprint, key, hit=True, source="inflight", ctx=ctx
+            )
 
         # Admission control: bound queued + building work.
         if len(self._inflight) >= self.config.max_pending:
@@ -279,8 +391,15 @@ class TreeServer:
         entry = _Pending(
             key=key,
             warm=warm,
-            item=WorkItem(key=key, builder=request.builder, params=params),
+            item=WorkItem(
+                key=key,
+                builder=request.builder,
+                params=params,
+                span=ctx.to_dict() if ctx is not None else None,
+            ),
             future=loop.create_future(),
+            ctx=ctx,
+            enqueued_at=time.perf_counter() if ctx is not None else 0.0,
         )
         self._inflight[key] = entry
         self._queue.put_nowait(entry)
@@ -288,7 +407,9 @@ class TreeServer:
             OBS.registry.gauge("serve.queue_depth").set(self._queue.qsize())
             OBS.registry.gauge("serve.inflight").set(len(self._inflight))
         result = await asyncio.shield(entry.future)
-        return self._respond(result, fingerprint, key, hit=False, source="built")
+        return self._respond(
+            result, fingerprint, key, hit=False, source="built", ctx=ctx
+        )
 
     async def submit_many(
         self, requests: Iterable[BuildRequest]
@@ -298,8 +419,20 @@ class TreeServer:
             await asyncio.gather(*(self.submit(r) for r in requests))
         )
 
+    def queue_depth(self) -> int:
+        """Requests waiting for the batcher right now."""
+        return self._queue.qsize()
+
+    def inflight_count(self) -> int:
+        """Requests queued or building right now."""
+        return len(self._inflight)
+
+    def trace_spans(self, trace_id: str) -> Optional[List[Dict[str, Any]]]:
+        """Spans recorded for one request trace (``None`` if unknown)."""
+        return self.telemetry.trace(trace_id)
+
     def stats(self) -> Dict[str, Any]:
-        """One flat snapshot of scheduler + cache health."""
+        """One flat snapshot of scheduler + cache + budget health."""
         served = self.results.hits + self.coalesced
         return {
             "requests": self.requests,
@@ -308,18 +441,44 @@ class TreeServer:
             "rejected": self.rejected,
             "batches": self.batches,
             "max_batch": self.max_batch,
-            "queue_depth": self._queue.qsize(),
-            "inflight": len(self._inflight),
+            "queue_depth": self.queue_depth(),
+            "inflight": self.inflight_count(),
             "hit_rate": served / self.requests if self.requests else 0.0,
             "result_cache": self.results.stats(),
             "structure_cache": self.structures.stats(),
             "pool_mode": self._pool.mode,
             "pool_workers": self._pool.n_workers,
+            "slo": self.slo.snapshot(),
+            "telemetry": self.telemetry.snapshot(),
         }
 
     # ------------------------------------------------------------------
     # Scheduler internals
     # ------------------------------------------------------------------
+    def _record_span(
+        self,
+        name: str,
+        dur: float,
+        ctx: SpanContext,
+        **fields: Any,
+    ) -> None:
+        """Splice one externally measured span into tracer + trace buffer."""
+        if OBS.enabled:
+            event = OBS.tracer.add_span(name, dur=dur, context=ctx, **fields)
+            doc: Dict[str, Any] = {
+                "name": name,
+                "kind": "span",
+                "t": event.t,
+                "dur": dur,
+                "trace": ctx.trace_id,
+                "span": ctx.span_id,
+            }
+            if ctx.parent_id is not None:
+                doc["parent"] = ctx.parent_id
+            if fields:
+                doc["fields"] = dict(fields)
+            self.telemetry.record_trace_span(ctx.trace_id, doc)
+
     def _respond(
         self,
         result: BuildResult,
@@ -328,8 +487,16 @@ class TreeServer:
         *,
         hit: bool,
         source: str,
+        ctx: Optional[SpanContext] = None,
     ) -> BuildResponse:
-        return make_response(result, fingerprint, key, hit=hit, source=source)
+        return make_response(
+            result,
+            fingerprint,
+            key,
+            hit=hit,
+            source=source,
+            trace_id=ctx.trace_id if ctx is not None else None,
+        )
 
     async def _collect_batch(self) -> List[_Pending]:
         """Block for the first request, then drain stragglers briefly."""
@@ -377,6 +544,15 @@ class TreeServer:
                 OBS.registry.counter("serve.batches").inc()
                 OBS.registry.histogram("serve.batch_size").observe(len(batch))
                 OBS.registry.gauge("serve.queue_depth").set(self._queue.qsize())
+                dispatched_at = time.perf_counter()
+                for pending in batch:
+                    if pending.ctx is not None:
+                        self._record_span(
+                            "serve.queue",
+                            dispatched_at - pending.enqueued_at,
+                            pending.ctx.child(),
+                            batch=len(batch),
+                        )
             shards = self._shard(batch)
             outcomes = await asyncio.gather(
                 *(
@@ -408,6 +584,17 @@ class TreeServer:
         for pending in members:
             self._inflight.pop(pending.key, None)
             outcome = by_key.get(pending.key)
+            if OBS.enabled and outcome is not None and outcome.span is not None:
+                # Splice the worker-measured build span (possibly minted in
+                # another process) back into the originating request trace.
+                self._record_span(
+                    "serve.build",
+                    float(outcome.span["dur"]),
+                    SpanContext.from_dict(outcome.span["ctx"]),
+                    builder=pending.item.builder,
+                    mode=self._pool.mode,
+                    error=outcome.error is not None,
+                )
             if pending.future.done():
                 continue
             if outcome is None:

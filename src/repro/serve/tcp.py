@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any, Dict, Optional
 
 from repro.network.serialization import network_from_dict
+from repro.obs import OBS
+from repro.obs.export import render_json, render_prometheus
 from repro.serve.protocol import (
     decode_build_request,
     encode_error,
@@ -37,37 +40,93 @@ MAX_LINE_BYTES = 64 * 1024 * 1024
 async def _handle_doc(server: TreeServer, doc: Dict[str, Any]) -> Dict[str, Any]:
     request_id = doc.get("id")
     op = doc.get("op", "build")
+    # ``build`` latency/errors are counted inside ``submit`` (so in-process
+    # callers burn the same budget); the transport covers every other op.
+    track = bool(server.slo) and op != "build"
+    start = time.perf_counter() if track else 0.0
     try:
-        if op == "ping":
-            return {"ok": True, "op": "ping", **_echo_id(request_id)}
-        if op == "stats":
-            return {"ok": True, "stats": server.stats(), **_echo_id(request_id)}
-        if op == "register":
-            network_doc = doc.get("network")
-            if network_doc is None:
-                raise ServeError("register needs a 'network' document")
-            try:
-                network = network_from_dict(network_doc)
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ServeError(f"bad network document: {exc}") from exc
-            fingerprint = server.register_topology(network)
-            return {
-                "ok": True,
-                "fingerprint": fingerprint,
-                **_echo_id(request_id),
-            }
-        if op == "min_cut":
-            fingerprint = doc.get("fingerprint")
-            if not isinstance(fingerprint, str):
-                raise ServeError("min_cut needs a 'fingerprint' string")
-            value = server.min_cut(fingerprint, int(doc["u"]), doc.get("v"))
-            return {"ok": True, "value": value, **_echo_id(request_id)}
-        if op == "build":
-            response = await server.submit(decode_build_request(doc))
-            return encode_response(response, request_id)
-        raise ServeError(f"unknown op {op!r}")
+        reply = await _dispatch(server, doc, op, request_id)
     except Exception as exc:  # noqa: BLE001 — every failure answers the line
+        if track:
+            server.slo.record(op, time.perf_counter() - start, ok=False)
         return encode_error(exc, request_id)
+    if track:
+        server.slo.record(op, time.perf_counter() - start, ok=True)
+    return reply
+
+
+async def _dispatch(
+    server: TreeServer,
+    doc: Dict[str, Any],
+    op: str,
+    request_id: Optional[Any],
+) -> Dict[str, Any]:
+    if op == "ping":
+        return {"ok": True, "op": "ping", **_echo_id(request_id)}
+    if op == "stats":
+        return {"ok": True, "stats": server.stats(), **_echo_id(request_id)}
+    if op == "register":
+        network_doc = doc.get("network")
+        if network_doc is None:
+            raise ServeError("register needs a 'network' document")
+        try:
+            network = network_from_dict(network_doc)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServeError(f"bad network document: {exc}") from exc
+        fingerprint = server.register_topology(network)
+        return {
+            "ok": True,
+            "fingerprint": fingerprint,
+            **_echo_id(request_id),
+        }
+    if op == "min_cut":
+        fingerprint = doc.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            raise ServeError("min_cut needs a 'fingerprint' string")
+        value = server.min_cut(fingerprint, int(doc["u"]), doc.get("v"))
+        return {"ok": True, "value": value, **_echo_id(request_id)}
+    if op == "metrics":
+        fmt = doc.get("format", "prometheus")
+        if fmt not in ("prometheus", "json"):
+            raise ServeError("metrics 'format' must be 'prometheus' or 'json'")
+        reply: Dict[str, Any] = {
+            "ok": True,
+            "format": fmt,
+            "enabled": False,
+            **_echo_id(request_id),
+        }
+        if fmt == "prometheus":
+            reply["body"] = ""
+            if OBS.enabled:
+                reply["enabled"] = True
+                reply["body"] = render_prometheus(OBS.registry)
+        else:
+            reply["metrics"] = {}
+            reply["series"] = server.telemetry.series_doc()
+            if OBS.enabled:
+                reply["enabled"] = True
+                reply["metrics"] = render_json(OBS.registry)
+        return reply
+    if op == "trace":
+        trace_id = doc.get("trace")
+        if not isinstance(trace_id, str):
+            raise ServeError("trace needs a 'trace' id string")
+        spans = server.trace_spans(trace_id)
+        if spans is None:
+            raise ServeError(
+                f"unknown trace id {trace_id!r} (expired, or the server "
+                "ran without instrumentation)"
+            )
+        return {
+            "ok": True,
+            "trace": trace_id,
+            "spans": spans,
+            **_echo_id(request_id),
+        }
+    if op == "build":
+        response = await server.submit(decode_build_request(doc))
+        return encode_response(response, request_id)
+    raise ServeError(f"unknown op {op!r}")
 
 
 def _echo_id(request_id: Optional[Any]) -> Dict[str, Any]:

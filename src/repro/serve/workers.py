@@ -26,12 +26,22 @@ reproduces the identical tree (same parents over the same links ⇒ same
 cost/reliability/lifetime floats).  ``BuildResult.raw`` does not survive
 the boundary (solver internals are not worth pickling) and is ``None`` for
 process-built responses.
+
+Tracing crosses the boundary the same way: a :class:`WorkItem` may carry
+the originating request's serialized span context
+(:meth:`~repro.obs.spanctx.SpanContext.to_dict`).  The worker mints a
+child span id — its process-unique prefix guarantees no collision with
+server-side ids — times the build with ``perf_counter``, and ships
+``{"ctx": ..., "dur": ...}`` back on the :class:`ShardOutcome`; the
+server splices it into the request trace with ``Tracer.add_span``.  With
+observability off the context is ``None`` and no clock is read.
 """
 
 from __future__ import annotations
 
 import asyncio
 import pickle
+import time
 import traceback
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -42,6 +52,7 @@ from repro.core.tree import AggregationTree
 from repro.engine import BuildResult, build_tree
 from repro.experiments.parallel import default_workers
 from repro.network.model import Network
+from repro.obs.spanctx import SpanContext
 from repro.serve.cache import WarmStructures
 
 __all__ = ["ShardOutcome", "WorkItem", "WorkerPool", "POOL_MODES"]
@@ -52,31 +63,59 @@ POOL_MODES = ("inline", "thread", "process")
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One queued build: the request key plus what the builder needs."""
+    """One queued build: the request key plus what the builder needs.
+
+    ``span`` is the originating request's serialized span context
+    (``None`` when the server has observability off); it travels with
+    the item so the worker-side build span re-attaches to the right
+    trace.
+    """
 
     key: str
     builder: str
     params: Mapping[str, Any]
+    span: Optional[Dict[str, str]] = None
 
 
 @dataclass(frozen=True)
 class ShardOutcome:
-    """One work item's result: a build or a re-raisable error string."""
+    """One work item's result: a build or a re-raisable error string.
+
+    ``span`` (when the item carried a parent context) is
+    ``{"ctx": <serialized child SpanContext>, "dur": seconds}`` — the
+    worker-measured build span for the server to splice into the trace.
+    It is attached to error outcomes too: failed builds take time.
+    """
 
     key: str
     result: Optional[BuildResult]
     error: Optional[str] = None
+    span: Optional[Dict[str, Any]] = None
+
+
+def _child_span(
+    parent: Optional[Dict[str, str]], start: float
+) -> Optional[Dict[str, Any]]:
+    """Close a worker-side build span against its shipped parent context."""
+    if parent is None:
+        return None
+    child = SpanContext.from_dict(parent).child()
+    return {"ctx": child.to_dict(), "dur": time.perf_counter() - start}
 
 
 def _build_one(network: Network, item: WorkItem) -> ShardOutcome:
+    start = time.perf_counter() if item.span is not None else 0.0
     try:
         result = build_tree(item.builder, network, **dict(item.params))
-        return ShardOutcome(key=item.key, result=result)
+        return ShardOutcome(
+            key=item.key, result=result, span=_child_span(item.span, start)
+        )
     except Exception as exc:  # noqa: BLE001 — reported per item, not fatal
         return ShardOutcome(
             key=item.key,
             result=None,
             error=f"{type(exc).__name__}: {exc}",
+            span=_child_span(item.span, start),
         )
 
 
@@ -108,32 +147,53 @@ def _worker_network(fingerprint: str, payload: bytes) -> Network:
     return network
 
 
+#: One remote work item on the wire: (key, builder, params, parent span ctx).
+_WireItem = Tuple[str, str, Dict[str, Any], Optional[Dict[str, str]]]
+#: One remote outcome on the wire: (key, parents, meta, elapsed_s, error, span).
+_WireRow = Tuple[
+    str,
+    Optional[Dict[int, int]],
+    Dict[str, Any],
+    float,
+    Optional[str],
+    Optional[Dict[str, Any]],
+]
+
+
 def _build_shard_remote(
     fingerprint: str,
     payload: bytes,
-    items: Sequence[Tuple[str, str, Dict[str, Any]]],
-) -> List[Tuple[str, Optional[Dict[int, int]], Dict[str, Any], float, Optional[str]]]:
+    items: Sequence[_WireItem],
+) -> List[_WireRow]:
     """Run one shard inside a worker process.
 
-    Returns wire-friendly tuples ``(key, parents, meta, elapsed_s, error)``
-    — no ``AggregationTree``/``Network`` objects travel back, only the
-    parent map the server re-binds locally.
+    Returns wire-friendly tuples ``(key, parents, meta, elapsed_s, error,
+    span)`` — no ``AggregationTree``/``Network`` objects travel back, only
+    the parent map the server re-binds locally plus the worker-measured
+    build span (``None`` when the item carried no trace context).
     """
     network = _worker_network(fingerprint, payload)
-    out: List[
-        Tuple[str, Optional[Dict[int, int]], Dict[str, Any], float, Optional[str]]
-    ] = []
-    for key, builder, params in items:
+    out: List[_WireRow] = []
+    for key, builder, params, parent_span in items:
+        start = time.perf_counter() if parent_span is not None else 0.0
         try:
             result = build_tree(builder, network, **params)
+            span = _child_span(parent_span, start)
             out.append(
-                (key, dict(result.tree.parents), dict(result.meta), result.elapsed_s, None)
+                (
+                    key,
+                    dict(result.tree.parents),
+                    dict(result.meta),
+                    result.elapsed_s,
+                    None,
+                    span,
+                )
             )
         except Exception as exc:  # noqa: BLE001 — reported per item
             detail = f"{type(exc).__name__}: {exc}"
             if not str(exc):
                 detail = f"{type(exc).__name__}: {traceback.format_exc(limit=1)}"
-            out.append((key, None, {}, 0.0, detail))
+            out.append((key, None, {}, 0.0, detail, _child_span(parent_span, start)))
     return out
 
 
@@ -189,7 +249,8 @@ class WorkerPool:
                 self._executor, _build_shard_local, warm.network, list(items)
             )
         wire_items = [
-            (item.key, item.builder, dict(item.params)) for item in items
+            (item.key, item.builder, dict(item.params), item.span)
+            for item in items
         ]
         rows = await loop.run_in_executor(
             self._executor,
@@ -200,9 +261,11 @@ class WorkerPool:
         )
         outcomes: List[ShardOutcome] = []
         by_key = {item.key: item for item in items}
-        for key, parents, meta, elapsed, error in rows:
+        for key, parents, meta, elapsed, error, span in rows:
             if parents is None:
-                outcomes.append(ShardOutcome(key=key, result=None, error=error))
+                outcomes.append(
+                    ShardOutcome(key=key, result=None, error=error, span=span)
+                )
                 continue
             item = by_key[key]
             tree = AggregationTree(warm.network, parents)
@@ -217,6 +280,7 @@ class WorkerPool:
                         raw=None,
                         elapsed_s=elapsed,
                     ),
+                    span=span,
                 )
             )
         return outcomes
@@ -237,7 +301,7 @@ class WorkerPool:
 def _shard_call(
     fingerprint: str,
     payload: bytes,
-    items: List[Tuple[str, str, Dict[str, Any]]],
+    items: List[_WireItem],
 ):
     """Picklable trampoline for ``run_in_executor`` (no kwargs support)."""
     return _build_shard_remote(fingerprint, payload, items)

@@ -340,6 +340,64 @@ class TestREP106ExportDrift:
         assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
 
 
+class TestREP107TimingDiscipline:
+    def test_bare_time_time_flagged(self, tmp_path):
+        source = "import time\nstart = time.time()\n"
+        findings = lint_sources(tmp_path, {"repro/mod.py": source})
+        assert rule_ids(findings) == ["REP107"]
+        assert "perf_counter" in findings[0].message
+
+    def test_duration_arithmetic_flagged(self, tmp_path):
+        source = (
+            "import time\n"
+            "def f():\n"
+            "    t0 = time.time()\n"
+            "    return time.time() - t0\n"
+        )
+        findings = lint_sources(tmp_path, {"repro/mod.py": source})
+        assert rule_ids(findings) == ["REP107", "REP107"]
+
+    def test_module_alias_flagged(self, tmp_path):
+        source = "import time as clock\nx = clock.time()\n"
+        findings = lint_sources(tmp_path, {"repro/mod.py": source})
+        assert rule_ids(findings) == ["REP107"]
+
+    def test_from_import_flagged(self, tmp_path):
+        source = "from time import time\nx = time()\n"
+        findings = lint_sources(tmp_path, {"repro/mod.py": source})
+        assert rule_ids(findings) == ["REP107"]
+
+    def test_timestamp_keyword_allowed(self, tmp_path):
+        source = (
+            "import time\n"
+            "def f(record):\n"
+            "    return record(timestamp=time.time())\n"
+        )
+        assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
+
+    def test_timestamp_assignment_allowed(self, tmp_path):
+        source = "import time\nwall_timestamp = time.time()\n"
+        assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
+
+    def test_timestamp_dict_key_allowed(self, tmp_path):
+        source = "import time\ndoc = {'utc_epoch': time.time()}\n"
+        assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
+
+    def test_perf_counter_and_monotonic_allowed(self, tmp_path):
+        source = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.monotonic()\n"
+            "time.sleep(0)\n"
+        )
+        assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
+
+    def test_unrelated_time_function_allowed(self, tmp_path):
+        # A local callable named `time` without the stdlib import in scope.
+        source = "def time():\n    return 0\nx = time()\n"
+        assert lint_sources(tmp_path, {"repro/mod.py": source}) == []
+
+
 class TestRuleSelection:
     def test_select_runs_single_rule(self, tmp_path):
         files = {

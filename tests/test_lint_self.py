@@ -32,7 +32,15 @@ class TestSelfCheck:
 
     def test_all_advertised_rules_registered(self):
         ids = {rule.id for rule in all_rules()}
-        assert {"REP101", "REP102", "REP103", "REP104", "REP105", "REP106"} <= ids
+        assert {
+            "REP101",
+            "REP102",
+            "REP103",
+            "REP104",
+            "REP105",
+            "REP106",
+            "REP107",
+        } <= ids
 
     def test_every_rule_has_severity_and_summary(self):
         for rule in all_rules():

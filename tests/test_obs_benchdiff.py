@@ -1,0 +1,173 @@
+"""Tests for repro.obs.benchdiff — the BENCH_*.json regression sentinel."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.benchdiff import (
+    MetricSpec,
+    diff_trajectory,
+    diff_trajectory_file,
+    load_trajectory,
+)
+from repro.obs.cli import obs_main
+
+
+def serve_doc(*warm_rps: float) -> dict:
+    """A repro-bench-serve trajectory with one run per warm_rps value."""
+    return {
+        "format": "repro-bench-serve",
+        "runs": [
+            {"warm_rps": rps, "cold_rps": rps / 10.0, "hit_rate": 0.9}
+            for rps in warm_rps
+        ],
+    }
+
+
+class TestLoadTrajectory:
+    def test_loads_valid_doc(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(serve_doc(100.0, 110.0)))
+        doc = load_trajectory(path)
+        assert doc["format"] == "repro-bench-serve"
+        assert len(doc["runs"]) == 2
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_trajectory(path)
+
+    def test_missing_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"runs": []}))
+        with pytest.raises(ValueError, match="'format'"):
+            load_trajectory(path)
+
+    def test_runs_must_be_dicts(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "x", "runs": [1, 2]}))
+        with pytest.raises(ValueError, match="'runs'"):
+            load_trajectory(path)
+
+
+class TestDiffTrajectory:
+    def test_single_run_is_skipped_not_failed(self):
+        diff = diff_trajectory(serve_doc(100.0))
+        assert diff.skipped_reason is not None
+        assert not diff.regressed
+        assert "SKIPPED" in diff.render()
+
+    def test_unknown_format_without_metrics_is_skipped(self):
+        diff = diff_trajectory({"format": "mystery", "runs": [{"x": 1}, {"x": 2}]})
+        assert diff.skipped_reason is not None
+        assert "--metrics" in diff.skipped_reason
+
+    def test_explicit_metrics_override_unknown_format(self):
+        diff = diff_trajectory(
+            {"format": "mystery", "runs": [{"x": 10.0}, {"x": 1.0}]},
+            metrics=[MetricSpec("x")],
+        )
+        assert diff.regressed
+
+    def test_steady_trajectory_is_healthy(self):
+        diff = diff_trajectory(serve_doc(100.0, 105.0, 98.0, 102.0))
+        assert diff.skipped_reason is None
+        assert not diff.regressed
+        assert all(not m.regressed for m in diff.metrics)
+
+    def test_cliff_drop_regresses(self):
+        diff = diff_trajectory(serve_doc(100.0, 102.0, 98.0, 10.0))
+        assert diff.regressed
+        warm = next(m for m in diff.metrics if m.name == "warm_rps")
+        assert warm.regressed
+        assert warm.change == pytest.approx(-0.9)
+        assert "REGRESSED" in diff.render()
+
+    def test_median_baseline_shrugs_off_one_outlier(self):
+        # One absurdly fast historical run must not poison the baseline.
+        diff = diff_trajectory(serve_doc(100.0, 10_000.0, 98.0, 102.0, 99.0))
+        assert not diff.regressed
+
+    def test_window_limits_history(self):
+        # Window of 1: baseline is only the immediately preceding run.
+        diff = diff_trajectory(serve_doc(1000.0, 100.0, 90.0), window=1)
+        warm = next(m for m in diff.metrics if m.name == "warm_rps")
+        assert warm.baseline == 100.0
+        assert not warm.regressed
+
+    def test_lower_is_better_direction(self):
+        doc = {"format": "x", "runs": [{"p99_ms": 10.0}, {"p99_ms": 40.0}]}
+        diff = diff_trajectory(
+            doc, metrics=[MetricSpec("p99_ms", higher_is_better=False)]
+        )
+        assert diff.regressed
+
+    def test_improvement_never_regresses(self):
+        diff = diff_trajectory(serve_doc(100.0, 500.0))
+        assert not diff.regressed
+
+    def test_zero_baseline_handled(self):
+        doc = {"format": "x", "runs": [{"m": 0.0}, {"m": 0.0}]}
+        diff = diff_trajectory(doc, metrics=[MetricSpec("m")])
+        assert not diff.regressed
+
+    def test_missing_metric_raises(self):
+        doc = {"format": "x", "runs": [{"a": 1.0}, {"b": 2.0}]}
+        with pytest.raises(ValueError, match="missing numeric metric"):
+            diff_trajectory(doc, metrics=[MetricSpec("a")])
+
+    def test_bad_threshold_and_window_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            diff_trajectory(serve_doc(1.0, 2.0), threshold=0)
+        with pytest.raises(ValueError, match="window"):
+            diff_trajectory(serve_doc(1.0, 2.0), window=0)
+
+
+class TestDiffTrajectoryFile:
+    def test_end_to_end(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(serve_doc(100.0, 20.0)))
+        diff = diff_trajectory_file(path)
+        assert diff.regressed
+        assert diff.path == str(path)
+
+
+class TestBenchDiffCli:
+    """Acceptance: ``repro obs bench-diff`` exits nonzero on a regression."""
+
+    def test_regressed_trajectory_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(serve_doc(100.0, 102.0, 9.0)))
+        rc = obs_main(["bench-diff", str(path)])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_healthy_trajectory_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text(json.dumps(serve_doc(100.0, 102.0, 101.0)))
+        rc = obs_main(["bench-diff", str(path)])
+        assert rc == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        rc = obs_main(["bench-diff", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "bench-diff" in capsys.readouterr().out
+
+    def test_custom_metrics_flag_with_direction(self, tmp_path):
+        doc = {"format": "custom", "runs": [{"lat": 1.0}, {"lat": 10.0}]}
+        path = tmp_path / "BENCH_custom.json"
+        path.write_text(json.dumps(doc))
+        assert obs_main(["bench-diff", str(path), "--metrics=-lat"]) == 1
+        assert obs_main(["bench-diff", str(path), "--metrics", "lat"]) == 0
+
+    def test_bad_flags_rejected_by_parser(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps(serve_doc(1.0, 2.0)))
+        with pytest.raises(SystemExit):
+            obs_main(["bench-diff", str(path), "--window", "0"])
+        with pytest.raises(SystemExit):
+            obs_main(["bench-diff", str(path), "--threshold", "0"])

@@ -6,7 +6,7 @@ import pytest
 
 from repro.cli import main
 from repro.obs import read_jsonl
-from repro.obs.cli import build_obs_parser, obs_main
+from repro.obs.cli import build_obs_parser, fig_names, obs_main
 from repro.obs.manifest import MANIFEST_FORMAT
 from repro.obs.runtime import is_enabled
 
@@ -117,5 +117,33 @@ class TestValidation:
     def test_parser_knows_all_subcommands(self):
         parser = build_obs_parser()
         help_text = parser.format_help()
-        for name in ("ira", "aaml", "mst", "rounds", "churn", "fig"):
+        for name in (
+            "ira",
+            "aaml",
+            "mst",
+            "rounds",
+            "churn",
+            "fig",
+            "top",
+            "bench-diff",
+        ):
             assert name in help_text
+
+    def test_top_rejects_bad_interval(self):
+        with pytest.raises(SystemExit) as exc:
+            obs_main(["top", "--interval", "0"])
+        assert exc.value.code == 2
+
+
+class TestFigNamesDrift:
+    def test_fig_choices_match_experiment_registry(self):
+        import repro.cli as main_cli
+
+        assert set(fig_names()) == set(main_cli._COMMANDS)
+
+    def test_figures_sort_numerically_extensions_last(self):
+        names = fig_names()
+        figs = [n for n in names if not n.startswith("ext-")]
+        assert figs.index("fig2") < figs.index("fig10")
+        exts = [n for n in names if n.startswith("ext-")]
+        assert names == tuple(figs) + tuple(exts)

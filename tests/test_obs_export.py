@@ -1,0 +1,142 @@
+"""Tests for repro.obs.export — exposition formats and time-series rings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TimeSeriesRing,
+    parse_prometheus,
+    prometheus_name,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.requests", op="build").inc(7)
+    reg.counter("serve.requests", op="stats").inc(2)
+    reg.gauge("serve.queue_depth").set(3)
+    hist = reg.histogram("serve.build_seconds", builder="mst")
+    for v in (0.1, 0.2, 0.3, 0.4, 0.5):
+        hist.observe(v)
+    return reg
+
+
+class TestPrometheusName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert prometheus_name("serve.build_seconds") == "repro_serve_build_seconds"
+
+    def test_illegal_chars_dropped(self):
+        assert prometheus_name("a b-c", prefix="") == "a_b_c"
+
+    def test_no_prefix(self):
+        assert prometheus_name("x.y", prefix="") == "x_y"
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_type_headers_present(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_build_seconds summary" in text
+
+    def test_counter_labels_and_values(self):
+        samples = parse_prometheus(render_prometheus(populated_registry()))
+        assert samples['repro_serve_requests{op="build"}'] == 7
+        assert samples['repro_serve_requests{op="stats"}'] == 2
+        assert samples["repro_serve_queue_depth"] == 3
+
+    def test_histogram_exports_quantiles_count_sum(self):
+        samples = parse_prometheus(render_prometheus(populated_registry()))
+        assert samples['repro_serve_build_seconds{builder="mst",quantile="0.5"}'] == 0.3
+        assert samples['repro_serve_build_seconds{builder="mst",quantile="0.99"}'] == 0.5
+        assert samples['repro_serve_build_seconds_count{builder="mst"}'] == 5
+        assert samples['repro_serve_build_seconds_sum{builder="mst"}'] == pytest.approx(1.5)
+
+    def test_empty_histogram_exports_zero_quantiles(self):
+        reg = MetricsRegistry()
+        reg.histogram("h")
+        samples = parse_prometheus(render_prometheus(reg))
+        assert samples['repro_h{quantile="0.5"}'] == 0.0
+        assert samples["repro_h_count"] == 0
+
+    def test_families_sorted_for_stable_diffs(self):
+        text = render_prometheus(populated_registry())
+        type_lines = [l for l in text.splitlines() if l.startswith("# TYPE")]
+        assert type_lines == sorted(type_lines)
+
+
+class TestParsePrometheus:
+    def test_skips_comments_and_blanks(self):
+        assert parse_prometheus("# HELP x\n\nx 1\n") == {"x": 1.0}
+
+    @pytest.mark.parametrize("bad", ["not a sample line at all !", 'x{k="v} 1'])
+    def test_malformed_line_raises(self, bad):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_prometheus(bad)
+
+    def test_round_trips_own_rendering(self):
+        text = render_prometheus(populated_registry())
+        samples = parse_prometheus(text)
+        assert len(samples) == len(
+            [l for l in text.splitlines() if not l.startswith("#")]
+        )
+
+
+class TestRenderJson:
+    def test_matches_registry_snapshot_and_is_json_safe(self):
+        reg = populated_registry()
+        doc = render_json(reg)
+        assert doc == reg.snapshot()
+        json.dumps(doc)  # must not raise
+        hist = doc["histograms"]["serve.build_seconds{builder=mst}"]
+        assert hist["count"] == 5 and "p99" in hist
+
+
+class TestTimeSeriesRing:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TimeSeriesRing("x", 0)
+
+    def test_append_beyond_capacity_drops_oldest(self):
+        ring = TimeSeriesRing("x", 3)
+        for i in range(5):
+            ring.sample(float(i), float(10 * i))
+        assert len(ring) == 3
+        assert ring.values() == [20.0, 30.0, 40.0]
+        assert ring.series()[0] == (2.0, 20.0)
+        assert ring.latest() == (4.0, 40.0)
+
+    def test_empty_ring(self):
+        ring = TimeSeriesRing("x")
+        assert len(ring) == 0
+        assert ring.latest() is None
+        assert ring.delta_rate() == 0.0
+
+    def test_delta_rate_over_window(self):
+        ring = TimeSeriesRing("requests")
+        ring.sample(0.0, 100.0)
+        ring.sample(2.0, 150.0)
+        ring.sample(4.0, 200.0)
+        assert ring.delta_rate() == pytest.approx(25.0)
+
+    def test_delta_rate_degenerate_time(self):
+        ring = TimeSeriesRing("x")
+        ring.sample(1.0, 5.0)
+        ring.sample(1.0, 9.0)
+        assert ring.delta_rate() == 0.0
+
+    def test_to_doc_shape(self):
+        ring = TimeSeriesRing("qd", 8)
+        ring.sample(1.0, 2.0)
+        doc = ring.to_doc()
+        assert doc == {"name": "qd", "capacity": 8, "samples": [[1.0, 2.0]]}
+        json.dumps(doc)  # must not raise

@@ -58,6 +58,7 @@ class TestHistogram:
         assert s["sum"] == 15.0
         assert s["min"] == 1.0
         assert s["p50"] == 3.0
+        assert s["p99"] == 5.0
         assert s["max"] == 5.0
 
     def test_empty_summary(self):
