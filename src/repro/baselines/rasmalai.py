@@ -86,11 +86,11 @@ def build_rasmalai_tree(
         raise ValueError("initial_tree must be built over the same network")
     state = TreeState.from_tree(tree)
 
+    # Backend-accelerated: the numpy backend answers this with one
+    # vectorized min + compare over its lifetime vector (same floats, same
+    # member list as the object backend's Python scan).
     def bottleneck_state():
-        lifetimes = [state.node_lifetime(v) for v in range(state.n)]
-        low = min(lifetimes)
-        members = [v for v, lv in enumerate(lifetimes) if lv <= low * (1 + 1e-12)]
-        return low, members
+        return state.bottleneck_members(1e-12)
 
     switches = 0
     attempts = 0

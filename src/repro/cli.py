@@ -194,10 +194,62 @@ def _builders_main() -> int:
     return 0
 
 
+def _bench_core_main(argv: List[str]) -> int:
+    """Run the core-compute benchmark (``repro bench-core [--out PATH]``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-core",
+        description="Benchmark the array-native compute core (vectorized "
+        "round simulation + numpy TreeState backend) against the "
+        "historical loops; correctness is asserted, not sampled.",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="simulated rounds for the round-sim half (default 200)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="use CI smoke sizes (40x40 round-sim grid, 26x26 search grid) "
+        "so the loop baselines finish in seconds",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="append the report to this BENCH_core.json trajectory file",
+    )
+    args = parser.parse_args(argv)
+    from repro.engine.bench import append_core_bench_run, run_core_bench
+
+    kwargs = {"seed": args.seed}
+    if args.ci:
+        kwargs.update(
+            round_grid=40, rounds=100, search_grid=26, search_max_moves=30
+        )
+    if args.rounds is not None:
+        kwargs["rounds"] = args.rounds
+    report = run_core_bench(**kwargs)
+    print(report.render())
+    if args.out:
+        append_core_bench_run(args.out, report)
+        print(f"[appended run to {args.out}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "bench-core":
+        # Core-compute benchmark, a sibling of `serve bench` for the
+        # engine/simulation layer.
+        return _bench_core_main(argv[1:])
     if argv and argv[0] == "obs":
         # Instrumented runs live in their own sub-CLI so the figure parser
         # stays a plain positional-choice interface.

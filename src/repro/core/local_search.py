@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.tree import AggregationTree
 from repro.engine.treestate import (
     NO_GAIN,
@@ -37,6 +39,13 @@ from repro.engine.treestate import (
     lifetime_delta_better,
 )
 from repro.obs import OBS
+
+#: Strict-descent cutoff shared by every greedy cost scan.
+COST_EPS = -1e-15
+
+
+def _caps_array(caps: Dict[int, int], n: int) -> np.ndarray:
+    return np.array([caps[v] for v in range(n)], dtype=np.int64)
 
 __all__ = [
     "bfs_tree",
@@ -147,22 +156,39 @@ def repair_overload(
     network = tree.network
     state = TreeState.from_tree(tree)
     moves = 0
+    # Numpy backend: one vectorized pass over all (child, cand) pairs,
+    # scanned by ascending (overloaded parent, child, cand) — the exact
+    # order and tie-break of the nested loops below.
+    fast = getattr(state, "best_cost_reparent", None)
+    caps_arr = _caps_array(caps, state.n) if fast is not None else None
     while _total_excess(state, caps) > 0:
         best: Optional[Tuple[float, int, int]] = None
-        kids = state.children_lists()
-        overloaded = [
-            v for v in range(state.n) if state.n_children(v) > caps[v]
-        ]
-        for v in overloaded:
-            for child in kids[v]:
-                for cand in network.neighbors(child):
-                    if cand == v or state.in_subtree(cand, child):
-                        continue
-                    if state.n_children(cand) >= caps[cand]:
-                        continue
-                    delta = network.cost(child, cand) - network.cost(child, v)
-                    if best is None or delta < best[0]:
-                        best = (delta, child, cand)
+        if fast is not None:
+            counts = state.children_counts()
+            overloaded_mask = counts > caps_arr
+            parents_arr = state.parents_array()
+            safe = np.maximum(parents_arr, 0)
+            group = np.where(
+                (parents_arr >= 0) & overloaded_mask[safe], parents_arr, -1
+            )
+            best = fast(cand_ok=counts < caps_arr, child_group=group)
+        else:
+            kids = state.children_lists()
+            overloaded = [
+                v for v in range(state.n) if state.n_children(v) > caps[v]
+            ]
+            for v in overloaded:
+                for child in kids[v]:
+                    for cand in network.neighbors(child):
+                        if cand == v or state.in_subtree(cand, child):
+                            continue
+                        if state.n_children(cand) >= caps[cand]:
+                            continue
+                        delta = network.cost(child, cand) - network.cost(
+                            child, v
+                        )
+                        if best is None or delta < best[0]:
+                            best = (delta, child, cand)
         if best is None:
             if OBS.enabled and moves:
                 OBS.registry.counter(
@@ -310,21 +336,31 @@ def reduce_cost_under_caps(
     state = TreeState.from_tree(tree)
     sink = state.sink
     moves = 0
+    fast = getattr(state, "best_cost_reparent", None)
+    caps_arr = _caps_array(caps, state.n) if fast is not None else None
     while moves < max_moves:
         best: Optional[Tuple[float, int, int]] = None
-        for child in range(state.n):
-            if child == sink:
-                continue
-            parent = state.parent(child)
-            assert parent is not None
-            for cand in network.neighbors(child):
-                if cand == parent or state.in_subtree(cand, child):
+        if fast is not None:
+            best = fast(
+                cand_ok=state.children_counts() < caps_arr,
+                threshold=COST_EPS,
+            )
+        else:
+            for child in range(state.n):
+                if child == sink:
                     continue
-                if state.n_children(cand) >= caps[cand]:
-                    continue
-                delta = network.cost(child, cand) - network.cost(child, parent)
-                if delta < -1e-15 and (best is None or delta < best[0]):
-                    best = (delta, child, cand)
+                parent = state.parent(child)
+                assert parent is not None
+                for cand in network.neighbors(child):
+                    if cand == parent or state.in_subtree(cand, child):
+                        continue
+                    if state.n_children(cand) >= caps[cand]:
+                        continue
+                    delta = network.cost(child, cand) - network.cost(
+                        child, parent
+                    )
+                    if delta < COST_EPS and (best is None or delta < best[0]):
+                        best = (delta, child, cand)
         if best is None:
             break
         state.reparent(best[1], best[2], check=False)

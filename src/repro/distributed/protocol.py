@@ -38,6 +38,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
+import numpy as np
+
 from repro.core.tree import AggregationTree
 from repro.distributed.messages import CodeAnnouncement, ParentChange
 from repro.distributed.node import SensorNode
@@ -188,10 +190,11 @@ class DistributedProtocol:
         Every non-leaf node forwards once; the originator transmits once
         even if it is a leaf.
         """
-        counts = pair.children_counts()
-        transmitters = {v for v in range(pair.n) if counts[v] > 0}
-        transmitters.add(origin)
-        return len(transmitters)
+        counts = np.asarray(pair.children_counts())
+        transmitters = int(np.count_nonzero(counts > 0))
+        if counts[origin] == 0:
+            transmitters += 1  # a leaf originator still transmits once
+        return transmitters
 
     def _announce_parent_change(self, child: int, new_parent: int) -> Tuple[int, int]:
         """Issue one Parent-Changing flood; returns (messages, receptions)."""

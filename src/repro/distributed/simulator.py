@@ -34,11 +34,13 @@ from typing import List, Optional, Tuple
 
 import math
 
+import numpy as np
+
 from repro.core.tree import AggregationTree
 from repro.engine import build_tree, get_builder
 from repro.distributed.protocol import DistributedProtocol
 from repro.faults import FaultPlan
-from repro.network.model import Network
+from repro.network.model import Network, edge_key
 from repro.obs import OBS
 from repro.utils.rng import SeedLike, as_rng
 
@@ -184,6 +186,13 @@ class ChurnSimulation:
         self._last_applied_delta = 0.0
         self._last_clamped = False
         self._clamp_warned = False
+        # Network links never appear or disappear under churn (only their
+        # PRRs move), so the canonical-key edge list is a loop invariant —
+        # snapshot it once as endpoint arrays for the batched candidate
+        # scans below.
+        keys = [e.key for e in network.edges()]
+        self._edge_u = np.asarray([k[0] for k in keys], dtype=np.int64)
+        self._edge_v = np.asarray([k[1] for k in keys], dtype=np.int64)
 
     def degrade_random_tree_link(self) -> tuple:
         """Pick a uniform random link of the maintained tree and degrade it.
@@ -196,7 +205,12 @@ class ChurnSimulation:
         round warns once per simulation and bumps the
         ``churn.prr_clamped`` counter).
         """
-        edges = self.protocol.tree().edges()
+        # Same sorted canonical-key list AggregationTree.edges() returns,
+        # read straight off the maintained pair — no per-round tree
+        # materialisation (and validation) just to pick an edge.
+        edges = sorted(
+            edge_key(v, p) for v, p in self.protocol.pair.parent_map().items()
+        )
         u, v = edges[int(self.rng.integers(0, len(edges)))]
         old_prr = self.network.prr(u, v)
         new_prr = max(old_prr * math.exp(-self.cost_delta), PRR_FLOOR)
@@ -223,14 +237,19 @@ class ChurnSimulation:
     def improve_random_non_tree_link(self):
         """Boost a random non-tree link's quality; returns it (or None)."""
         parents = self.protocol.pair.parent_map()
-        candidates = [
-            e.key
-            for e in self.network.edges()
-            if parents.get(e.u) != e.v and parents.get(e.v) != e.u
-        ]
-        if not candidates:
+        # Batched candidate mask over the snapshotted endpoint arrays; the
+        # sink maps to -1, which compares unequal to every node id — the
+        # same "no parent" semantics the dict scan had.  Candidate order is
+        # the canonical edge order either way, so the uniform pick below
+        # consumes the RNG identically.
+        pa = np.full(self.network.n, -1, dtype=np.int64)
+        pa[list(parents.keys())] = list(parents.values())
+        mask = (pa[self._edge_u] != self._edge_v) & (pa[self._edge_v] != self._edge_u)
+        idx = np.nonzero(mask)[0]
+        if len(idx) == 0:
             return None
-        u, v = candidates[int(self.rng.integers(0, len(candidates)))]
+        pick = idx[int(self.rng.integers(0, len(idx)))]
+        u, v = int(self._edge_u[pick]), int(self._edge_v[pick])
         new_prr = min(self.network.prr(u, v) * math.exp(self.improve_delta), 1.0)
         self.network.set_prr(u, v, new_prr)
         self.protocol.refresh_link(u, v)

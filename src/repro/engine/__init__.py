@@ -15,8 +15,25 @@ Two pieces that every optimizer and every consumer share:
   :func:`build_tree` instead of importing ``build_*_tree`` directly.
 
 ``repro builders`` lists everything registered, with knobs.
+
+:mod:`repro.engine.backend` adds a second axis: every ``TreeState`` has two
+interchangeable implementations — the classic object-graph one and the
+numpy struct-of-arrays one (:mod:`repro.engine.treestate_np`) — selected
+per call (``backend=``), per scope (:func:`use_backend`), per process
+(:func:`set_default_backend`), or via the ``REPRO_ENGINE_BACKEND``
+environment variable.  They are bitwise-equivalent; see
+``docs/performance.md``.
 """
 
+from repro.engine.backend import (
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    available_tree_backends,
+    get_backend_class,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.engine.registry import (
     BuildResult,
     RegisteredBuilder,
@@ -33,24 +50,35 @@ from repro.engine.treestate import (
     MovePreview,
     NO_GAIN,
     TreeState,
+    TreeStateBackend,
     freeze_parents,
     lifetime_delta_better,
 )
+from repro.engine.treestate_np import TreeStateNumpy
 
 __all__ = [
     "BuildResult",
+    "DEFAULT_BACKEND",
+    "ENV_BACKEND",
     "LifetimeDelta",
     "MovePreview",
     "NO_GAIN",
     "RegisteredBuilder",
     "TreeBuilder",
     "TreeState",
+    "TreeStateBackend",
+    "TreeStateNumpy",
     "UnknownBuilderError",
     "available_builders",
+    "available_tree_backends",
     "build_tree",
     "freeze_parents",
+    "get_backend_class",
     "get_builder",
     "lifetime_delta_better",
     "register_builder",
+    "resolve_backend",
+    "set_default_backend",
     "tree_builder",
+    "use_backend",
 ]

@@ -1,0 +1,143 @@
+"""Tree-state backend registry: object vs numpy struct-of-arrays engines.
+
+The incremental tree substrate (:mod:`repro.engine.treestate`) now has two
+interchangeable implementations:
+
+* ``"object"`` — the original :class:`~repro.engine.treestate.TreeState`:
+  scalar bookkeeping, Python-list lifetimes.  Lowest constant factors at
+  tiny n and the reference semantics every other backend is pinned against.
+* ``"numpy"`` — :class:`~repro.engine.treestate_np.TreeStateNumpy`:
+  struct-of-arrays storage (parent / children-count / per-node edge-cost /
+  lifetime vectors) plus vectorized bulk move scans for the local searches.
+
+Both backends are **decision-identical**: they accumulate cost and
+reliability with the same scalar float operations in the same order, so a
+builder run under either backend produces bitwise-identical frozen trees
+and metrics.  The backend choice is therefore pure performance policy and
+is resolved per construction site from, in precedence order:
+
+1. an explicit ``backend=`` argument (``TreeState(...)``,
+   ``build_tree(...)``, ``parallel_build(...)``, the serve worker pool);
+2. the ambient default installed by :func:`use_backend` /
+   :func:`set_default_backend` (a :class:`contextvars.ContextVar`, so
+   async serve handlers and threads do not race each other);
+3. the ``REPRO_ENGINE_BACKEND`` environment variable;
+4. the built-in default, ``"object"``.
+
+See ``docs/performance.md`` for the selection guide and the benchmark
+trajectory (``BENCH_core.json``) that tracks the speedup.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "ENV_BACKEND",
+    "available_tree_backends",
+    "get_backend_class",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+#: Environment knob consulted when no explicit/ambient backend is set.
+ENV_BACKEND = "REPRO_ENGINE_BACKEND"
+
+#: The built-in fallback backend.
+DEFAULT_BACKEND = "object"
+
+#: Lazy class loaders keyed by backend name (loaders break the import cycle
+#: with :mod:`repro.engine.treestate`, which imports this module).
+_LOADERS: Dict[str, Callable[[], type]] = {}
+
+#: Ambient default installed by :func:`use_backend` (``None`` = not set).
+_ambient: ContextVar[Optional[str]] = ContextVar("repro_engine_backend", default=None)
+
+
+def _register(name: str, loader: Callable[[], type]) -> None:
+    _LOADERS[name] = loader
+
+
+def _load_object() -> type:
+    from repro.engine.treestate import TreeState
+
+    return TreeState
+
+
+def _load_numpy() -> type:
+    from repro.engine.treestate_np import TreeStateNumpy
+
+    return TreeStateNumpy
+
+
+_register("object", _load_object)
+_register("numpy", _load_numpy)
+
+
+def available_tree_backends() -> Tuple[str, ...]:
+    """Sorted names of the registered tree-state backends."""
+    return tuple(sorted(_LOADERS))
+
+
+def _check(name: str) -> str:
+    if name not in _LOADERS:
+        raise ValueError(
+            f"unknown tree-state backend {name!r}; available: "
+            + ", ".join(sorted(_LOADERS))
+        )
+    return name
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Resolve the effective backend name for a construction site.
+
+    Precedence: explicit argument > ambient :func:`use_backend` default >
+    ``REPRO_ENGINE_BACKEND`` environment variable > ``"object"``.
+    An unknown name raises ``ValueError`` wherever it entered.
+    """
+    if backend is not None:
+        return _check(backend)
+    ambient = _ambient.get()
+    if ambient is not None:
+        return ambient
+    env = os.environ.get(ENV_BACKEND)
+    if env:
+        if env not in _LOADERS:
+            raise ValueError(
+                f"unknown tree-state backend {env!r} in ${ENV_BACKEND}; "
+                "available: " + ", ".join(sorted(_LOADERS))
+            )
+        return env
+    return DEFAULT_BACKEND
+
+
+def get_backend_class(name: str) -> type:
+    """The concrete ``TreeState`` subclass registered under *name*."""
+    return _LOADERS[_check(name)]()
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Install (or with ``None`` clear) the ambient default backend."""
+    _ambient.set(_check(backend) if backend is not None else None)
+
+
+@contextmanager
+def use_backend(backend: Optional[str]) -> Iterator[None]:
+    """Scope the ambient default backend to a ``with`` block.
+
+    ``use_backend(None)`` is a no-op scope (the surrounding policy stays in
+    force) so call sites can thread an optional knob without branching.
+    """
+    if backend is None:
+        yield
+        return
+    token = _ambient.set(_check(backend))
+    try:
+        yield
+    finally:
+        _ambient.reset(token)

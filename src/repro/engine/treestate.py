@@ -28,11 +28,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from repro.core.tree import AggregationTree
+from repro.engine.backend import get_backend_class, resolve_backend
 from repro.network.model import Network
 
 __all__ = [
@@ -40,6 +49,7 @@ __all__ = [
     "MovePreview",
     "NO_GAIN",
     "TreeState",
+    "TreeStateBackend",
     "freeze_parents",
     "lifetime_delta_better",
 ]
@@ -95,6 +105,51 @@ def lifetime_delta_better(a: LifetimeDelta, b: LifetimeDelta) -> bool:
     return False
 
 
+@runtime_checkable
+class TreeStateBackend(Protocol):
+    """The contract every tree-state backend implements.
+
+    This is the surface the local searches, the builders, and the
+    simulators program against; :class:`TreeState` (the ``"object"``
+    backend) and :class:`~repro.engine.treestate_np.TreeStateNumpy` (the
+    ``"numpy"`` struct-of-arrays backend) both satisfy it, and the
+    randomized cross-backend equivalence suite pins that they agree
+    bitwise on every method below.  Backends are selected by name through
+    :mod:`repro.engine.backend` (``backend=`` argument or the
+    ``REPRO_ENGINE_BACKEND`` environment variable).
+    """
+
+    network: Network
+
+    # structure
+    def is_attached(self, v: int) -> bool: ...
+    def parent(self, v: int) -> Optional[int]: ...
+    def parents_map(self) -> Dict[int, int]: ...
+    def n_children(self, v: int) -> int: ...
+    def children(self, v: int) -> List[int]: ...
+    def children_lists(self) -> List[List[int]]: ...
+    def in_subtree(self, node: int, root: int) -> bool: ...
+    def depths(self) -> List[int]: ...
+
+    # metrics
+    def node_lifetime(self, v: int) -> float: ...
+    def lifetime(self) -> float: ...
+    def lifetime_values(self) -> Sequence[float]: ...
+    def bottleneck_count(self) -> int: ...
+
+    # moves and previews
+    def attach(self, v: int, parent: int) -> None: ...
+    def reparent(self, v: int, new_parent: int, *, check: bool = True) -> None: ...
+    def delta_cost(self, v: int, new_parent: int) -> float: ...
+    def delta_reliability(self, v: int, new_parent: int) -> float: ...
+    def lifetime_if_reparent(self, v: int, new_parent: int) -> float: ...
+    def reparent_lifetime_delta(self, v: int, new_parent: int) -> LifetimeDelta: ...
+
+    # conversion
+    def freeze(self) -> AggregationTree: ...
+    def copy(self) -> "TreeStateBackend": ...
+
+
 class TreeState:
     """Mutable (partial) spanning tree with O(1) incremental paper metrics.
 
@@ -106,13 +161,25 @@ class TreeState:
     (unattached nodes carry their zero-children lifetime, so once the state
     is spanning every metric equals the :class:`AggregationTree` definition).
 
+    ``TreeState(...)`` is also the backend dispatch point: constructing the
+    base class resolves the effective backend (explicit ``backend=`` >
+    ambient :func:`repro.engine.backend.use_backend` > the
+    ``REPRO_ENGINE_BACKEND`` environment variable > ``"object"``) and may
+    hand back a :class:`~repro.engine.treestate_np.TreeStateNumpy` instead.
+    Instantiating a concrete subclass directly always yields that subclass.
+
     Args:
         network: The network the tree lives in.
         parents: Optional parent map (dict, or length-``n`` sequence with the
             sink's entry ignored).  ``None`` starts with only the sink
             attached.  A partial dict is allowed as long as every attached
             node reaches the sink; edges must exist in the network.
+        backend: Optional backend name (``"object"`` / ``"numpy"``)
+            overriding the ambient/environment policy for this instance.
     """
+
+    #: Registry name of this implementation (subclasses override).
+    backend_name = "object"
 
     __slots__ = (
         "network",
@@ -127,19 +194,33 @@ class TreeState:
         "_min_dirty",
     )
 
+    def __new__(
+        cls,
+        network: Optional[Network] = None,
+        parents: Optional[Dict[int, int] | Sequence[int]] = None,
+        *,
+        backend: Optional[str] = None,
+    ) -> "TreeState":
+        # Only base-class construction dispatches; concrete subclasses are
+        # an explicit choice and are honoured as-is.
+        if cls is TreeState:
+            impl = get_backend_class(resolve_backend(backend))
+            if impl is not TreeState:
+                return super().__new__(impl)
+        return super().__new__(cls)
+
     def __init__(
         self,
         network: Network,
         parents: Optional[Dict[int, int] | Sequence[int]] = None,
+        *,
+        backend: Optional[str] = None,  # consumed by __new__ dispatch
     ) -> None:
         self.network = network
         n = network.n
         self._parent = np.full(n, -1, dtype=np.int64)
         self._n_children = np.zeros(n, dtype=np.int64)
-        model = network.energy_model
-        self._life: List[float] = [
-            model.lifetime_rounds(network.initial_energy(v), 0) for v in range(n)
-        ]
+        self._init_lifetimes()
         self._cost = 0.0
         self._q = 1.0
         self._n_attached = 1
@@ -148,6 +229,30 @@ class TreeState:
         self._min_dirty = True
         if parents is not None:
             self._load_parents(parents)
+
+    # -- backend extension points ---------------------------------------
+    # The numpy backend overrides these three hooks (array storage, O(1)
+    # per-move edge bookkeeping, vectorized recomputes); the scalar cost/Q
+    # accumulation itself is shared so both backends produce bitwise-equal
+    # metrics.
+    def _init_lifetimes(self) -> None:
+        network = self.network
+        model = network.energy_model
+        self._life: List[float] = [
+            model.lifetime_rounds(network.initial_energy(v), 0)
+            for v in range(network.n)
+        ]
+
+    def _note_parent_edge(self, v: int, edge) -> None:
+        """Called whenever *v*'s tree edge becomes *edge* (attach/reparent)."""
+
+    def _recompute_all_lifetimes(self) -> None:
+        network = self.network
+        model = network.energy_model
+        for v in range(network.n):
+            self._life[v] = model.lifetime_rounds(
+                network.initial_energy(v), int(self._n_children[v])
+            )
 
     def _load_parents(self, parents: Dict[int, int] | Sequence[int]) -> None:
         network = self.network
@@ -195,7 +300,6 @@ class TreeState:
                 )
             for u in path:
                 state[u] = 2
-        model = network.energy_model
         for v in range(n):
             p = int(self._parent[v])
             if p >= 0:
@@ -204,15 +308,24 @@ class TreeState:
                 self._cost += edge.cost
                 self._q *= edge.prr
                 self._n_attached += 1
-        for v in range(n):
-            self._life[v] = model.lifetime_rounds(
-                network.initial_energy(v), int(self._n_children[v])
-            )
+                self._note_parent_edge(v, edge)
+        self._recompute_all_lifetimes()
         self._min_dirty = True
 
     @classmethod
-    def from_tree(cls, tree: AggregationTree) -> "TreeState":
-        """Thaw an :class:`AggregationTree` into a mutable state."""
+    def from_tree(
+        cls, tree: AggregationTree, *, backend: Optional[str] = None
+    ) -> "TreeState":
+        """Thaw an :class:`AggregationTree` into a mutable state.
+
+        Called on the base class this resolves the backend policy (like
+        ``TreeState(...)``); called on a concrete subclass it builds that
+        subclass.
+        """
+        if cls is TreeState:
+            impl = get_backend_class(resolve_backend(backend))
+            if impl is not TreeState:
+                return impl.from_tree(tree)
         state = cls(tree.network)
         parent = tree._parent
         sink = tree.sink
@@ -226,12 +339,9 @@ class TreeState:
             edge = network.edge(v, p)
             state._cost += edge.cost
             state._q *= edge.prr
+            state._note_parent_edge(v, edge)
         state._n_attached = tree.n
-        model = network.energy_model
-        for v in range(tree.n):
-            state._life[v] = model.lifetime_rounds(
-                network.initial_energy(v), int(state._n_children[v])
-            )
+        state._recompute_all_lifetimes()
         state._min_dirty = True
         return state
 
@@ -276,6 +386,14 @@ class TreeState:
         """``Ch_T(v)`` of Eq. 1."""
         return int(self._n_children[v])
 
+    def children_counts(self) -> np.ndarray:
+        """Copy of the per-node children-count vector (``Ch_T`` of Eq. 1)."""
+        return self._n_children.copy()
+
+    def parents_array(self) -> np.ndarray:
+        """Copy of the parent-pointer vector (-1 for sink/unattached)."""
+        return self._parent.copy()
+
     def children(self, v: int) -> List[int]:
         """Children of *v* in ascending id order (O(n) scan)."""
         parent = self._parent
@@ -310,7 +428,12 @@ class TreeState:
                 return False
 
     def depths(self) -> List[int]:
-        """Hop count to the sink for every node (-1 when unattached)."""
+        """Hop count to the sink for every node (-1 when unattached).
+
+        Fully iterative (memoized path walks, O(n) total): a 10k-node
+        path-like chain must not touch the recursion limit — the deep-chain
+        regression test pins this.
+        """
         n = self.network.n
         sink = self.network.sink
         parent = self._parent
@@ -360,6 +483,24 @@ class TreeState:
         self.lifetime()
         return self._min_count
 
+    def lifetime_values(self) -> Sequence[float]:
+        """Per-node lifetimes indexed by node id (read-only view).
+
+        The numpy backend returns its lifetime vector directly; callers
+        must treat the result as immutable.
+        """
+        return self._life
+
+    def bottleneck_members(self, rel_tol: float = 1e-12) -> Tuple[float, List[int]]:
+        """``(low, members)``: the minimum lifetime and the node ids within
+        ``low * (1 + rel_tol)`` of it, ascending.  The randomized-switching
+        baseline polls this every attempt, so backends may vectorize it.
+        """
+        life = self._life
+        low = min(life)
+        bound = low * (1 + rel_tol)
+        return low, [v for v, lv in enumerate(life) if lv <= bound]
+
     def _set_life(self, v: int, value: float) -> None:
         old = self._life[v]
         if old == value:
@@ -407,6 +548,7 @@ class TreeState:
         self._n_attached += 1
         self._cost += edge.cost
         self._q *= edge.prr
+        self._note_parent_edge(v, edge)
         self._update_children(parent, +1)
 
     def reparent(self, v: int, new_parent: int, *, check: bool = True) -> None:
@@ -441,6 +583,7 @@ class TreeState:
         self._cost += edge_new.cost - edge_old.cost
         self._q *= edge_new.prr / edge_old.prr
         self._parent[v] = p
+        self._note_parent_edge(v, edge_new)
         self._update_children(old, -1)
         self._update_children(p, +1)
 
@@ -581,11 +724,11 @@ class TreeState:
         return AggregationTree(self.network, self.parents_map())
 
     def copy(self) -> "TreeState":
-        """Independent copy of this state."""
-        clone = TreeState(self.network)
+        """Independent copy of this state (same backend as the original)."""
+        clone = type(self)(self.network)
         clone._parent = self._parent.copy()
         clone._n_children = self._n_children.copy()
-        clone._life = list(self._life)
+        clone._life = self._life.copy()
         clone._cost = self._cost
         clone._q = self._q
         clone._n_attached = self._n_attached
@@ -596,17 +739,20 @@ class TreeState:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"TreeState(n={self.network.n}, attached={self._n_attached}, "
-            f"cost={self._cost:.4f})"
+            f"{type(self).__name__}(n={self.network.n}, "
+            f"attached={self._n_attached}, cost={self._cost:.4f})"
         )
 
 
 def freeze_parents(
-    network: Network, parents: Dict[int, int] | Sequence[int]
+    network: Network,
+    parents: Dict[int, int] | Sequence[int],
+    *,
+    backend: Optional[str] = None,
 ) -> AggregationTree:
     """One shared parents→:class:`AggregationTree` conversion point.
 
     Covers the single-node network (empty parent map) and validates through
     :class:`TreeState` so every construction site reports the same errors.
     """
-    return TreeState(network, parents).freeze()
+    return TreeState(network, parents, backend=backend).freeze()

@@ -1,0 +1,267 @@
+"""Struct-of-arrays numpy backend for the incremental tree state.
+
+:class:`TreeStateNumpy` stores every per-node quantity the searches touch
+as a flat vector — parent pointer, children count, lifetime, and the cost /
+PRR of the node's current tree edge — and adds **bulk move scans**: one
+vectorized pass over all ``(child, candidate-parent)`` pairs replaces the
+per-candidate Python loop at the heart of the greedy cost descents.
+
+Decision identity with the ``"object"`` backend is a hard contract, pinned
+by the randomized cross-backend equivalence suite:
+
+* cost and reliability are accumulated with the *same scalar float
+  operations in the same order* as the object backend (never via
+  ``np.sum``/``np.prod``, whose pairwise reductions drift by ULPs);
+* per-edge costs enter the arrays from the scalar
+  :attr:`~repro.network.model.Edge.cost` values (``math.log``), never from
+  ``np.log`` (SIMD log is not guaranteed bitwise-equal to libm);
+* vectorized minima (`np.min`, masked rescans) equal the Python ``min``
+  over the same values exactly, so lifetimes match bitwise;
+* bulk scans enumerate candidates in the exact order of the object
+  backend's nested loops (child ascending, then neighbour ascending) and
+  break ties identically, so every search accepts the same move sequence.
+
+The adjacency arrays built by :meth:`_ensure_adj` snapshot link costs once
+per state; bulk scans therefore assume link qualities do not change for the
+duration of a search — true for every registered builder (the churn
+simulator mutates PRRs only *between* builds).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.treestate import TreeState
+
+__all__ = ["TreeStateNumpy"]
+
+#: ``(src, dst, cost, indptr)`` flat directed adjacency in (src asc, dst
+#: asc) order — the object backend's scan order.
+_Adjacency = Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+class TreeStateNumpy(TreeState):
+    """Array-native tree state; registered as the ``"numpy"`` backend.
+
+    Construct it via ``TreeState(..., backend="numpy")``, the
+    ``REPRO_ENGINE_BACKEND`` environment variable, or
+    :func:`repro.engine.backend.use_backend` — direct instantiation works
+    too and always yields this class.
+    """
+
+    backend_name = "numpy"
+
+    __slots__ = ("_ecost", "_eprr", "_adj")
+
+    # ------------------------------------------------------------------
+    # Backend hooks (see TreeState)
+    # ------------------------------------------------------------------
+    def _init_lifetimes(self) -> None:
+        n = self.network.n
+        self._life = self._lifetimes_for_counts(np.zeros(n, dtype=np.int64))
+        self._ecost = np.zeros(n, dtype=np.float64)
+        self._eprr = np.ones(n, dtype=np.float64)
+        self._adj: Optional[_Adjacency] = None
+
+    def _lifetimes_for_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Vectorized Eq. 1 — elementwise identical to the scalar
+        ``EnergyModel.lifetime_rounds`` (same multiply/add/divide order)."""
+        model = self.network.energy_model
+        return self.network.initial_energies / (model.tx + model.rx * counts)
+
+    def _note_parent_edge(self, v: int, edge) -> None:
+        self._ecost[v] = edge.cost
+        self._eprr[v] = edge.prr
+
+    def _recompute_all_lifetimes(self) -> None:
+        self._life = self._lifetimes_for_counts(self._n_children)
+
+    # ------------------------------------------------------------------
+    # Vectorized structure accessors
+    # ------------------------------------------------------------------
+    def children(self, v: int) -> List[int]:
+        return np.nonzero(self._parent == v)[0].tolist()
+
+    def children_lists(self) -> List[List[int]]:
+        n = self.network.n
+        parent = self._parent
+        kids: List[List[int]] = [[] for _ in range(n)]
+        attached = np.nonzero(parent >= 0)[0]
+        if attached.size:
+            # Stable sort by parent keeps children ascending within a parent.
+            order = attached[np.argsort(parent[attached], kind="stable")]
+            sorted_parents = parent[order]
+            ids = np.arange(n)
+            starts = np.searchsorted(sorted_parents, ids, side="left")
+            ends = np.searchsorted(sorted_parents, ids, side="right")
+            for p in np.nonzero(ends > starts)[0]:
+                kids[p] = order[starts[p] : ends[p]].tolist()
+        return kids
+
+    def parents_map(self) -> Dict[int, int]:
+        attached = np.nonzero(self._parent >= 0)[0]
+        parents = self._parent[attached]
+        return {int(v): int(p) for v, p in zip(attached, parents)}
+
+    # ------------------------------------------------------------------
+    # Vectorized metrics
+    # ------------------------------------------------------------------
+    def lifetime(self) -> float:
+        if self._min_dirty:
+            low = self._life.min()
+            self._min_life = float(low)
+            self._min_count = int(np.count_nonzero(self._life == low))
+            self._min_dirty = False
+        return self._min_life
+
+    def lifetime_values(self) -> Sequence[float]:
+        return self._life
+
+    def bottleneck_members(
+        self, rel_tol: float = 1e-12
+    ) -> Tuple[float, List[int]]:
+        life = self._life
+        low = float(life.min())
+        members = np.nonzero(life <= low * (1 + rel_tol))[0]
+        return low, members.tolist()
+
+    def lifetime_if_reparent(self, v: int, new_parent: int) -> float:
+        old = int(self._parent[v])
+        if old < 0:
+            raise ValueError(f"node {v} is not attached")
+        current = self.lifetime()
+        if new_parent == old:
+            return current
+        model = self.network.energy_model
+        life_old = model.lifetime_rounds(
+            self.network.initial_energy(old), int(self._n_children[old]) - 1
+        )
+        life_new = model.lifetime_rounds(
+            self.network.initial_energy(new_parent),
+            int(self._n_children[new_parent]) + 1,
+        )
+        touched_at_min = (self._life[old] == current) + (
+            self._life[new_parent] == current
+        )
+        if self._min_count > touched_at_min:
+            rest = current
+        else:
+            mask = np.ones(self.network.n, dtype=bool)
+            mask[old] = False
+            mask[new_parent] = False
+            others = self._life[mask]
+            rest = float(others.min()) if others.size else math.inf
+        return min(rest, life_old, life_new)
+
+    # ------------------------------------------------------------------
+    # Bulk move scans
+    # ------------------------------------------------------------------
+    def _ensure_adj(self) -> _Adjacency:
+        if self._adj is not None:
+            return self._adj
+        network = self.network
+        n = network.n
+        dst: List[int] = []
+        cost: List[float] = []
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        for v in range(n):
+            for u in network.neighbors(v):  # ascending
+                dst.append(u)
+                cost.append(network.cost(v, u))  # scalar math.log values
+            indptr[v + 1] = len(dst)
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        self._adj = (
+            src,
+            np.asarray(dst, dtype=np.int64),
+            np.asarray(cost, dtype=np.float64),
+            indptr,
+        )
+        return self._adj
+
+    def reparent_candidates(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(child, cand, delta)`` for every legal-looking re-parent pair.
+
+        Covers all directed ``(node, neighbour)`` pairs with ``child !=
+        sink`` and ``cand != parent(child)``, in (child ascending, cand
+        ascending) order — the object backend's scan order.  ``delta`` is
+        the cost change ``cost(child, cand) - cost(child, parent)``,
+        bitwise-equal to the scalar preview.  Subtree (cycle) legality is
+        *not* filtered here; :meth:`best_cost_reparent` validates lazily.
+        """
+        src, dst, cost, _ = self._ensure_adj()
+        keep = (src != self.network.sink) & (dst != self._parent[src])
+        child = src[keep]
+        cand = dst[keep]
+        delta = cost[keep] - self._ecost[child]
+        return child, cand, delta
+
+    def best_cost_reparent(
+        self,
+        *,
+        cand_ok: Optional[np.ndarray] = None,
+        child_group: Optional[np.ndarray] = None,
+        pair_ok: Optional[
+            Callable[[np.ndarray, np.ndarray], np.ndarray]
+        ] = None,
+        threshold: Optional[float] = None,
+    ) -> Optional[Tuple[float, int, int]]:
+        """The move the object backend's nested cost scan would accept.
+
+        Returns ``(delta, child, cand)`` for the minimum-delta valid move —
+        ties broken by scan order, exactly like the sequential ``delta <
+        best`` loops — or ``None`` when no candidate qualifies.
+
+        Args:
+            cand_ok: Optional per-node bool mask of allowed new parents
+                (children-cap filtering).
+            child_group: Optional per-node int key; when given, children
+                with a negative key are excluded and candidates are scanned
+                grouped by ascending key first (``repair_overload`` scans
+                by ascending overloaded-parent id before child id).
+            pair_ok: Optional vectorized predicate over ``(child, cand)``
+                arrays (the delay-bounded depth gate).
+            threshold: When set, only deltas strictly below it qualify
+                (the ``-1e-15`` strict-descent cutoff).
+
+        Subtree legality is validated lazily on the delta-sorted candidate
+        list (O(depth) ancestor walk each), so the usual case touches a
+        handful of candidates even though millions were scored.
+        """
+        if not self.spanning:
+            raise ValueError("bulk move scans require a spanning state")
+        child, cand, delta = self.reparent_candidates()
+        valid = np.ones(child.size, dtype=bool)
+        if cand_ok is not None:
+            valid &= cand_ok[cand]
+        if child_group is not None:
+            valid &= child_group[child] >= 0
+        if pair_ok is not None:
+            valid &= pair_ok(child, cand)
+        if threshold is not None:
+            valid &= delta < threshold
+        idx = np.nonzero(valid)[0]
+        if idx.size == 0:
+            return None
+        if child_group is not None:
+            # Stable: keeps (child, cand) order within one group.
+            idx = idx[np.argsort(child_group[child[idx]], kind="stable")]
+        order = idx[np.argsort(delta[idx], kind="stable")]
+        for i in order:
+            c = int(child[i])
+            t = int(cand[i])
+            if not self.in_subtree(t, c):
+                return float(delta[i]), c, t
+        return None
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def copy(self) -> "TreeStateNumpy":
+        clone = super().copy()
+        clone._ecost = self._ecost.copy()
+        clone._eprr = self._eprr.copy()
+        clone._adj = self._adj  # immutable snapshot, safe to share
+        return clone

@@ -40,6 +40,7 @@ HOT_PACKAGES = (
     "repro.distributed",
     "repro.faults",
     "repro.serve",
+    "repro.simulation",
 )
 
 _GUARDED_ATTRS = frozenset({"registry", "tracer"})

@@ -62,6 +62,10 @@ DEFAULT_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("cold_rps", higher_is_better=True),
         MetricSpec("hit_rate", higher_is_better=True),
     ),
+    "repro-bench-core": (
+        MetricSpec("round_sim_speedup", higher_is_better=True),
+        MetricSpec("local_search_speedup", higher_is_better=True),
+    ),
 }
 
 

@@ -50,6 +50,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.tree import AggregationTree
 from repro.engine import BuildResult, build_tree
+from repro.engine.backend import resolve_backend
 from repro.experiments.parallel import default_workers
 from repro.network.model import Network
 from repro.obs.spanctx import SpanContext
@@ -103,10 +104,14 @@ def _child_span(
     return {"ctx": child.to_dict(), "dur": time.perf_counter() - start}
 
 
-def _build_one(network: Network, item: WorkItem) -> ShardOutcome:
+def _build_one(
+    network: Network, item: WorkItem, backend: Optional[str] = None
+) -> ShardOutcome:
     start = time.perf_counter() if item.span is not None else 0.0
     try:
-        result = build_tree(item.builder, network, **dict(item.params))
+        result = build_tree(
+            item.builder, network, backend=backend, **dict(item.params)
+        )
         return ShardOutcome(
             key=item.key, result=result, span=_child_span(item.span, start)
         )
@@ -120,9 +125,9 @@ def _build_one(network: Network, item: WorkItem) -> ShardOutcome:
 
 
 def _build_shard_local(
-    network: Network, items: Sequence[WorkItem]
+    network: Network, items: Sequence[WorkItem], backend: Optional[str] = None
 ) -> List[ShardOutcome]:
-    return [_build_one(network, item) for item in items]
+    return [_build_one(network, item, backend) for item in items]
 
 
 # ----------------------------------------------------------------------
@@ -164,6 +169,7 @@ def _build_shard_remote(
     fingerprint: str,
     payload: bytes,
     items: Sequence[_WireItem],
+    backend: Optional[str] = None,
 ) -> List[_WireRow]:
     """Run one shard inside a worker process.
 
@@ -171,13 +177,15 @@ def _build_shard_remote(
     span)`` — no ``AggregationTree``/``Network`` objects travel back, only
     the parent map the server re-binds locally plus the worker-measured
     build span (``None`` when the item carried no trace context).
+    ``backend`` (a plain string on the wire) scopes every build to that
+    TreeState implementation inside the worker process.
     """
     network = _worker_network(fingerprint, payload)
     out: List[_WireRow] = []
     for key, builder, params, parent_span in items:
         start = time.perf_counter() if parent_span is not None else 0.0
         try:
-            result = build_tree(builder, network, **params)
+            result = build_tree(builder, network, backend=backend, **params)
             span = _child_span(parent_span, start)
             out.append(
                 (
@@ -198,10 +206,21 @@ def _build_shard_remote(
 
 
 class WorkerPool:
-    """A reusable executor with an async shard-execution front end."""
+    """A reusable executor with an async shard-execution front end.
+
+    ``backend`` pins every build this pool runs to one TreeState
+    implementation (:mod:`repro.engine.backend`) — ``"numpy"`` makes served
+    builds array-native in all three modes (the name travels over the wire
+    to process workers).  ``None`` leaves each worker on its own ambient
+    default (usually ``"object"``, or ``REPRO_ENGINE_BACKEND``).
+    """
 
     def __init__(
-        self, mode: str = "inline", n_workers: Optional[int] = None
+        self,
+        mode: str = "inline",
+        n_workers: Optional[int] = None,
+        *,
+        backend: Optional[str] = None,
     ) -> None:
         if mode not in POOL_MODES:
             raise ValueError(
@@ -209,6 +228,9 @@ class WorkerPool:
             )
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if backend is not None:
+            resolve_backend(backend)  # fail fast on unknown names
+        self.backend = backend
         self.mode = mode
         self.n_workers = (
             1 if mode == "inline" else (n_workers or default_workers())
@@ -242,11 +264,15 @@ class WorkerPool:
         if not items:
             return []
         if self.mode == "inline":
-            return _build_shard_local(warm.network, items)
+            return _build_shard_local(warm.network, items, self.backend)
         loop = asyncio.get_running_loop()
         if self.mode == "thread":
             return await loop.run_in_executor(
-                self._executor, _build_shard_local, warm.network, list(items)
+                self._executor,
+                _build_shard_local,
+                warm.network,
+                list(items),
+                self.backend,
             )
         wire_items = [
             (item.key, item.builder, dict(item.params), item.span)
@@ -258,6 +284,7 @@ class WorkerPool:
             warm.fingerprint,
             warm.payload(),
             wire_items,
+            self.backend,
         )
         outcomes: List[ShardOutcome] = []
         by_key = {item.key: item for item in items}
@@ -302,6 +329,7 @@ def _shard_call(
     fingerprint: str,
     payload: bytes,
     items: List[_WireItem],
+    backend: Optional[str] = None,
 ):
     """Picklable trampoline for ``run_in_executor`` (no kwargs support)."""
-    return _build_shard_remote(fingerprint, payload, items)
+    return _build_shard_remote(fingerprint, payload, items, backend)

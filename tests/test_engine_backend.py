@@ -1,0 +1,204 @@
+"""Backend registry + numpy TreeState: selection machinery and bitwise parity.
+
+The contract under test (see ``docs/performance.md``): the numpy
+struct-of-arrays backend is a *bitwise* drop-in for the object backend —
+identical floats, identical move decisions, identical frozen trees — with
+selection layered as explicit argument > ambient scope > environment
+variable > ``"object"`` default.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.engine import (
+    DEFAULT_BACKEND,
+    ENV_BACKEND,
+    TreeState,
+    TreeStateBackend,
+    TreeStateNumpy,
+    available_tree_backends,
+    build_tree,
+    get_backend_class,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+# ---------------------------------------------------------------------------
+# selection machinery
+# ---------------------------------------------------------------------------
+
+
+def test_registry_lists_both_backends():
+    assert available_tree_backends() == ("numpy", "object")
+    assert get_backend_class("object") is TreeState
+    assert get_backend_class("numpy") is TreeStateNumpy
+
+
+def test_resolve_precedence_arg_over_ambient_over_env(monkeypatch):
+    assert resolve_backend() == DEFAULT_BACKEND
+    monkeypatch.setenv(ENV_BACKEND, "numpy")
+    assert resolve_backend() == "numpy"
+    with use_backend("object"):
+        assert resolve_backend() == "object"  # ambient beats env
+        assert resolve_backend("numpy") == "numpy"  # arg beats ambient
+    assert resolve_backend() == "numpy"  # scope restored
+
+
+def test_unknown_backend_rejected_everywhere(monkeypatch):
+    with pytest.raises(ValueError, match="bogus"):
+        resolve_backend("bogus")
+    with pytest.raises(ValueError):
+        set_default_backend("bogus")
+    with pytest.raises(ValueError):
+        with use_backend("bogus"):
+            pass
+    monkeypatch.setenv(ENV_BACKEND, "bogus")
+    with pytest.raises(ValueError, match=ENV_BACKEND):
+        resolve_backend()
+
+
+def test_use_backend_none_is_a_noop_scope():
+    with use_backend("numpy"):
+        with use_backend(None):
+            assert resolve_backend() == "numpy"
+
+
+def test_constructor_dispatch_and_subclass_bypass():
+    net = random_graph(10, 0.7, seed=1)
+    assert type(TreeState(net)) is TreeState
+    assert type(TreeState(net, backend="numpy")) is TreeStateNumpy
+    with use_backend("numpy"):
+        assert type(TreeState(net)) is TreeStateNumpy
+        assert type(TreeState.from_tree(build_tree("bfs", net).tree)) is (
+            TreeStateNumpy
+        )
+    # direct subclass instantiation never re-dispatches
+    assert type(TreeStateNumpy(net)) is TreeStateNumpy
+
+
+def test_both_backends_satisfy_protocol():
+    net = random_graph(8, 0.8, seed=2)
+    for backend in available_tree_backends():
+        assert isinstance(TreeState(net, backend=backend), TreeStateBackend)
+
+
+def test_copy_preserves_concrete_backend():
+    net = random_graph(9, 0.8, seed=3)
+    state = TreeState.from_tree(build_tree("bfs", net).tree, backend="numpy")
+    assert type(state.copy()) is TreeStateNumpy
+    assert state.copy().backend_name == "numpy"
+
+
+# ---------------------------------------------------------------------------
+# cross-backend bitwise parity
+# ---------------------------------------------------------------------------
+
+
+def _mirror_states(net):
+    tree = build_tree("bfs", net).tree
+    return (
+        TreeState.from_tree(tree, backend="object"),
+        TreeState.from_tree(tree, backend="numpy"),
+    )
+
+
+def test_random_mutations_bitwise_identical_across_backends():
+    net = random_graph(40, 0.3, prr_low=0.5, prr_high=0.99, seed=23)
+    obj, vec = _mirror_states(net)
+    rng = random.Random(7)
+    for _ in range(400):
+        moves = [
+            (v, p)
+            for v in range(net.n)
+            if v != net.sink
+            for p in net.neighbors(v)
+            if p != obj.parent(v) and not obj.in_subtree(p, v)
+        ]
+        v, p = rng.choice(moves)
+        # previews agree bitwise before the move...
+        assert obj.delta_cost(v, p) == vec.delta_cost(v, p)
+        assert obj.lifetime_if_reparent(v, p) == vec.lifetime_if_reparent(v, p)
+        obj.reparent(v, p)
+        vec.reparent(v, p)
+        # ...and every maintained metric agrees bitwise after it.
+        assert obj.cost == vec.cost
+        assert obj.reliability == vec.reliability
+        assert obj.lifetime() == vec.lifetime()
+        assert obj.bottleneck_count() == vec.bottleneck_count()
+    assert obj.parents_map() == vec.parents_map()
+    assert obj.children_lists() == vec.children_lists()
+    assert list(obj.lifetime_values()) == list(vec.lifetime_values())
+    assert obj.bottleneck_members() == vec.bottleneck_members()
+    assert obj.freeze().parents == vec.freeze().parents
+
+
+@pytest.mark.parametrize("builder", ["ira", "local_search", "delay_bounded", "rasmalai"])
+def test_builders_bitwise_identical_across_backends(builder):
+    net = random_graph(24, 0.4, prr_low=0.6, prr_high=0.95, seed=11)
+    config = {}
+    if builder in ("ira", "local_search"):
+        config["lc"] = 1.0
+    if builder == "delay_bounded":
+        config["max_depth"] = 6
+    if builder == "rasmalai":
+        config["seed"] = 4
+    a = build_tree(builder, net, backend="object", **config)
+    b = build_tree(builder, net, backend="numpy", **config)
+    assert a.tree.parents == b.tree.parents
+    assert a.cost == b.cost
+    assert a.reliability == b.reliability
+    assert a.lifetime == b.lifetime
+
+
+def test_churn_simulation_bitwise_identical_across_backends():
+    """The flood-accounting path (protocol + churn) is backend-neutral."""
+    from repro.distributed.simulator import ChurnSimulation
+
+    def run(backend):
+        net = random_graph(18, 0.45, prr_low=0.6, prr_high=0.95, seed=5)
+        tree = build_tree("ira", net, lc=100.0).tree
+        with use_backend(backend):
+            sim = ChurnSimulation(
+                net, tree, 100.0, improve_probability=0.3, seed=21
+            )
+            records = sim.run(25)
+        return [
+            (
+                r.degraded_edge,
+                r.distributed_cost,
+                r.centralized_cost,
+                r.distributed_reliability,
+                r.messages,
+                r.cumulative_messages,
+                r.changed,
+            )
+            for r in records
+        ]
+
+    assert run("object") == run("numpy")
+
+
+# ---------------------------------------------------------------------------
+# deep-chain regression (satellite: depths() stays iterative)
+# ---------------------------------------------------------------------------
+
+
+def test_depths_survive_ten_thousand_node_path():
+    """A 10k-node path must not recurse: depths(), freeze(), previews all
+    work at a depth far beyond CPython's default recursion limit."""
+    n = 10_000
+    net = Network(n)
+    for v in range(1, n):
+        net.add_link(v - 1, v, 0.99)
+    parents = {v: v - 1 for v in range(1, n)}
+    for backend in available_tree_backends():
+        state = TreeState(net, parents, backend=backend)
+        depths = state.depths()
+        assert depths[n - 1] == n - 1
+        assert state.freeze().parents == parents
+        assert math.isfinite(state.cost)

@@ -18,10 +18,29 @@ from repro.engine import (
     TreeState,
     freeze_parents,
     lifetime_delta_better,
+    use_backend,
 )
 from repro.network.dfl import dfl_network
 from repro.network.model import Network
 from repro.network.topology import grid_graph, random_graph
+
+
+@pytest.fixture(autouse=True, params=["object", "numpy"])
+def tree_backend(request):
+    """Run every test in this module under both TreeState backends.
+
+    The ambient scope makes each bare ``TreeState(...)`` /
+    ``TreeState.from_tree(...)`` in the tests dispatch to the selected
+    implementation, so the whole invariant suite doubles as the backend
+    parity suite.
+    """
+    with use_backend(request.param):
+        yield request.param
+
+
+def test_dispatch_honours_ambient_backend(tree_backend):
+    state = TreeState(dfl_network())
+    assert state.backend_name == tree_backend
 
 
 def _reference(state: TreeState) -> AggregationTree:

@@ -107,3 +107,99 @@ class TestEnergyLedger:
         assert not ledger.alive()
         assert ledger.first_dead() == 1
         assert EnergyLedger(remaining=np.array([1.0, 1.0])).first_dead() is None
+
+
+# ---------------------------------------------------------------------------
+# vectorization parity: the batched simulator is bitwise-identical to the
+# historical per-edge scalar loop (same RNG stream, same outcomes, same
+# energy debits), and batched estimate_reliability == sequential run_round
+# ---------------------------------------------------------------------------
+
+
+def _reference_round(tree, rng, remaining=None):
+    """The pre-vectorization per-edge loop, reconstructed verbatim."""
+    net = tree.network
+    model = net.energy_model
+    delivered_below = {v: {v} for v in range(tree.n)}
+    losses = []
+    for v in tree.postorder():
+        if v == tree.sink:
+            continue
+        parent = tree.parent(v)
+        if remaining is not None:
+            remaining[v] -= model.tx
+            remaining[parent] -= model.rx
+        if rng.random() < net.prr(v, parent):
+            delivered_below[parent] |= delivered_below[v]
+        else:
+            losses.append((min(v, parent), max(v, parent)))
+    if remaining is not None:
+        remaining[tree.sink] -= model.tx
+    delivered = frozenset(delivered_below[tree.sink])
+    return delivered, tuple(losses), len(delivered) == tree.n
+
+
+class TestVectorizationParity:
+    @pytest.fixture
+    def wide_tree(self):
+        from repro.network.topology import random_graph
+
+        net = random_graph(60, 0.2, prr_low=0.7, prr_high=0.98, seed=17)
+        return bfs_tree(net)
+
+    def test_run_round_matches_reference_loop(self, wide_tree):
+        from repro.utils.rng import as_rng
+
+        sim = AggregationSimulator(wide_tree, seed=404)
+        ledger = EnergyLedger.for_tree(wide_tree)
+        rng = as_rng(404)
+        remaining = wide_tree.network.initial_energies
+        for _ in range(60):
+            out = sim.run_round(ledger)
+            delivered, losses, complete = _reference_round(
+                wide_tree, rng, remaining
+            )
+            assert out.delivered == delivered
+            assert out.losses == losses
+            assert out.complete == complete
+            assert np.array_equal(ledger.remaining, remaining)
+        # both consumed the identical RNG stream
+        assert sim.rng.random() == rng.random()
+
+    def test_estimate_matches_sequential_rounds(self, wide_tree):
+        batched = AggregationSimulator(wide_tree, seed=9)
+        estimate = batched.estimate_reliability(750)
+        sequential = AggregationSimulator(wide_tree, seed=9)
+        complete = sum(
+            sequential.run_round().complete for _ in range(750)
+        )
+        assert estimate == complete / 750
+        assert batched.rng.random() == sequential.rng.random()
+
+    def test_estimate_chunking_preserves_stream(self, wide_tree, monkeypatch):
+        # Force tiny draw blocks: chunked (rounds, edges) matrices must
+        # consume the same stream as one big matrix.
+        import repro.simulation.rounds as rounds_mod
+
+        whole = AggregationSimulator(wide_tree, seed=31).estimate_reliability(
+            500
+        )
+        monkeypatch.setattr(rounds_mod, "_BATCH_DRAW_BUDGET", 7 * 59)
+        chunked = AggregationSimulator(wide_tree, seed=31).estimate_reliability(
+            500
+        )
+        assert whole == chunked
+
+    def test_estimate_obs_counters_match_sequential(self, wide_tree):
+        from repro.obs import instrument
+
+        with instrument() as batched_session:
+            AggregationSimulator(wide_tree, seed=5).estimate_reliability(200)
+        with instrument() as sequential_session:
+            sim = AggregationSimulator(wide_tree, seed=5)
+            for _ in range(200):
+                sim.run_round()
+        assert (
+            batched_session.registry.snapshot()
+            == sequential_session.registry.snapshot()
+        )
