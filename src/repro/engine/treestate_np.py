@@ -181,7 +181,10 @@ class TreeStateNumpy(TreeState):
         )
         return self._adj
 
-    def reparent_candidates(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    # Numpy-only vectorized fast path: callers probe it with getattr(...,
+    # None) and fall back to the scalar scan, so it is deliberately not
+    # part of the TreeStateBackend protocol.
+    def reparent_candidates(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:  # repro: ignore[REP111]
         """``(child, cand, delta)`` for every legal-looking re-parent pair.
 
         Covers all directed ``(node, neighbour)`` pairs with ``child !=
@@ -198,7 +201,8 @@ class TreeStateNumpy(TreeState):
         delta = cost[keep] - self._ecost[child]
         return child, cand, delta
 
-    def best_cost_reparent(
+    # Same duck-typed fast-path contract as reparent_candidates above.
+    def best_cost_reparent(  # repro: ignore[REP111]
         self,
         *,
         cand_ok: Optional[np.ndarray] = None,

@@ -1,16 +1,27 @@
-"""repro.lint — AST-based invariant checker for this reproduction.
+"""repro.lint — static analysis engine for this reproduction.
 
 The correctness claims of the repo (decision-identical TreeState deltas,
 Lemma 3's ``Q(T) = e^{-C(T)}``, per-seed determinism of every figure) rest
 on code conventions that no type checker knows about.  This package encodes
-them as lint rules with a registry (:func:`lint_rule`), a per-file driver
-with ``# repro: ignore[RULE-ID]`` suppressions, JSON/text reporters, and a
-committed baseline for grandfathered findings.  Run it as ``repro lint`` /
-``mrlc lint``; see :mod:`repro.lint.rules` for the rule table and
-``docs/static_analysis.md`` for the workflow.
+them in two layers:
+
+* **per-file rules** — AST checks with a registry (:func:`lint_rule`),
+  ``# repro: ignore[RULE-ID]`` suppressions, and a committed baseline for
+  grandfathered findings;
+* **whole-program passes** — module summaries, an import/call graph
+  (:mod:`repro.lint.graph`), and a fixpoint effect inference
+  (:mod:`repro.lint.effects`) feeding the interprocedural rules
+  (REP108–REP112: async blocking reachability, await races,
+  process-boundary RNG discipline, backend parity, aliased mutation).
+
+Per-file analyses cache by content hash (:class:`LintCache`) so warm runs
+re-parse nothing.  Run it as ``repro lint`` / ``mrlc lint``; see
+:mod:`repro.lint.rules` for the rule table and ``docs/static_analysis.md``
+for the architecture and workflow.
 """
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from repro.lint.cache import DEFAULT_CACHE_DIR, LintCache
 from repro.lint.cli import build_lint_parser, lint_main
 from repro.lint.context import FileContext, Project, module_name_for
 from repro.lint.driver import (
@@ -19,7 +30,16 @@ from repro.lint.driver import (
     lint_paths,
     select_rules,
 )
-from repro.lint.findings import Finding, Severity
+from repro.lint.effects import EffectAnalysis, analyze_effects
+from repro.lint.findings import Finding, Loc, Severity
+from repro.lint.graph import (
+    CallGraph,
+    ImportGraph,
+    ModuleSummary,
+    build_call_graph,
+    build_import_graph,
+    extract_summary,
+)
 from repro.lint.registry import (
     LintRule,
     UnknownRuleError,
@@ -27,27 +47,39 @@ from repro.lint.registry import (
     get_rule,
     lint_rule,
 )
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = [
     "Baseline",
     "BaselineError",
+    "CallGraph",
     "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CACHE_DIR",
+    "EffectAnalysis",
     "FileContext",
     "Finding",
+    "ImportGraph",
+    "LintCache",
     "LintResult",
     "LintRule",
+    "Loc",
+    "ModuleSummary",
     "PARSE_ERROR_RULE",
     "Project",
     "Severity",
     "UnknownRuleError",
     "all_rules",
+    "analyze_effects",
+    "build_call_graph",
+    "build_import_graph",
     "build_lint_parser",
+    "extract_summary",
     "get_rule",
     "lint_main",
     "lint_paths",
     "module_name_for",
     "render_json",
+    "render_sarif",
     "render_text",
     "select_rules",
 ]

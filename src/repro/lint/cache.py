@@ -1,0 +1,133 @@
+"""Content-hash incremental cache for per-file lint analyses.
+
+One manifest (``<dir>/manifest.json``) maps each display path to the
+``sha256`` of the file's bytes plus everything a warm run needs to skip
+the file entirely: its serialized :class:`~repro.lint.graph.ModuleSummary`
+(fuel for the whole-program passes) and the file-scope findings /
+suppression counts produced last time.  Keying on content hashes — the
+same discipline as the serve result store — means renames, re-orderings
+of the file list, and timestamp churn never cause spurious misses, while
+any byte change invalidates exactly that file.
+
+A cache hit therefore avoids *all* AST work for the file: no parse, no
+rule visits, no summary extraction.  The driver counts hits and misses
+(:attr:`~repro.lint.driver.LintResult.cache_hits`) so tests — and the CI
+step log — can prove a warm run re-parses nothing.
+
+The cache is invalidated wholesale when the schema version or the set of
+file-scope rules changes (new rules must see every file once).
+Corruption is never fatal: an unreadable manifest is treated as empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.graph import ModuleSummary
+
+__all__ = ["DEFAULT_CACHE_DIR", "LintCache"]
+
+#: Directory name used by ``repro lint --cache`` with no argument.
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+_MANIFEST_NAME = "manifest.json"
+_SCHEMA_VERSION = 1
+
+
+class LintCache:
+    """Manifest-backed per-file analysis cache.
+
+    Args:
+        directory: Cache directory (created on first save).
+        rule_ids: The file-scope rule ids active this run; a manifest
+            written under a different rule set is discarded wholesale.
+    """
+
+    def __init__(self, directory: Path, rule_ids: Sequence[str]) -> None:
+        self.directory = Path(directory)
+        self.rule_ids = sorted(rule_ids)
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._dirty = False
+        self._load()
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST_NAME
+
+    def _load(self) -> None:
+        try:
+            doc = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(doc, dict):
+            return
+        if doc.get("schema") != _SCHEMA_VERSION:
+            return
+        if doc.get("rules") != self.rule_ids:
+            return  # rule set changed: every file must be re-analyzed
+        entries = doc.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    # -- queries --------------------------------------------------------
+
+    def lookup(
+        self, display_path: str, content_hash: str
+    ) -> Optional[Tuple[ModuleSummary, List[Finding], Dict[str, int]]]:
+        """Cached (summary, file-scope findings, suppressed counts) or ``None``."""
+        entry = self._entries.get(display_path)
+        if entry is None or entry.get("hash") != content_hash:
+            return None
+        try:
+            summary = ModuleSummary.from_doc(entry["summary"])
+            findings = [Finding.from_dict(doc) for doc in entry["findings"]]
+            suppressed = {str(k): int(v) for k, v in entry["suppressed"].items()}
+        except (KeyError, TypeError, ValueError):
+            return None
+        return summary, findings, suppressed
+
+    def store(
+        self,
+        display_path: str,
+        content_hash: str,
+        summary: ModuleSummary,
+        findings: Sequence[Finding],
+        suppressed: Dict[str, int],
+    ) -> None:
+        """Record one freshly analyzed file."""
+        self._entries[display_path] = {
+            "hash": content_hash,
+            "summary": summary.to_doc(),
+            "findings": [f.to_dict() for f in findings],
+            "suppressed": dict(suppressed),
+        }
+        self._dirty = True
+
+    def evict_missing(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer in the lint set."""
+        live = set(live_paths)
+        stale = [path for path in self._entries if path not in live]
+        for path in stale:
+            del self._entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        """Write the manifest atomically (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "schema": _SCHEMA_VERSION,
+            "rules": self.rule_ids,
+            "entries": self._entries,
+        }
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(self.manifest_path)
+        self._dirty = False

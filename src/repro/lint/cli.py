@@ -5,7 +5,11 @@ Usage::
     repro lint                       # lint src/ against lint-baseline.json
     repro lint src/repro/core        # lint a subtree
     repro lint --format json src/    # machine-readable report
+    repro lint --format sarif src/   # SARIF 2.1.0 for CI annotation
+    repro lint --cache src/          # incremental (.repro-lint-cache/)
     repro lint --select REP101 src/  # run one rule
+    repro lint --graph src/          # export the call graph (json or dot)
+    repro lint --explain REP108      # rule doc, rationale, fix pattern
     repro lint --list-rules          # rule table
     repro lint --write-baseline src/ # grandfather current findings
 
@@ -21,8 +25,8 @@ from typing import List, Optional
 
 from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
 from repro.lint.driver import lint_paths
-from repro.lint.registry import UnknownRuleError, all_rules
-from repro.lint.report import render_json, render_text
+from repro.lint.registry import UnknownRuleError, all_rules, get_rule
+from repro.lint.report import render_json, render_sarif, render_text
 
 __all__ = ["build_lint_parser", "lint_main"]
 
@@ -32,9 +36,12 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro lint",
         description=(
-            "AST-based invariant checker for the reproduction: RNG "
-            "discipline, obs guarding, float-equality bans, builder-registry "
-            "contract, frozen-tree mutation, export drift."
+            "Static analysis for the reproduction: per-file invariants (RNG "
+            "discipline, obs guarding, float-equality bans, frozen-tree "
+            "mutation) plus whole-program passes (builder-registry contract, "
+            "export drift, async blocking reachability, await races, "
+            "process-boundary RNG discipline, backend parity, aliased "
+            "mutation)."
         ),
     )
     parser.add_argument(
@@ -45,9 +52,12 @@ def build_lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif", "dot"],
         default="text",
-        help="report format (default: text)",
+        help=(
+            "report format (default: text); sarif emits SARIF 2.1.0, "
+            "dot is only meaningful with --graph"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -60,6 +70,36 @@ def build_lint_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help=(
+            "enable the content-hash incremental cache "
+            "(default dir: .repro-lint-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="cache directory (implies --cache)",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help=(
+            "export the import/call graph instead of linting "
+            "(--format json for the full document, dot for Graphviz edges)"
+        ),
+    )
+    parser.add_argument(
+        "--explain",
+        type=str,
+        default=None,
+        metavar="RULE",
+        help="print one rule's full documentation (rationale + fix pattern)",
     )
     parser.add_argument(
         "--baseline",
@@ -91,6 +131,39 @@ def _split_ids(raw: Optional[str]) -> Optional[List[str]]:
     return [part.strip() for part in raw.split(",") if part.strip()]
 
 
+def _explain(rule_id: str, parser: argparse.ArgumentParser) -> int:
+    try:
+        rule = get_rule(rule_id)
+    except UnknownRuleError as exc:
+        parser.error(str(exc.args[0]))
+    header = f"{rule.id} [{rule.severity}] ({rule.scope}-scope)"
+    print(header)
+    print("=" * len(header))
+    print(rule.doc or rule.summary)
+    return 0
+
+
+def _export_graph(paths: List[str], fmt: str, parser: argparse.ArgumentParser) -> int:
+    import json
+
+    from repro.lint.driver import build_project
+    from repro.lint.graph import graph_to_doc, graph_to_dot
+
+    try:
+        project, parse_errors = build_project(paths)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    graph = project.call_graph()
+    if fmt == "dot":
+        print(graph_to_dot(graph), end="")
+    else:
+        doc = graph_to_doc(graph, project.import_graph())
+        if parse_errors:
+            doc["parse_errors"] = [f.to_dict() for f in parse_errors]
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    return 0
+
+
 def lint_main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_lint_parser()
@@ -101,14 +174,33 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
             print(rule.describe())
         return 0
 
+    if args.explain:
+        return _explain(args.explain, parser)
+
+    if args.graph:
+        fmt = "json" if args.format == "text" else args.format
+        if fmt not in ("json", "dot"):
+            parser.error("--graph supports --format json or dot")
+        return _export_graph(args.paths, fmt, parser)
+
+    if args.format == "dot":
+        parser.error("--format dot requires --graph")
+
     if args.no_baseline and (args.baseline or args.write_baseline):
         parser.error("--no-baseline conflicts with --baseline/--write-baseline")
+
+    cache_dir: Optional[str] = args.cache_dir
+    if cache_dir is None and args.cache:
+        from repro.lint.cache import DEFAULT_CACHE_DIR
+
+        cache_dir = DEFAULT_CACHE_DIR
 
     try:
         result = lint_paths(
             args.paths,
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
+            cache_dir=cache_dir,
         )
     except UnknownRuleError as exc:
         parser.error(str(exc.args[0]))
@@ -139,7 +231,12 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
             parser.error(str(exc))
 
     fresh, grandfathered = baseline.split(findings)
-    renderer = render_json if args.format == "json" else render_text
+    if args.format == "json":
+        renderer = render_json
+    elif args.format == "sarif":
+        renderer = render_sarif
+    else:
+        renderer = render_text
     print(renderer(result, fresh, grandfathered))
     return 1 if fresh else 0
 

@@ -1,18 +1,30 @@
 """Parsed-file and whole-project context handed to lint rules.
 
-The driver parses every file once up front and wraps the results in a
-:class:`Project` so that cross-file rules (builder-registry wiring, import
-resolution) read from one shared, cached symbol table instead of re-parsing
-on every lookup.
+Two layers live here:
+
+* :class:`FileContext` — one source file.  Loading (read + content hash)
+  is separated from parsing: the AST is built lazily on first access to
+  :attr:`~FileContext.tree`, so a warm incremental run that answers every
+  file from the summary cache never parses at all (``parsed`` stays
+  ``False`` and the driver's re-parse counter can prove it).
+* :class:`Project` — all files of one lint run plus cached cross-file
+  lookups.  The lookups are backed by :class:`~repro.lint.graph.ModuleSummary`
+  digests (attached from the cache or extracted on demand), so cross-file
+  rules (builder-registry wiring, import resolution, the interprocedural
+  passes) read from serialized summaries rather than re-walking ASTs.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 import os
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.lint.effects import EffectAnalysis
+    from repro.lint.graph import CallGraph, ImportGraph, ModuleSummary
 
 __all__ = ["FileContext", "Project", "module_name_for"]
 
@@ -53,9 +65,8 @@ def _display_path(path: Path) -> str:
     return Path(rel).as_posix()
 
 
-@dataclass
 class FileContext:
-    """One parsed source file.
+    """One source file, parsed lazily.
 
     Attributes:
         path: The file on disk.
@@ -64,22 +75,34 @@ class FileContext:
         is_package: Whether the file is a package ``__init__.py``.
         source: Raw text.
         lines: ``source`` split into physical lines.
-        tree: The parsed AST.
+        content_hash: ``sha256`` hex digest of the raw bytes (cache key).
     """
 
-    path: Path
-    display_path: str
-    module: Optional[str]
-    is_package: bool
-    source: str
-    lines: List[str]
-    tree: ast.Module
+    def __init__(
+        self,
+        path: Path,
+        display_path: str,
+        module: Optional[str],
+        is_package: bool,
+        source: str,
+        lines: List[str],
+        content_hash: str,
+        tree: Optional[ast.Module] = None,
+    ) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.module = module
+        self.is_package = is_package
+        self.source = source
+        self.lines = lines
+        self.content_hash = content_hash
+        self._tree = tree
 
     @classmethod
-    def parse(cls, path: Path) -> "FileContext":
-        """Read and parse *path*; raises ``SyntaxError`` on unparsable input."""
-        source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
+    def load(cls, path: Path) -> "FileContext":
+        """Read and hash *path* without parsing it."""
+        raw = path.read_bytes()
+        source = raw.decode("utf-8")
         return cls(
             path=path,
             display_path=_display_path(path),
@@ -87,8 +110,27 @@ class FileContext:
             is_package=path.name == "__init__.py",
             source=source,
             lines=source.splitlines(),
-            tree=tree,
+            content_hash=hashlib.sha256(raw).hexdigest(),
         )
+
+    @classmethod
+    def parse(cls, path: Path) -> "FileContext":
+        """Read and parse *path*; raises ``SyntaxError`` on unparsable input."""
+        ctx = cls.load(path)
+        ctx.tree  # force the parse so errors surface here
+        return ctx
+
+    @property
+    def tree(self) -> ast.Module:
+        """The parsed AST; parsing happens on first access."""
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=str(self.path))
+        return self._tree
+
+    @property
+    def parsed(self) -> bool:
+        """Whether this file's AST has been built in this run."""
+        return self._tree is not None
 
     def in_package(self, *packages: str) -> bool:
         """Whether this module lives in (or is) one of the dotted *packages*."""
@@ -100,116 +142,103 @@ class FileContext:
         )
 
 
-def _top_level_symbols(tree: ast.Module) -> Set[str]:
-    """Names bound at module top level, descending into If/Try/With bodies."""
-    symbols: Set[str] = set()
-
-    def visit_body(body: List[ast.stmt]) -> None:
-        for node in body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-                symbols.add(node.name)
-            elif isinstance(node, (ast.Import, ast.ImportFrom)):
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    symbols.add((alias.asname or alias.name).split(".")[0])
-            elif isinstance(node, ast.Assign):
-                for target in node.targets:
-                    _collect_targets(target)
-            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-                symbols.add(node.target.id)
-            elif isinstance(node, ast.If):
-                visit_body(node.body)
-                visit_body(node.orelse)
-            elif isinstance(node, ast.Try):
-                visit_body(node.body)
-                for handler in node.handlers:
-                    visit_body(handler.body)
-                visit_body(node.orelse)
-                visit_body(node.finalbody)
-            elif isinstance(node, (ast.With, ast.AsyncWith)):
-                visit_body(node.body)
-
-    def _collect_targets(target: ast.expr) -> None:
-        if isinstance(target, ast.Name):
-            symbols.add(target.id)
-        elif isinstance(target, (ast.Tuple, ast.List)):
-            for element in target.elts:
-                _collect_targets(element)
-
-    visit_body(tree.body)
-    return symbols
-
-
-@dataclass
 class Project:
-    """All files of one lint run plus cached cross-file lookups."""
+    """All files of one lint run plus cached cross-file lookups.
 
-    files: List[FileContext]
-    modules: Dict[str, FileContext] = field(init=False)
-    _symbols: Dict[str, Set[str]] = field(init=False, default_factory=dict)
-    _loads: Dict[str, Set[str]] = field(init=False, default_factory=dict)
-    _builders: Optional[Dict[str, List[Tuple[str, int]]]] = field(
-        init=False, default=None
-    )
+    Cross-file queries read from per-module summaries.  A summary is
+    attached by the driver when the incremental cache has a current one
+    (:meth:`attach_summary`), otherwise extracted lazily from the AST on
+    first use (:meth:`summary`).  The whole-program structures — import
+    graph, call graph, effect analysis — are built once per run from
+    those summaries and shared by every interprocedural rule.
+    """
 
-    def __post_init__(self) -> None:
-        self.modules = {
-            ctx.module: ctx for ctx in self.files if ctx.module is not None
+    def __init__(self, files: List[FileContext]) -> None:
+        self.files = files
+        self.modules: Dict[str, FileContext] = {
+            ctx.module: ctx for ctx in files if ctx.module is not None
         }
+        self._summaries: Dict[str, "ModuleSummary"] = {}
+        self._builders: Optional[Dict[str, List[Tuple[str, int]]]] = None
+        self._call_graph: Optional["CallGraph"] = None
+        self._import_graph: Optional["ImportGraph"] = None
+        self._effects: Optional["EffectAnalysis"] = None
+
+    # -- summaries ------------------------------------------------------
+
+    def attach_summary(self, ctx: FileContext, summary: "ModuleSummary") -> None:
+        """Install a (cached) summary so :meth:`summary` never parses *ctx*."""
+        self._summaries[ctx.display_path] = summary
+
+    def summary(self, ctx: FileContext) -> "ModuleSummary":
+        """The module summary for *ctx*, extracting it from the AST if needed."""
+        cached = self._summaries.get(ctx.display_path)
+        if cached is None:
+            from repro.lint.graph import extract_summary
+
+            cached = extract_summary(ctx)
+            self._summaries[ctx.display_path] = cached
+        return cached
+
+    def module_summary(self, module: str) -> Optional["ModuleSummary"]:
+        """Summary of a dotted *module* name, or ``None`` if not in this run."""
+        ctx = self.modules.get(module)
+        if ctx is None:
+            return None
+        return self.summary(ctx)
+
+    # -- symbol-table queries (kept API-compatible with PR 4) -----------
 
     def top_level_symbols(self, module: str) -> Optional[Set[str]]:
         """Top-level bound names of *module*, or ``None`` if not in this run."""
-        ctx = self.modules.get(module)
-        if ctx is None:
+        summary = self.module_summary(module)
+        if summary is None:
             return None
-        if module not in self._symbols:
-            self._symbols[module] = _top_level_symbols(ctx.tree)
-        return self._symbols[module]
+        return set(summary.top_symbols)
 
     def name_loads(self, module: str) -> Optional[Set[str]]:
         """Every ``Name`` referenced anywhere in *module* (any context)."""
-        ctx = self.modules.get(module)
-        if ctx is None:
+        summary = self.module_summary(module)
+        if summary is None:
             return None
-        if module not in self._loads:
-            self._loads[module] = {
-                node.id for node in ast.walk(ctx.tree) if isinstance(node, ast.Name)
-            }
-        return self._loads[module]
+        return set(summary.name_loads)
 
     def tree_builder_registrations(self) -> Dict[str, List[Tuple[str, int]]]:
         """Map of ``@tree_builder`` name literal → [(display_path, line), ...]."""
         if self._builders is None:
             registrations: Dict[str, List[Tuple[str, int]]] = {}
             for ctx in self.files:
-                for node in ast.walk(ctx.tree):
-                    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                        continue
-                    for deco in node.decorator_list:
-                        name = _tree_builder_name(deco)
-                        if name is not None:
-                            registrations.setdefault(name, []).append(
-                                (ctx.display_path, node.lineno)
-                            )
+                summary = self.summary(ctx)
+                for fn in summary.functions:
+                    if fn.builder_name is not None:
+                        registrations.setdefault(fn.builder_name, []).append(
+                            (ctx.display_path, fn.lineno)
+                        )
             self._builders = registrations
         return self._builders
 
+    # -- whole-program analyses -----------------------------------------
 
-def _tree_builder_name(deco: ast.expr) -> Optional[str]:
-    """The name literal of a ``@tree_builder("name", ...)`` decorator, if any."""
-    if not isinstance(deco, ast.Call):
-        return None
-    func = deco.func
-    func_name = (
-        func.id
-        if isinstance(func, ast.Name)
-        else func.attr if isinstance(func, ast.Attribute) else None
-    )
-    if func_name != "tree_builder":
-        return None
-    if deco.args and isinstance(deco.args[0], ast.Constant):
-        value = deco.args[0].value
-        if isinstance(value, str):
-            return value
-    return None
+    def import_graph(self) -> "ImportGraph":
+        """The project import graph (built once per run)."""
+        if self._import_graph is None:
+            from repro.lint.graph import build_import_graph
+
+            self._import_graph = build_import_graph(self)
+        return self._import_graph
+
+    def call_graph(self) -> "CallGraph":
+        """The name-resolved call graph (built once per run)."""
+        if self._call_graph is None:
+            from repro.lint.graph import build_call_graph
+
+            self._call_graph = build_call_graph(self)
+        return self._call_graph
+
+    def effect_analysis(self) -> "EffectAnalysis":
+        """The fixpoint effect analysis over the call graph (once per run)."""
+        if self._effects is None:
+            from repro.lint.effects import analyze_effects
+
+            self._effects = analyze_effects(self.call_graph())
+        return self._effects

@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
-__all__ = ["Finding", "Severity"]
+__all__ = ["Finding", "Loc", "Severity"]
 
 
 class Severity(enum.Enum):
@@ -71,3 +71,28 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "Finding":
+        """Inverse of :meth:`to_dict` (used by the incremental cache)."""
+        return cls(
+            rule=doc["rule"],
+            severity=Severity(doc["severity"]),
+            path=doc["path"],
+            line=doc["line"],
+            col=doc["col"],
+            message=doc["message"],
+        )
+
+
+@dataclass(frozen=True)
+class Loc:
+    """A bare source location a rule may yield instead of an AST node.
+
+    Summary-based (project-scope) rules work from serialized module
+    digests, not live ASTs; the driver only reads ``lineno``/``col_offset``
+    off whatever a rule yields, so this stand-in slots in transparently.
+    """
+
+    lineno: int
+    col_offset: int = 0

@@ -11,6 +11,7 @@ stamps rule id, severity, file, and location onto each yielded pair to form
 from __future__ import annotations
 
 import ast
+import inspect
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, Optional, Tuple
 
@@ -41,12 +42,26 @@ class UnknownRuleError(KeyError):
 
 @dataclass(frozen=True)
 class LintRule:
-    """A registered rule: id, severity, one-line summary, and the checker."""
+    """A registered rule: id, severity, summary, scope, and the checker.
+
+    ``scope`` partitions the run for the incremental cache:
+
+    * ``"file"`` — the rule reads only the one file it is visiting, so
+      its findings can be cached per file and replayed on a warm run.
+    * ``"project"`` — the rule reads cross-file state (symbol tables,
+      call graph, effects) and must re-run whenever *any* file changed;
+      it works from module summaries, never raw ASTs.
+
+    ``doc`` is the checker's full docstring — the shared source of truth
+    for ``repro lint --explain`` and ``docs/static_analysis.md``.
+    """
 
     id: str
     severity: Severity
     summary: str
     check: RuleCheck
+    scope: str = "file"
+    doc: str = ""
 
     def describe(self) -> str:
         return f"{self.id} [{self.severity}] {self.summary}"
@@ -68,23 +83,35 @@ def lint_rule(
     rule_id: str,
     severity: Severity,
     summary: Optional[str] = None,
+    *,
+    scope: str = "file",
 ) -> Callable[[RuleCheck], RuleCheck]:
     """Decorator registering *fn* as the checker for *rule_id*.
 
-    ``summary`` defaults to the first line of the checker's docstring.
-    Duplicate ids are an error: rule ids are the suppression/baseline
-    vocabulary and must stay unambiguous.
+    ``summary`` defaults to the first line of the checker's docstring;
+    the full docstring is kept as the rule's ``doc`` (the ``--explain``
+    text).  ``scope`` is ``"file"`` (cacheable per file) or ``"project"``
+    (cross-file; reruns whole-program).  Duplicate ids are an error: rule
+    ids are the suppression/baseline vocabulary and must stay unambiguous.
     """
+    if scope not in ("file", "project"):
+        raise ValueError(f"scope must be 'file' or 'project', got {scope!r}")
 
     def decorator(fn: RuleCheck) -> RuleCheck:
         if rule_id in _RULES:
             raise ValueError(f"lint rule {rule_id!r} is already registered")
-        doc = summary
-        if doc is None:
-            doc_lines = (fn.__doc__ or "").strip().splitlines()
-            doc = doc_lines[0] if doc_lines else rule_id
+        full_doc = inspect.cleandoc(fn.__doc__ or "")
+        one_line = summary
+        if one_line is None:
+            doc_lines = full_doc.splitlines()
+            one_line = doc_lines[0] if doc_lines else rule_id
         _RULES[rule_id] = LintRule(
-            id=rule_id, severity=severity, summary=doc, check=fn
+            id=rule_id,
+            severity=severity,
+            summary=one_line,
+            check=fn,
+            scope=scope,
+            doc=full_doc,
         )
         return fn
 

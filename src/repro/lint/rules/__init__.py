@@ -10,11 +10,45 @@ Rule        Severity  Invariant
 ``REP105``  error     ``AggregationTree`` is never mutated after creation
 ``REP106``  error     ``__all__`` is truthful; re-exports resolve
 ``REP107``  error     durations use ``perf_counter``, never ``time.time()``
+``REP108``  error     async functions never reach blocking calls
+``REP109``  error     no read-modify-write of shared attrs across an await
+``REP110``  error     no live ``Generator`` crosses a process boundary
+``REP111``  error     backends track the ``TreeStateBackend`` protocol
+``REP112``  error     no frozen-tree mutation through call aliases
 ==========  ========  =====================================================
+
+REP101–REP107 are file-scope (cacheable per file); REP108–REP112 plus the
+cross-file halves of REP104/REP106 are project-scope — they read module
+summaries, the call graph, and the effect analysis
+(:mod:`repro.lint.graph`, :mod:`repro.lint.effects`).
 
 (``REP000`` is the driver's pseudo-rule for unparsable files.)
 """
 
-from repro.lint.rules import builders, exports, floats, frozen, obs, rng, timing
+from repro.lint.rules import (
+    aliasing,
+    asyncsafe,
+    boundary,
+    builders,
+    exports,
+    floats,
+    frozen,
+    obs,
+    parity,
+    rng,
+    timing,
+)
 
-__all__ = ["builders", "exports", "floats", "frozen", "obs", "rng", "timing"]
+__all__ = [
+    "aliasing",
+    "asyncsafe",
+    "boundary",
+    "builders",
+    "exports",
+    "floats",
+    "frozen",
+    "obs",
+    "parity",
+    "rng",
+    "timing",
+]

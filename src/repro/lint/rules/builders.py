@@ -18,15 +18,19 @@ resolve time instead of import time.  Three checks:
 * a builder name literal must be registered exactly once across the
   project (duplicates raise at import time, but only on the import order
   that loads both).
+
+This is a project-scope rule: it reads only module summaries
+(:class:`~repro.lint.graph.ModuleSummary`), so on a warm cached run it
+re-checks the whole contract without re-parsing a single file.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import Iterator, Tuple, Union
 
-from repro.lint.context import FileContext, Project, _tree_builder_name
-from repro.lint.findings import Severity
+from repro.lint.context import FileContext, Project
+from repro.lint.findings import Loc, Severity
 from repro.lint.registry import lint_rule
 
 __all__ = ["check_builder_contract"]
@@ -39,10 +43,12 @@ ALGORITHM_PACKAGES = ("repro.baselines", "repro.core")
 
 _ENTRY_PREFIXES = ("build_",)
 
+_Yield = Tuple[Union[ast.AST, Loc], str]
+
 
 def _check_entry_points(
     ctx: FileContext, project: Project
-) -> Iterator[Tuple[ast.AST, str]]:
+) -> Iterator[_Yield]:
     if not ctx.in_package(*ALGORITHM_PACKAGES):
         return
     if ctx.module == REGISTRATION_MODULE:
@@ -50,40 +56,36 @@ def _check_entry_points(
     references = project.name_loads(REGISTRATION_MODULE)
     if references is None:
         return  # registration module not part of this lint run
-    for node in ctx.tree.body:
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        name = node.name
+    summary = project.summary(ctx)
+    for fn in summary.module_functions():
+        name = fn.name
         if name.startswith("_") or not name.startswith(_ENTRY_PREFIXES):
             continue
         if name not in references:
             yield (
-                node,
+                Loc(fn.lineno, fn.col),
                 f"public entry point {name}() is not wired into the "
                 f"tree-builder registry ({REGISTRATION_MODULE}); register it "
                 "with @tree_builder so sweeps and CLIs can resolve it by name",
             )
 
 
-def _check_signatures(ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+def _check_signatures(ctx: FileContext, project: Project) -> Iterator[_Yield]:
+    summary = project.summary(ctx)
+    for fn in summary.functions:
+        if fn.builder_name is None:
             continue
-        if not any(_tree_builder_name(d) is not None for d in node.decorator_list):
-            continue
-        args = node.args
-        positional = list(args.posonlyargs) + list(args.args)
-        if not positional or positional[0].arg != "network":
+        if not fn.pos_params or fn.pos_params[0] != "network":
             yield (
-                node,
-                f"@tree_builder function {node.name}() must take 'network' "
+                Loc(fn.lineno, fn.col),
+                f"@tree_builder function {fn.name}() must take 'network' "
                 "as its first parameter (RegisteredBuilder.build invokes "
                 "fn(network, **config))",
             )
-        if len(positional) > 1 or args.vararg is not None:
+        if len(fn.pos_params) > 1 or fn.has_vararg:
             yield (
-                node,
-                f"@tree_builder function {node.name}() declares extra "
+                Loc(fn.lineno, fn.col),
+                f"@tree_builder function {fn.name}() declares extra "
                 "positional parameters; config knobs must be keyword-only "
                 "to stay compatible with fn(network, **config)",
             )
@@ -91,35 +93,45 @@ def _check_signatures(ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
 
 def _check_duplicate_names(
     ctx: FileContext, project: Project
-) -> Iterator[Tuple[ast.AST, str]]:
+) -> Iterator[_Yield]:
     registrations = project.tree_builder_registrations()
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+    summary = project.summary(ctx)
+    for fn in summary.functions:
+        name = fn.builder_name
+        if name is None:
             continue
-        for deco in node.decorator_list:
-            name = _tree_builder_name(deco)
-            if name is None:
-                continue
-            sites = registrations.get(name, [])
-            if len(sites) > 1:
-                others = [
-                    f"{path}:{line}"
-                    for path, line in sites
-                    if (path, line) != (ctx.display_path, node.lineno)
-                ]
-                yield (
-                    node,
-                    f"builder name {name!r} is registered more than once "
-                    f"(also at {', '.join(others)}); registry names must be "
-                    "unique",
-                )
+        sites = registrations.get(name, [])
+        if len(sites) > 1:
+            others = [
+                f"{path}:{line}"
+                for path, line in sites
+                if (path, line) != (ctx.display_path, fn.lineno)
+            ]
+            yield (
+                Loc(fn.lineno, fn.col),
+                f"builder name {name!r} is registered more than once "
+                f"(also at {', '.join(others)}); registry names must be "
+                "unique",
+            )
 
 
-@lint_rule("REP104", Severity.ERROR)
+@lint_rule("REP104", Severity.ERROR, scope="project")
 def check_builder_contract(
     ctx: FileContext, project: Project
-) -> Iterator[Tuple[ast.AST, str]]:
-    """tree builders must be registered, uniquely named, and (network, **config)-shaped"""
+) -> Iterator[_Yield]:
+    """tree builders must be registered, uniquely named, and (network, **config)-shaped
+
+    Rationale: the registry is the only front door for tree construction —
+    sweeps, CLIs, and the serve plane all resolve builders by name.  An
+    unregistered ``build_*`` silently drops out of every experiment; a
+    builder whose signature is not ``fn(network, **config)`` fails at
+    resolve time; a duplicate name literal raises only on the unlucky
+    import order.
+
+    Fix pattern: register the entry point in ``repro.engine.builders``
+    with ``@tree_builder("name")``, move config knobs after a ``*`` so
+    they are keyword-only, and pick a unique registry name.
+    """
     yield from _check_entry_points(ctx, project)
-    yield from _check_signatures(ctx)
+    yield from _check_signatures(ctx, project)
     yield from _check_duplicate_names(ctx, project)

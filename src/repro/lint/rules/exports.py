@@ -12,122 +12,95 @@ Cross-module resolution is static and conservative: only absolute/relative
 imports that resolve to a file in the current run are checked, a name
 counts as defined if it is bound at module top level (including inside
 ``if``/``try`` blocks), and importing a submodule by name is recognized.
+
+This is a project-scope rule working entirely from module summaries
+(:class:`~repro.lint.graph.ModuleSummary`): ``__all__`` lists are
+pre-evaluated at summary-extraction time and import records carry their
+resolved absolute targets, so a warm cached run re-checks every re-export
+chain without touching an AST.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple, Union
 
 from repro.lint.context import FileContext, Project
-from repro.lint.findings import Severity
+from repro.lint.findings import Loc, Severity
 from repro.lint.registry import lint_rule
 
 __all__ = ["check_export_drift"]
 
-
-def _all_assignments(
-    tree: ast.Module,
-) -> Iterator[Tuple[ast.stmt, Optional[ast.expr]]]:
-    """Top-level ``__all__ = ...`` / ``__all__: ... = ...`` statements."""
-    for node in tree.body:
-        if isinstance(node, ast.Assign):
-            for target in node.targets:
-                if isinstance(target, ast.Name) and target.id == "__all__":
-                    yield node, node.value
-        elif isinstance(node, ast.AnnAssign):
-            if isinstance(node.target, ast.Name) and node.target.id == "__all__":
-                yield node, node.value
+_Yield = Tuple[Union[ast.AST, Loc], str]
 
 
-def _check_all_list(
-    ctx: FileContext, project: Project
-) -> Iterator[Tuple[ast.AST, str]]:
+def _check_all_list(ctx: FileContext, project: Project) -> Iterator[_Yield]:
     assert ctx.module is not None
     symbols = project.top_level_symbols(ctx.module)
     if symbols is None:  # pragma: no cover - ctx is always in its own project
         return
-    for node, value in _all_assignments(ctx.tree):
-        if value is None:
-            continue  # bare annotation, no list to check
-        try:
-            names = ast.literal_eval(value)
-        except ValueError:
+    summary = project.summary(ctx)
+    for decl in summary.all_decls:
+        loc = Loc(decl.lineno, decl.col)
+        if decl.kind == "dynamic":
             yield (
-                node,
+                loc,
                 "__all__ is not a static list of strings; the export surface "
                 "must be statically auditable",
             )
             continue
-        if not isinstance(names, (list, tuple)) or not all(
-            isinstance(name, str) for name in names
-        ):
-            yield (node, "__all__ must be a list/tuple of name strings")
+        if decl.kind == "badtype":
+            yield (loc, "__all__ must be a list/tuple of name strings")
             continue
         seen: List[str] = []
-        for name in names:
+        for name in decl.names:
             if name in seen:
-                yield (node, f"__all__ lists {name!r} more than once")
+                yield (loc, f"__all__ lists {name!r} more than once")
             seen.append(name)
             if name not in symbols:
                 yield (
-                    node,
+                    loc,
                     f"__all__ exports {name!r} but the module defines no such "
                     "top-level name",
                 )
 
 
-def _import_target(ctx: FileContext, node: ast.ImportFrom) -> Optional[str]:
-    """Absolute module an ImportFrom pulls from, resolving relative levels."""
-    if node.level == 0:
-        return node.module
-    if ctx.module is None:
-        return None
-    base_parts = ctx.module.split(".")
-    if not ctx.is_package:
-        base_parts = base_parts[:-1]
-    # level 1 = the current package; each extra level pops one more parent.
-    drop = node.level - 1
-    if drop > len(base_parts):
-        return None
-    if drop:
-        base_parts = base_parts[:-drop]
-    if node.module:
-        base_parts = base_parts + node.module.split(".")
-    return ".".join(base_parts) if base_parts else None
-
-
-def _check_reexports(
-    ctx: FileContext, project: Project
-) -> Iterator[Tuple[ast.AST, str]]:
-    for node in ast.walk(ctx.tree):
-        if not isinstance(node, ast.ImportFrom):
+def _check_reexports(ctx: FileContext, project: Project) -> Iterator[_Yield]:
+    summary = project.summary(ctx)
+    for record in summary.imports:
+        if record.kind != "from" or record.target is None:
             continue
-        target = _import_target(ctx, node)
-        if target is None:
-            continue
+        target = record.target
         symbols = project.top_level_symbols(target)
         if symbols is None:
             continue  # outside this lint run (stdlib, third-party, unlinted)
-        for alias in node.names:
-            if alias.name == "*":
+        for name, _asname in record.names:
+            if name in symbols:
                 continue
-            if alias.name in symbols:
-                continue
-            if f"{target}.{alias.name}" in project.modules:
+            if f"{target}.{name}" in project.modules:
                 continue  # importing a submodule by name
             yield (
-                node,
-                f"'from {target} import {alias.name}' does not resolve: "
-                f"{target} defines no top-level {alias.name!r}",
+                Loc(record.lineno, record.col),
+                f"'from {target} import {name}' does not resolve: "
+                f"{target} defines no top-level {name!r}",
             )
 
 
-@lint_rule("REP106", Severity.ERROR)
+@lint_rule("REP106", Severity.ERROR, scope="project")
 def check_export_drift(
     ctx: FileContext, project: Project
-) -> Iterator[Tuple[ast.AST, str]]:
-    """__all__ entries must exist and intra-package re-exports must resolve"""
+) -> Iterator[_Yield]:
+    """__all__ entries must exist and intra-package re-exports must resolve
+
+    Rationale: the package's import surface is its API contract.  A stale
+    ``__all__`` or a broken ``from repro.x import name`` re-export only
+    explodes when a user's import actually exercises it — long after the
+    refactor that caused it.
+
+    Fix pattern: keep ``__all__`` a literal list of names the module
+    really binds at top level, and update package ``__init__`` re-export
+    chains in the same commit that moves a definition.
+    """
     if ctx.module is not None:
         yield from _check_all_list(ctx, project)
     yield from _check_reexports(ctx, project)

@@ -33,22 +33,52 @@ from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "TimeSeriesRing",
+    "escape_label_value",
     "parse_prometheus",
+    "parse_prometheus_labels",
     "prometheus_name",
     "render_json",
     "render_prometheus",
+    "unescape_label_value",
 ]
 
 #: Histogram quantiles exported as Prometheus summary series.
 _QUANTILES = ((0.5, "p50"), (0.9, "p90"), (0.99, "p99"))
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+#: Label text is runs of unquoted chars plus escape-aware quoted strings,
+#: so values containing ``}`` or ``\"`` do not truncate the match.
 _SAMPLE_LINE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?"
+    r'(?:\{(?P<labels>(?:[^"{}]|"(?:[^"\\]|\\.)*")*)\})?'
     r"\s+(?P<value>[^\s]+)$"
 )
-_LABEL_PAIR = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+_LABEL_PAIR = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+_UNESCAPE = re.compile(r"\\(.)")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, newline.
+
+    Escaping the newline is what keeps the text format line-parseable —
+    a raw ``\\n`` inside a label would otherwise split one sample across
+    two unparseable lines.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value` (unknown escapes pass through)."""
+
+    def replace(match: "re.Match[str]") -> str:
+        char = match.group(1)
+        return "\n" if char == "n" else char
+
+    return _UNESCAPE.sub(replace, value)
 
 
 def prometheus_name(name: str, prefix: str = "repro") -> str:
@@ -63,7 +93,7 @@ def prometheus_name(name: str, prefix: str = "repro") -> str:
 
 
 def _label_str(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -144,6 +174,14 @@ def parse_prometheus(text: str) -> Dict[str, float]:
             key += "{" + labels + "}"
         samples[key] = float(match.group("value"))
     return samples
+
+
+def parse_prometheus_labels(label_text: str) -> Dict[str, str]:
+    """Label text (as it appears between ``{}``) → unescaped key/value map."""
+    return {
+        key: unescape_label_value(value)
+        for key, value in _LABEL_PAIR.findall(label_text)
+    }
 
 
 def render_json(registry: MetricsRegistry) -> Dict[str, Any]:

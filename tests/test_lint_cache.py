@@ -1,0 +1,135 @@
+"""Incremental cache: hit counters, invalidation, corruption tolerance.
+
+The headline acceptance pin lives here: a warm run over an unchanged
+tree re-parses **zero** files (``parsed_files == 0``) while producing
+byte-identical findings.
+"""
+
+from __future__ import annotations
+
+import json
+
+from tests.lint_utils import write_tree
+from repro.lint import lint_paths
+from repro.lint.cache import LintCache
+
+FILES = {
+    "repro/clean.py": "def f(x):\n    return x + 1\n",
+    "repro/dirty.py": (
+        "def g(a, b):\n"
+        "    return a == b if isinstance(a, float) else None\n"
+    ),
+    "repro/other.py": "VALUE = 3\n",
+}
+
+
+def run(tmp_path, files=FILES, **kwargs):
+    root = write_tree(tmp_path, files)
+    cache_dir = tmp_path / "cache"
+    result = lint_paths([root], cache_dir=cache_dir, **kwargs)
+    return result, root, cache_dir
+
+
+class TestColdAndWarm:
+    def test_cold_run_is_all_misses(self, tmp_path):
+        result, _, cache_dir = run(tmp_path)
+        assert result.cache_hits == 0
+        assert result.cache_misses == result.checked_files == 3
+        assert result.parsed_files == 3
+        assert (cache_dir / "manifest.json").is_file()
+
+    def test_warm_run_parses_nothing_and_replays_findings(self, tmp_path):
+        cold, root, cache_dir = run(tmp_path)
+        warm = lint_paths([root], cache_dir=cache_dir)
+        assert warm.cache_hits == 3
+        assert warm.cache_misses == 0
+        # THE invariant: no per-file AST re-parsing on a warm run.
+        assert warm.parsed_files == 0
+        assert [f.to_dict() for f in warm.all_findings] == [
+            f.to_dict() for f in cold.all_findings
+        ]
+
+    def test_warm_run_still_runs_project_rules(self, tmp_path):
+        files = dict(FILES)
+        files["repro/builders.py"] = (
+            "from repro.engine.registry import tree_builder\n"
+            "@tree_builder('x')\n"
+            "def build_x(net):\n"
+            "    pass\n"
+        )
+        cold, root, cache_dir = run(tmp_path, files)
+        warm = lint_paths([root], cache_dir=cache_dir)
+        # REP104 (project scope) must fire on both runs even though every
+        # file-scope result came from the cache.
+        assert {f.rule for f in cold.all_findings} >= {"REP104"}
+        assert [f.to_dict() for f in warm.all_findings] == [
+            f.to_dict() for f in cold.all_findings
+        ]
+        assert warm.parsed_files == 0
+
+
+class TestInvalidation:
+    def test_edited_file_is_the_only_miss(self, tmp_path):
+        _, root, cache_dir = run(tmp_path)
+        target = root / "repro" / "clean.py"
+        target.write_text("def f(x):\n    return x + 2\n", encoding="utf-8")
+        warm = lint_paths([root], cache_dir=cache_dir)
+        assert warm.cache_hits == 2
+        assert warm.cache_misses == 1
+        assert warm.parsed_files == 1
+
+    def test_touch_without_content_change_still_hits(self, tmp_path):
+        # Content hash, not mtime: rewriting identical bytes stays warm.
+        _, root, cache_dir = run(tmp_path)
+        target = root / "repro" / "clean.py"
+        target.write_text(FILES["repro/clean.py"], encoding="utf-8")
+        warm = lint_paths([root], cache_dir=cache_dir)
+        assert warm.cache_hits == 3
+
+    def test_rule_set_change_invalidates_wholesale(self, tmp_path):
+        _, root, cache_dir = run(tmp_path)
+        narrowed = lint_paths([root], cache_dir=cache_dir, select=["REP103"])
+        assert narrowed.cache_hits == 0
+        assert narrowed.cache_misses == 3
+
+    def test_deleted_file_is_evicted_from_manifest(self, tmp_path):
+        _, root, cache_dir = run(tmp_path)
+        (root / "repro" / "other.py").unlink()
+        lint_paths([root], cache_dir=cache_dir)
+        manifest = json.loads(
+            (cache_dir / "manifest.json").read_text(encoding="utf-8")
+        )
+        assert not any("other.py" in key for key in manifest["entries"])
+
+
+class TestRobustness:
+    def test_corrupt_manifest_degrades_to_cold_run(self, tmp_path):
+        _, root, cache_dir = run(tmp_path)
+        (cache_dir / "manifest.json").write_text("{not json", encoding="utf-8")
+        result = lint_paths([root], cache_dir=cache_dir)
+        assert result.cache_hits == 0
+        assert result.cache_misses == 3
+        # And the run repairs the cache for the next one.
+        again = lint_paths([root], cache_dir=cache_dir)
+        assert again.cache_hits == 3
+
+    def test_corrupt_entry_is_a_miss_not_a_crash(self, tmp_path):
+        _, root, cache_dir = run(tmp_path)
+        manifest_path = cache_dir / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        key = next(k for k in manifest["entries"] if "clean.py" in k)
+        manifest["entries"][key]["summary"] = {"bogus": True}
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        result = lint_paths([root], cache_dir=cache_dir)
+        assert result.cache_misses >= 1
+        assert result.cache_hits == 2
+
+    def test_cache_lookup_misses_on_hash_mismatch(self, tmp_path):
+        cache = LintCache(tmp_path / "c", ["REP101"])
+        assert cache.lookup("src/x.py", "deadbeef") is None
+
+    def test_no_cache_dir_means_no_counters(self, tmp_path):
+        root = write_tree(tmp_path, FILES)
+        result = lint_paths([root])
+        assert result.cache_hits == 0 and result.cache_misses == 0
+        assert result.parsed_files == 3

@@ -113,6 +113,114 @@ class TestBaselineFlow:
         assert exc.value.code == 2
 
 
+class TestSarifFormat:
+    def test_sarif_output_is_valid_2_1_0(self, tmp_path, capsys):
+        src = write_tree(tmp_path, DIRTY)
+        assert lint_main([str(src), "--no-baseline", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"REP101", "REP108", "REP112"} <= rule_ids
+        results = run["results"]
+        assert results[0]["ruleId"] == "REP101"
+        assert "suppressions" not in results[0]
+
+    def test_sarif_marks_baselined_findings_suppressed(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        src = write_tree(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        lint_main([str(src), "--write-baseline", "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert lint_main(
+            [str(src), "--baseline", str(baseline), "--format", "sarif"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        results = doc["runs"][0]["results"]
+        assert results[0]["suppressions"] == [{"kind": "external"}]
+
+
+class TestGraphExport:
+    def test_graph_json_document(self, tmp_path, capsys):
+        src = write_tree(tmp_path, {
+            "repro/a.py": "def f():\n    g()\n\ndef g():\n    pass\n",
+        })
+        assert lint_main([str(src), "--graph"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert ["repro.a:f", "repro.a:g"] in doc["edges"]
+
+    def test_graph_dot_output(self, tmp_path, capsys):
+        src = write_tree(tmp_path, {
+            "repro/a.py": "def f():\n    g()\n\ndef g():\n    pass\n",
+        })
+        assert lint_main([str(src), "--graph", "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert '"repro.a:f" -> "repro.a:g";' in out
+
+    def test_graph_rejects_sarif_format(self, tmp_path):
+        src = write_tree(tmp_path, CLEAN)
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(src), "--graph", "--format", "sarif"])
+        assert exc.value.code == 2
+
+    def test_dot_without_graph_is_usage_error(self, tmp_path):
+        src = write_tree(tmp_path, CLEAN)
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(src), "--format", "dot"])
+        assert exc.value.code == 2
+
+
+class TestExplain:
+    def test_explain_prints_rationale_and_fix(self, capsys):
+        assert lint_main(["--explain", "REP108"]) == 0
+        out = capsys.readouterr().out
+        assert "REP108" in out
+        assert "project-scope" in out
+        assert "Rationale" in out and "Fix pattern" in out
+
+    def test_explain_unknown_rule_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            lint_main(["--explain", "REP999"])
+        assert exc.value.code == 2
+
+
+class TestCacheFlags:
+    def test_cache_flag_reports_hits_on_second_run(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        src = write_tree(tmp_path, CLEAN)
+        assert lint_main([str(src), "--no-baseline", "--cache"]) == 0
+        cold = capsys.readouterr().out
+        assert "1 misses" in cold
+        assert (tmp_path / ".repro-lint-cache" / "manifest.json").is_file()
+        assert lint_main([str(src), "--no-baseline", "--cache"]) == 0
+        warm = capsys.readouterr().out
+        assert "1 hits" in warm
+
+    def test_cache_dir_overrides_location(self, tmp_path, capsys):
+        src = write_tree(tmp_path, CLEAN)
+        cache_dir = tmp_path / "elsewhere"
+        assert lint_main(
+            [str(src), "--no-baseline", "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert (cache_dir / "manifest.json").is_file()
+        # No stray default-dir cache: --cache-dir fully redirects.
+        assert not (tmp_path / ".repro-lint-cache").exists()
+
+    def test_paths_are_not_swallowed_by_cache_flag(self, tmp_path, capsys):
+        # Regression: --cache must not consume the following positional
+        # path (the argparse nargs="?" footgun).
+        src = write_tree(tmp_path, DIRTY)
+        assert lint_main(["--cache-dir", str(tmp_path / "c"), str(src),
+                          "--no-baseline"]) == 1
+        assert "REP101" in capsys.readouterr().out
+
+
 class TestTopLevelDispatch:
     def test_repro_cli_routes_lint(self, tmp_path, capsys):
         src = write_tree(tmp_path, DIRTY)

@@ -40,12 +40,29 @@ class TestSelfCheck:
             "REP105",
             "REP106",
             "REP107",
+            "REP108",
+            "REP109",
+            "REP110",
+            "REP111",
+            "REP112",
         } <= ids
 
     def test_every_rule_has_severity_and_summary(self):
         for rule in all_rules():
             assert rule.summary, rule.id
             assert str(rule.severity) in {"error", "warning"}
+            assert rule.scope in {"file", "project"}, rule.id
+
+    def test_interprocedural_rules_are_project_scope(self):
+        scopes = {rule.id: rule.scope for rule in all_rules()}
+        for rule_id in ("REP104", "REP106", "REP108", "REP109", "REP110",
+                        "REP111", "REP112"):
+            assert scopes[rule_id] == "project", rule_id
+
+    def test_every_rule_has_explain_doc(self):
+        # --explain's source of truth: each rule carries its full docstring.
+        for rule in all_rules():
+            assert rule.doc, f"{rule.id} has no docstring for --explain"
 
     def test_committed_baseline_is_valid_and_current(self):
         # The baseline must load, and must not grandfather findings that no

@@ -6,12 +6,18 @@ import json
 
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.obs.export import (
     TimeSeriesRing,
+    escape_label_value,
     parse_prometheus,
+    parse_prometheus_labels,
     prometheus_name,
     render_json,
     render_prometheus,
+    unescape_label_value,
 )
 from repro.obs.metrics import MetricsRegistry
 
@@ -140,3 +146,67 @@ class TestTimeSeriesRing:
         doc = ring.to_doc()
         assert doc == {"name": "qd", "capacity": 8, "samples": [[1.0, 2.0]]}
         json.dumps(doc)  # must not raise
+
+
+class TestLabelEscaping:
+    """Round-trip properties over hostile label values and empty histograms."""
+
+    label_values = st.text(
+        alphabet=st.sampled_from(list('abc"\\\n {}=,')), max_size=12
+    )
+
+    def test_escape_unescape_identity_on_examples(self):
+        for value in ('', 'plain', 'has "quotes"', 'line\nbreak', 'back\\slash',
+                      '}{, =', '\\n literal', 'trailing\\'):
+            assert unescape_label_value(escape_label_value(value)) == value
+
+    @given(value=label_values)
+    @settings(max_examples=200, deadline=None)
+    def test_escape_unescape_identity(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    @given(op=label_values, shard=label_values)
+    @settings(max_examples=100, deadline=None)
+    def test_counter_labels_round_trip(self, op, shard):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", op=op, shard=shard).inc(5)
+        samples = parse_prometheus(render_prometheus(reg))
+        assert len(samples) == 1
+        (key, value), = samples.items()
+        assert value == 5
+        label_text = key[key.index("{") + 1 : -1]
+        assert parse_prometheus_labels(label_text) == {"op": op, "shard": shard}
+
+    @given(builder=label_values, observations=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        max_size=8,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_histogram_round_trip_including_zero_observations(
+        self, builder, observations
+    ):
+        reg = MetricsRegistry()
+        hist = reg.histogram("serve.build_seconds", builder=builder)
+        for v in observations:
+            hist.observe(v)
+        samples = parse_prometheus(render_prometheus(reg))
+        # quantile series + _count + _sum, all parseable even when empty.
+        count_key = next(k for k in samples if "_count" in k)
+        assert samples[count_key] == len(observations)
+        if not observations:
+            quantile_keys = [k for k in samples if "quantile" in k]
+            assert len(quantile_keys) == 3
+            assert all(samples[k] == 0.0 for k in quantile_keys)
+        for key in samples:
+            if "{" not in key:
+                continue
+            labels = parse_prometheus_labels(key[key.index("{") + 1 : -1])
+            assert labels["builder"] == builder
+
+    def test_raw_newline_in_label_stays_single_line(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.requests", op='multi\nline "x"\\').inc(1)
+        text = render_prometheus(reg)
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1
+        parse_prometheus(text)  # must not raise
