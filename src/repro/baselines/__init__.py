@@ -11,24 +11,46 @@
   (RaSMaLai-style, Imon et al. 2013; extension).
 * :mod:`repro.baselines.delay_bounded` — hop-constrained cheapest-path
   trees (delay-bounded collection, Shen et al. 2012; extension).
+* :mod:`repro.baselines.kuo_energy` — minimum-energy-path aggregation tree
+  (Kuo, Lin & Tsai, arXiv:1402.6457; related work).
+* :mod:`repro.baselines.virmani` — centralized/decentralized
+  lifetime-maximizing trees (Virmani & Jain, arXiv:1301.4988/1301.4551;
+  related work).
+* :mod:`repro.baselines.convergecast` — maximum-lifetime convergecast tree
+  (John, Kasbekar & Baghini, arXiv:1910.09793; related work).
 """
 
 from repro.baselines.aaml import AAMLResult, bfs_tree, build_aaml_tree
+from repro.baselines.convergecast import (
+    ConvergecastResult,
+    build_convergecast_tree,
+    convergecast_lifetime,
+)
 from repro.baselines.delay_bounded import build_delay_bounded_tree
+from repro.baselines.kuo_energy import KuoEnergyResult, build_kuo_energy_tree
 from repro.baselines.mst import build_mst_tree, mst_cost
 from repro.baselines.random_tree import build_random_tree
 from repro.baselines.rasmalai import RaSMaLaiResult, build_rasmalai_tree
 from repro.baselines.spt import build_spt_tree
+from repro.baselines.virmani import VirmaniResult, build_clmt_tree, build_dlmt_tree
 
 __all__ = [
     "AAMLResult",
+    "ConvergecastResult",
+    "KuoEnergyResult",
     "RaSMaLaiResult",
+    "VirmaniResult",
     "bfs_tree",
     "build_aaml_tree",
+    "build_clmt_tree",
+    "build_convergecast_tree",
     "build_delay_bounded_tree",
+    "build_dlmt_tree",
+    "build_kuo_energy_tree",
     "build_mst_tree",
     "build_random_tree",
     "build_rasmalai_tree",
     "build_spt_tree",
+    "convergecast_lifetime",
     "mst_cost",
 ]

@@ -1,0 +1,160 @@
+"""Lifetime-maximizing trees of Virmani & Jain (arXiv:1301.4988, 1301.4551).
+
+Two related-work competitors, both energy-aware and link-quality agnostic
+(like AAML, they look only at residual energies):
+
+* **CLMT** — the *centralized lifetime maximizing tree*: a sink-rooted
+  greedy growth.  At every step the algorithm attaches, among all frontier
+  edges ``(p in tree, v outside)``, the one that maximizes the resulting
+  bottleneck lifetime — taking a child costs the parent ``Rx`` per round
+  (Eq. 1), so the greedy always spends the cheapest increment of the
+  scarcest budget.  This is the global-knowledge version.
+
+* **DLMT** — the *decentralized* variant: nodes join in BFS waves (hop
+  distance from the sink, the information a flooded beacon gives every
+  node), and each joining node picks, among its already-joined neighbours
+  in the previous wave, the parent whose post-attachment lifetime is
+  largest.  Each choice uses only neighbourhood state, mirroring the
+  distributed protocol of the paper; the result is generally worse than
+  CLMT's because nodes cannot see the global bottleneck.
+
+Both constructions are deterministic: ties break toward the
+higher-lifetime parent, then the smaller node ids, so each tree is a pure
+function of the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import DisconnectedNetworkError
+from repro.core.tree import AggregationTree
+from repro.network.model import Network
+
+__all__ = ["VirmaniResult", "build_clmt_tree", "build_dlmt_tree"]
+
+
+@dataclass(frozen=True)
+class VirmaniResult:
+    """Outcome of a CLMT/DLMT construction.
+
+    Attributes:
+        tree: The constructed aggregation tree.
+        lifetime: Its network lifetime ``L(T)`` in rounds (Eq. 1).
+        attachments: Nodes attached (always ``n - 1``; recorded for parity
+            with the other baseline result objects).
+    """
+
+    tree: AggregationTree
+    lifetime: float
+    attachments: int
+
+
+def _post_attach_lifetime(network: Network, parent: int, n_children: int) -> float:
+    """Parent's Eq. 1 lifetime after taking one more child."""
+    return network.energy_model.lifetime_rounds(
+        network.initial_energy(parent), n_children + 1
+    )
+
+
+def build_clmt_tree(network: Network) -> VirmaniResult:
+    """Centralized lifetime-maximizing tree (greedy bottleneck growth).
+
+    Raises:
+        DisconnectedNetworkError: Some node cannot reach the sink.
+    """
+    n = network.n
+    if n == 1:
+        tree = AggregationTree(network, {})
+        return VirmaniResult(tree, tree.lifetime(), 0)
+
+    model = network.energy_model
+    in_tree = [False] * n
+    in_tree[network.sink] = True
+    children = [0] * n
+    parents: Dict[int, int] = {}
+
+    for _ in range(n - 1):
+        # score = the bottleneck the attachment itself creates: the parent
+        # after gaining the child vs the child as a fresh leaf.  The rest
+        # of the tree is unchanged by every candidate, so comparing these
+        # minima is the same as comparing the resulting global minima.
+        best: Optional[Tuple[Tuple[float, float, int, int], int, int]] = None
+        for p in range(n):
+            if not in_tree[p]:
+                continue
+            p_after = _post_attach_lifetime(network, p, children[p])
+            for v in network.neighbors(p):
+                if in_tree[v]:
+                    continue
+                v_leaf = model.lifetime_rounds(network.initial_energy(v), 0)
+                score = (min(p_after, v_leaf), p_after, -p, -v)
+                if best is None or score > best[0]:
+                    best = (score, p, v)
+        if best is None:
+            attached = sum(in_tree)
+            raise DisconnectedNetworkError(
+                f"only {attached} of {n} nodes reach the sink"
+            )
+        _, p, v = best
+        parents[v] = p
+        children[p] += 1
+        in_tree[v] = True
+
+    tree = AggregationTree(network, parents)
+    return VirmaniResult(tree=tree, lifetime=tree.lifetime(), attachments=n - 1)
+
+
+def build_dlmt_tree(network: Network) -> VirmaniResult:
+    """Decentralized lifetime tree: BFS waves, locally best parent.
+
+    Raises:
+        DisconnectedNetworkError: Some node cannot reach the sink.
+    """
+    n = network.n
+    if n == 1:
+        tree = AggregationTree(network, {})
+        return VirmaniResult(tree, tree.lifetime(), 0)
+
+    level = [-1] * n
+    level[network.sink] = 0
+    frontier = [network.sink]
+    waves: List[List[int]] = []
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for v in network.neighbors(u):
+                if level[v] < 0:
+                    level[v] = level[u] + 1
+                    nxt.append(v)
+        if nxt:
+            waves.append(sorted(nxt))
+        frontier = nxt
+
+    unreached = [v for v in range(n) if level[v] < 0]
+    if unreached:
+        raise DisconnectedNetworkError(
+            f"{len(unreached)} node(s) cannot reach the sink "
+            f"(e.g. node {unreached[0]})"
+        )
+
+    children = [0] * n
+    parents: Dict[int, int] = {}
+    for wave in waves:
+        # Within a wave nodes decide in id order — the deterministic stand-in
+        # for the staggered joins a real deployment's timers would produce.
+        for v in wave:
+            best: Optional[Tuple[float, int]] = None
+            for u in network.neighbors(v):
+                if level[u] != level[v] - 1:
+                    continue
+                u_after = _post_attach_lifetime(network, u, children[u])
+                if best is None or (u_after, -u) > (best[0], -best[1]):
+                    best = (u_after, u)
+            assert best is not None  # every wave node saw a previous-wave nbr
+            parents[v] = best[1]
+            children[best[1]] += 1
+
+    tree = AggregationTree(network, parents)
+    return VirmaniResult(tree=tree, lifetime=tree.lifetime(), attachments=n - 1)

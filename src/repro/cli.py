@@ -13,6 +13,8 @@ Usage (installed as ``mrlc`` or via ``python -m repro``)::
     mrlc lint src/            # repo-invariant checker (see repro.lint.cli)
     mrlc serve run            # tree-serving daemon (see repro.serve.cli)
     mrlc serve bench          # synthetic load against the serving layer
+    mrlc ext-portfolio        # portfolio tournament win-rate table
+    mrlc bench-portfolio      # serial-vs-parallel portfolio race benchmark
 
 Output is the plain-text table of the same rows/series the paper's figure
 plots (costs in the paper's −1000·log2 q units).  The ``obs`` subcommand
@@ -33,6 +35,7 @@ from repro.experiments import (
     run_ext_estimation,
     run_ext_faulty_control,
     run_ext_latency,
+    run_ext_portfolio,
     run_ext_stability,
     run_fig1,
     run_fig10,
@@ -102,6 +105,10 @@ def _run_ext_faulty_control(args: argparse.Namespace):
     return run_ext_faulty_control(rounds=args.rounds or 100)
 
 
+def _run_ext_portfolio(args: argparse.Namespace):
+    return run_ext_portfolio(n_trials=args.trials or 10, n_jobs=args.jobs)
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
     "fig1": _run_fig1,
     "fig2": _run_fig2,
@@ -116,6 +123,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], object]] = {
     "ext-estimation": _run_ext_estimation,
     "ext-faulty-control": _run_ext_faulty_control,
     "ext-latency": _run_ext_latency,
+    "ext-portfolio": _run_ext_portfolio,
     "ext-stability": _run_ext_stability,
 }
 
@@ -242,6 +250,66 @@ def _bench_core_main(argv: List[str]) -> int:
     return 0
 
 
+def _bench_portfolio_main(argv: List[str]) -> int:
+    """Run the portfolio-race benchmark (``repro bench-portfolio [--out PATH]``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro bench-portfolio",
+        description="Benchmark the portfolio meta-builder: one serial and "
+        "one parallel race over the default member set; winner identity "
+        "between the two modes is asserted, not sampled.",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=None, help="instance size (default 60)"
+    )
+    parser.add_argument(
+        "--members",
+        default=None,
+        help="comma-separated member builder names (default: heuristic set)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the parallel race (default: one per member)",
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="use CI smoke size (24 nodes) so the race finishes in seconds",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="append the report to this BENCH_portfolio.json trajectory file",
+    )
+    args = parser.parse_args(argv)
+    from repro.engine.portfolio import (
+        append_portfolio_bench_run,
+        run_portfolio_bench,
+    )
+
+    kwargs = {"seed": args.seed, "n_jobs": args.jobs}
+    if args.ci:
+        kwargs["n_nodes"] = 24
+    if args.nodes is not None:
+        kwargs["n_nodes"] = args.nodes
+    if args.members:
+        kwargs["members"] = tuple(
+            name.strip() for name in args.members.split(",") if name.strip()
+        )
+    report = run_portfolio_bench(**kwargs)
+    print(report.render())
+    if args.out:
+        append_portfolio_bench_run(args.out, report)
+        print(f"[appended run to {args.out}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
@@ -250,6 +318,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Core-compute benchmark, a sibling of `serve bench` for the
         # engine/simulation layer.
         return _bench_core_main(argv[1:])
+    if argv and argv[0] == "bench-portfolio":
+        # Portfolio-race benchmark, same family as bench-core.
+        return _bench_portfolio_main(argv[1:])
     if argv and argv[0] == "obs":
         # Instrumented runs live in their own sub-CLI so the figure parser
         # stays a plain positional-choice interface.

@@ -16,6 +16,11 @@ Two pieces that every optimizer and every consumer share:
 
 ``repro builders`` lists everything registered, with knobs.
 
+:mod:`repro.engine.portfolio` builds on the registry: it races a
+configurable member set — in parallel processes under a wall-clock budget —
+and returns the best LC-feasible tree with per-member outcomes
+(registered as the ``"portfolio"`` meta-builder).
+
 :mod:`repro.engine.backend` adds a second axis: every ``TreeState`` has two
 interchangeable implementations — the classic object-graph one and the
 numpy struct-of-arrays one (:mod:`repro.engine.treestate_np`) — selected
@@ -33,6 +38,14 @@ from repro.engine.backend import (
     resolve_backend,
     set_default_backend,
     use_backend,
+)
+from repro.engine.portfolio import (
+    DEFAULT_MEMBERS,
+    MemberOutcome,
+    PortfolioError,
+    build_portfolio_tree,
+    race_builders,
+    select_winner,
 )
 from repro.engine.registry import (
     BuildResult,
@@ -59,10 +72,13 @@ from repro.engine.treestate_np import TreeStateNumpy
 __all__ = [
     "BuildResult",
     "DEFAULT_BACKEND",
+    "DEFAULT_MEMBERS",
     "ENV_BACKEND",
     "LifetimeDelta",
+    "MemberOutcome",
     "MovePreview",
     "NO_GAIN",
+    "PortfolioError",
     "RegisteredBuilder",
     "TreeBuilder",
     "TreeState",
@@ -71,12 +87,15 @@ __all__ = [
     "UnknownBuilderError",
     "available_builders",
     "available_tree_backends",
+    "build_portfolio_tree",
     "build_tree",
     "freeze_parents",
     "get_backend_class",
     "get_builder",
     "lifetime_delta_better",
+    "race_builders",
     "register_builder",
+    "select_winner",
     "resolve_backend",
     "set_default_backend",
     "tree_builder",

@@ -17,18 +17,26 @@ Canonical names::
     random_tree    uniform random (Wilson)
     delay_bounded  depth-capped cost descent   — needs max_depth
     bfs            breadth-first (hop) tree
+    min_energy     Kuo–Lin–Tsai energy SPT     — related work
+    clmt           centralized lifetime greedy — related work
+    dlmt           decentralized lifetime tree — related work
+    convergecast   max-lifetime convergecast   — related work
+    portfolio      race members, keep the best — meta-builder
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.baselines.aaml import MAX_ITERATIONS, build_aaml_tree
+from repro.baselines.convergecast import build_convergecast_tree
 from repro.baselines.delay_bounded import build_delay_bounded_tree
+from repro.baselines.kuo_energy import build_kuo_energy_tree
 from repro.baselines.mst import build_mst_tree
 from repro.baselines.random_tree import build_random_tree
 from repro.baselines.rasmalai import DEFAULT_PATIENCE, build_rasmalai_tree
 from repro.baselines.spt import build_spt_tree
+from repro.baselines.virmani import build_clmt_tree, build_dlmt_tree
 from repro.core.exact import solve_mrlc_exact
 from repro.core.ira import build_ira_tree
 from repro.core.lifetime import LifetimeSpec
@@ -221,3 +229,81 @@ def _build_delay_bounded(network: Network, *, max_depth: int, max_moves: int = 1
 def _build_bfs(network: Network):
     """Breadth-first (shortest-hop) spanning tree — the canonical start point."""
     return bfs_tree(network)
+
+
+@tree_builder("min_energy", knobs={})
+def _build_min_energy(network: Network):
+    """Minimum-energy-path tree (Kuo–Lin–Tsai approximation, arXiv:1402.6457)."""
+    result = build_kuo_energy_tree(network)
+    meta = {
+        "tree_energy_j": result.tree_energy_j,
+        "max_path_energy_j": result.max_path_energy_j,
+    }
+    return result.tree, meta, result
+
+
+@tree_builder("clmt", knobs={})
+def _build_clmt(network: Network):
+    """Centralized lifetime-maximizing tree (Virmani & Jain, arXiv:1301.4988)."""
+    result = build_clmt_tree(network)
+    meta = {"lifetime": result.lifetime, "attachments": result.attachments}
+    return result.tree, meta, result
+
+
+@tree_builder("dlmt", knobs={})
+def _build_dlmt(network: Network):
+    """Decentralized lifetime-maximizing tree (Virmani & Jain, arXiv:1301.4551)."""
+    result = build_dlmt_tree(network)
+    meta = {"lifetime": result.lifetime, "attachments": result.attachments}
+    return result.tree, meta, result
+
+
+@tree_builder(
+    "convergecast",
+    knobs={
+        "max_moves": "safety cap on accepted reparent moves",
+    },
+)
+def _build_convergecast(network: Network, *, max_moves: int = 100_000):
+    """Max-lifetime convergecast tree (John et al., arXiv:1910.09793)."""
+    result = build_convergecast_tree(network, max_moves=max_moves)
+    meta = {"convergecast_lifetime": result.lifetime, "moves": result.moves}
+    return result.tree, meta, result
+
+
+@tree_builder(
+    "portfolio",
+    knobs={
+        "lc": "lifetime bound members must meet (optional)",
+        "members": "registry builder names to race (default: heuristic set)",
+        "budget_s": "wall-clock budget in seconds (optional)",
+        "seed": "portfolio seed; member seeds derive from it by name",
+        "member_params": "per-member config overrides {name: {knob: value}}",
+        "parallel": "force parallel/serial racing (default: auto)",
+        "n_jobs": "worker processes for the parallel race",
+    },
+)
+def _build_portfolio(
+    network: Network,
+    *,
+    lc: Optional[float] = None,
+    members: Optional[Sequence[str]] = None,
+    budget_s: Optional[float] = None,
+    seed: Optional[int] = None,
+    member_params: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    parallel: Optional[bool] = None,
+    n_jobs: Optional[int] = None,
+):
+    """Race a member set under a wall-clock budget; keep the best LC-feasible tree."""
+    from repro.engine.portfolio import build_portfolio_tree
+
+    return build_portfolio_tree(
+        network,
+        lc=lc,
+        members=members,
+        budget_s=budget_s,
+        seed=seed,
+        member_params=member_params,
+        parallel=parallel,
+        n_jobs=n_jobs,
+    )

@@ -16,6 +16,7 @@
 | :mod:`repro.experiments.ext_estimation` | extension — beacon-budget vs estimation regret |
 | :mod:`repro.experiments.ext_stability` | extension — structural churn under estimation noise |
 | :mod:`repro.experiments.ext_faulty_control` | extension — maintained tree vs control-plane loss rate |
+| :mod:`repro.experiments.ext_portfolio` | extension — portfolio tournament win-rate table |
 
 Every ``run_*`` function is deterministic given its ``base_seed``/``seed``
 and accepts reduced trial counts for quick runs; paper-scale defaults
@@ -24,7 +25,11 @@ regenerate the full figures.  Fig. 4 (the toy reliability example) lives in
 """
 
 from repro.experiments.fig1_packets import Fig1Result, run_fig1
-from repro.experiments.parallel import default_workers, parallel_map
+from repro.experiments.parallel import (
+    ParallelBuildError,
+    default_workers,
+    parallel_map,
+)
 from repro.experiments.fig2_distance import Fig2Result, run_fig2
 from repro.experiments.fig3_energy import Fig3Result, run_fig3
 from repro.experiments.fig7_dfl import Fig7Entry, Fig7Result, run_fig7
@@ -55,6 +60,11 @@ from repro.experiments.ext_faulty_control import (
     FaultSweepPoint,
     run_ext_faulty_control,
 )
+from repro.experiments.ext_portfolio import (
+    CellWinRates,
+    ExtPortfolioResult,
+    run_ext_portfolio,
+)
 from repro.experiments.ext_latency import (
     ExtLatencyResult,
     LatencyEntry,
@@ -67,6 +77,7 @@ from repro.experiments.fig11_13_distributed import (
 
 __all__ = [
     "AlgorithmSummary",
+    "CellWinRates",
     "DepthProfile",
     "DistributedResult",
     "EnergyHoleResult",
@@ -74,6 +85,7 @@ __all__ = [
     "ExtBaselinesResult",
     "ExtEstimationResult",
     "ExtFaultyControlResult",
+    "ExtPortfolioResult",
     "ExtStabilityResult",
     "ExtLatencyResult",
     "FaultSweepPoint",
@@ -86,6 +98,7 @@ __all__ = [
     "Fig9Result",
     "Fig10Result",
     "LatencyEntry",
+    "ParallelBuildError",
     "RandomGraphTrial",
     "default_workers",
     "parallel_map",
@@ -95,6 +108,7 @@ __all__ = [
     "run_ext_estimation",
     "run_ext_faulty_control",
     "run_ext_latency",
+    "run_ext_portfolio",
     "run_ext_stability",
     "run_fig1",
     "run_fig10",

@@ -75,9 +75,9 @@ def metrics_snapshot() -> Optional[Dict[str, Dict[str, Any]]]:
     ``None`` when instrumentation is off — callers attach it to result
     artifacts only when there is something to attach.
     """
-    if not OBS.enabled:
-        return None
-    return OBS.registry.snapshot()
+    if OBS.enabled:
+        return OBS.registry.snapshot()
+    return None
 
 
 def run_instrumented(

@@ -30,9 +30,40 @@ import os
 from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["default_workers", "parallel_build", "parallel_map"]
+__all__ = [
+    "ParallelBuildError",
+    "default_workers",
+    "parallel_build",
+    "parallel_map",
+]
 
 T = TypeVar("T")
+
+
+class ParallelBuildError(RuntimeError):
+    """A sweep trial's builder failed; names the builder and trial index.
+
+    Raised by :func:`parallel_build` in place of the builder's own
+    exception, which — surfacing from a worker process deep in a pool map —
+    otherwise says nothing about *which* of the hundreds of trials died or
+    what builder/config it was running.  The original exception stays
+    available as ``__cause__``.
+
+    The ``(builder, index, detail)`` args round-trip through pickle, so the
+    error crosses the process boundary intact.
+    """
+
+    def __init__(self, builder: str, index: int, detail: str):
+        super().__init__(builder, index, detail)
+        self.builder = builder
+        self.index = index
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return (
+            f"builder {self.builder!r} failed on trial {self.index}: "
+            f"{self.detail}"
+        )
 
 #: Advisory pool threshold: below this many items the fork+import cost
 #: typically dwarfs the work, so callers picking a worker count themselves
@@ -61,7 +92,14 @@ def _build_indexed(
 ):
     from repro.engine import build_tree
 
-    return build_tree(builder, network_factory(index), backend=backend, **config)
+    try:
+        return build_tree(
+            builder, network_factory(index), backend=backend, **config
+        )
+    except Exception as exc:
+        raise ParallelBuildError(
+            builder, index, f"{type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def parallel_build(
@@ -150,6 +188,10 @@ def parallel_map(
         return []
     if n_jobs is not None and n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if chunk_size is not None and chunk_size < 1:
+        # Without this, chunk_size=0 used to escape as an opaque
+        # "range() arg 3 must not be zero" from the block splitter.
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
 
     if executor is None and (n_jobs is None or n_jobs == 1):
         return [func(i) for i in range(n_items)]

@@ -38,6 +38,7 @@ HOT_PACKAGES = (
     "repro.engine",
     "repro.baselines",
     "repro.distributed",
+    "repro.experiments",
     "repro.faults",
     "repro.serve",
     "repro.simulation",

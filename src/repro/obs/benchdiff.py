@@ -66,6 +66,10 @@ DEFAULT_METRICS: Dict[str, Tuple[MetricSpec, ...]] = {
         MetricSpec("round_sim_speedup", higher_is_better=True),
         MetricSpec("local_search_speedup", higher_is_better=True),
     ),
+    "repro-bench-portfolio": (
+        MetricSpec("speedup", higher_is_better=True),
+        MetricSpec("serial_builds_per_s", higher_is_better=True),
+    ),
 }
 
 

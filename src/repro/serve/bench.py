@@ -217,14 +217,19 @@ async def _submit_in_waves(
     return responses
 
 
+def _strip_elapsed(value: Any) -> Any:
+    """Drop ``elapsed_s`` keys at any nesting depth (portfolio meta holds
+    per-member wall times inside ``metrics["members"]``)."""
+    if isinstance(value, dict):
+        return {
+            k: _strip_elapsed(v) for k, v in value.items() if k != "elapsed_s"
+        }
+    return value
+
+
 def _content_signature(response: BuildResponse) -> str:
     """Bitwise content identity, ignoring only wall-clock ``elapsed_s``."""
-    stripped = replace(
-        response,
-        metrics={
-            k: v for k, v in response.metrics.items() if k != "elapsed_s"
-        },
-    )
+    stripped = replace(response, metrics=_strip_elapsed(response.metrics))
     return stripped.signature()
 
 

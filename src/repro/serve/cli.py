@@ -160,18 +160,43 @@ def _serve_config(args: argparse.Namespace) -> ServeConfig:
     )
 
 
+#: The --slo grammar, quoted by every parse error so a typo'd flag never
+#: surfaces as a bare float() complaint.
+_SLO_USAGE = "OP:BUDGET_S[:LATENCY_TARGET[:ERROR_TARGET]]"
+
+
 def _parse_slo(spec: str) -> SLO:
     parts = spec.split(":")
     if not 2 <= len(parts) <= 4 or not parts[0]:
+        raise ValueError(f"--slo expects {_SLO_USAGE}, got {spec!r}")
+    labels = ("latency budget", "latency target", "error target")
+    values = []
+    for label, text in zip(labels, parts[1:]):
+        try:
+            values.append(float(text))
+        except ValueError:
+            raise ValueError(
+                f"--slo {label} must be a number, got {text!r} "
+                f"(expected {_SLO_USAGE})"
+            ) from None
+    if values[0] <= 0:
         raise ValueError(
-            f"--slo expects OP:BUDGET_S[:LATENCY_TARGET[:ERROR_TARGET]], "
-            f"got {spec!r}"
+            f"--slo latency budget must be positive, got {parts[1]!r} "
+            f"(expected {_SLO_USAGE})"
         )
-    kwargs = {"op": parts[0], "latency_budget_s": float(parts[1])}
-    if len(parts) >= 3:
-        kwargs["latency_target"] = float(parts[2])
-    if len(parts) == 4:
-        kwargs["error_target"] = float(parts[3])
+    for label, value, text in zip(labels[1:], values[1:], parts[2:]):
+        # The burn-rate math in repro.obs.slo needs strictly 0 < target < 1;
+        # a target of exactly 1 would make every window a violation anyway.
+        if not 0.0 < value < 1.0:
+            raise ValueError(
+                f"--slo {label} must be a fraction in (0, 1), got {text!r} "
+                f"(expected {_SLO_USAGE})"
+            )
+    kwargs = {"op": parts[0], "latency_budget_s": values[0]}
+    if len(values) >= 2:
+        kwargs["latency_target"] = values[1]
+    if len(values) == 3:
+        kwargs["error_target"] = values[2]
     return SLO(**kwargs)
 
 

@@ -1,0 +1,222 @@
+"""Tests for the related-work baselines (Kuo energy, Virmani CLMT/DLMT,
+max-lifetime convergecast)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines.convergecast import (
+    build_convergecast_tree,
+    convergecast_lifetime,
+    convergecast_node_lifetime,
+)
+from repro.baselines.kuo_energy import build_kuo_energy_tree, link_energy_j
+from repro.baselines.virmani import build_clmt_tree, build_dlmt_tree
+from repro.core.errors import DisconnectedNetworkError
+from repro.core.local_search import bfs_tree
+from repro.engine import build_tree
+from repro.network.model import Network
+from repro.network.topology import random_graph
+
+
+def _disconnected_network() -> Network:
+    net = Network(4)
+    net.add_link(0, 1, 0.9)
+    net.add_link(2, 3, 0.9)
+    return net
+
+
+class TestKuoEnergy:
+    def test_link_energy_is_expected_arq_cost(self, tiny_network):
+        model = tiny_network.energy_model
+        assert link_energy_j(tiny_network, 0, 2) == pytest.approx(
+            (model.tx + model.rx) / 0.8
+        )
+
+    def test_paths_are_minimum_energy(self):
+        for seed in range(5):
+            net = random_graph(14, 0.5, seed=seed)
+            result = build_kuo_energy_tree(net)
+            # Dijkstra's settled distances are the optimum; every tree
+            # path must realize exactly that optimum.
+            import heapq
+
+            dist = [math.inf] * net.n
+            dist[net.sink] = 0.0
+            heap = [(0.0, net.sink)]
+            done = [False] * net.n
+            while heap:
+                d, u = heapq.heappop(heap)
+                if done[u]:
+                    continue
+                done[u] = True
+                for v in net.neighbors(u):
+                    nd = d + link_energy_j(net, u, v)
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        heapq.heappush(heap, (nd, v))
+            for v in range(net.n):
+                path_cost = 0.0
+                node = v
+                while node != net.sink:
+                    parent = result.tree.parent(node)
+                    path_cost += link_energy_j(net, parent, node)
+                    node = parent
+                assert path_cost == pytest.approx(dist[v])
+            assert result.max_path_energy_j == pytest.approx(max(dist))
+
+    def test_differs_from_cost_spt_somewhere(self):
+        # Path sums of (Tx+Rx)/q and of -log q rank paths differently, so
+        # over a seed batch the two trees must disagree at least once.
+        differs = False
+        for seed in range(20):
+            net = random_graph(16, 0.4, seed=seed)
+            kuo = build_kuo_energy_tree(net).tree
+            spt = build_tree("spt", net).tree
+            if kuo != spt:
+                differs = True
+                break
+        assert differs
+
+    def test_tree_energy_sums_edges(self, tiny_network):
+        result = build_kuo_energy_tree(tiny_network)
+        expected = sum(
+            link_energy_j(tiny_network, u, v) for u, v in result.tree.edges()
+        )
+        assert result.tree_energy_j == pytest.approx(expected)
+
+    def test_deterministic(self):
+        net = random_graph(15, 0.5, seed=9)
+        assert build_kuo_energy_tree(net).tree == build_kuo_energy_tree(net).tree
+
+    def test_disconnected_raises(self):
+        with pytest.raises(DisconnectedNetworkError):
+            build_kuo_energy_tree(_disconnected_network())
+
+    def test_single_node(self):
+        result = build_kuo_energy_tree(Network(1))
+        assert result.tree.edges() == []
+        assert result.tree_energy_j == 0.0
+
+
+class TestVirmani:
+    @pytest.mark.parametrize("build", [build_clmt_tree, build_dlmt_tree])
+    def test_spans_and_reports_lifetime(self, build):
+        net = random_graph(16, 0.5, seed=4)
+        result = build(net)
+        assert len(result.tree.edges()) == net.n - 1
+        assert result.lifetime == pytest.approx(result.tree.lifetime())
+        assert result.attachments == net.n - 1
+
+    @pytest.mark.parametrize("build", [build_clmt_tree, build_dlmt_tree])
+    def test_deterministic(self, build):
+        net = random_graph(16, 0.5, seed=11)
+        assert build(net).tree == build(net).tree
+
+    @pytest.mark.parametrize("build", [build_clmt_tree, build_dlmt_tree])
+    def test_disconnected_raises(self, build):
+        with pytest.raises(DisconnectedNetworkError):
+            build(_disconnected_network())
+
+    @pytest.mark.parametrize("build", [build_clmt_tree, build_dlmt_tree])
+    def test_single_node(self, build):
+        result = build(Network(1))
+        assert result.tree.edges() == []
+        assert result.attachments == 0
+
+    def test_clmt_beats_bfs_lifetime_on_average(self):
+        # The greedy spends the cheapest increment of the scarcest budget;
+        # over a batch it must not lose to the hop tree.
+        clmt_wins = 0
+        for seed in range(10):
+            net = random_graph(20, 0.4, seed=seed)
+            if build_clmt_tree(net).lifetime >= bfs_tree(net).lifetime():
+                clmt_wins += 1
+        assert clmt_wins >= 8
+
+    def test_dlmt_parents_one_wave_up(self):
+        net = random_graph(18, 0.4, seed=6)
+        result = build_dlmt_tree(net)
+        hop = bfs_tree(net)
+        for v in range(net.n):
+            if v == net.sink:
+                continue
+            # BFS levels are unique; every DLMT parent sits one level up.
+            assert hop.depth(result.tree.parent(v)) == hop.depth(v) - 1
+
+
+class TestConvergecast:
+    def test_node_lifetime_load_model(self, tiny_network):
+        model = tiny_network.energy_model
+        expected = tiny_network.initial_energy(1) / (model.tx * 3 + model.rx * 2)
+        assert convergecast_node_lifetime(tiny_network, 1, 3) == pytest.approx(
+            expected
+        )
+
+    def test_search_improves_on_bfs_start(self):
+        improved = 0
+        for seed in (1, 7, 42):
+            net = random_graph(24, 0.4, seed=seed)
+            result = build_convergecast_tree(net)
+            start = convergecast_lifetime(bfs_tree(net))
+            assert result.lifetime >= start
+            if result.lifetime > start:
+                improved += 1
+        assert improved >= 2
+
+    def test_reported_lifetime_matches_tree(self):
+        net = random_graph(18, 0.4, seed=3)
+        result = build_convergecast_tree(net)
+        assert result.lifetime == pytest.approx(
+            convergecast_lifetime(result.tree)
+        )
+
+    def test_sink_excluded_from_objective(self):
+        # The sink's convergecast load (the whole network's packets) is
+        # tree-invariant and the heaviest, so including it would pin the
+        # objective to a constant below every sensor's lifetime.
+        net = random_graph(12, 0.5, seed=2)
+        tree = build_convergecast_tree(net).tree
+        sink_life = convergecast_node_lifetime(net, net.sink, net.n)
+        assert convergecast_lifetime(tree) > sink_life
+
+    def test_deterministic(self):
+        net = random_graph(16, 0.5, seed=13)
+        assert (
+            build_convergecast_tree(net).tree == build_convergecast_tree(net).tree
+        )
+
+    def test_max_moves_zero_returns_start(self):
+        net = random_graph(14, 0.5, seed=8)
+        result = build_convergecast_tree(net, max_moves=0)
+        assert result.tree == bfs_tree(net)
+        assert result.moves == 0
+
+    def test_single_node(self):
+        result = build_convergecast_tree(Network(1))
+        assert result.tree.edges() == []
+        assert result.lifetime == math.inf
+
+    def test_disconnected_raises(self):
+        with pytest.raises(DisconnectedNetworkError):
+            build_convergecast_tree(_disconnected_network())
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize(
+        "name", ["min_energy", "clmt", "dlmt", "convergecast"]
+    )
+    def test_registered_and_buildable(self, name, small_random_network):
+        result = build_tree(name, small_random_network)
+        assert len(result.tree.edges()) == small_random_network.n - 1
+        assert result.builder == name
+
+    def test_meta_carries_algorithm_specifics(self, small_random_network):
+        assert "tree_energy_j" in build_tree("min_energy", small_random_network).meta
+        assert "lifetime" in build_tree("clmt", small_random_network).meta
+        assert (
+            "convergecast_lifetime"
+            in build_tree("convergecast", small_random_network).meta
+        )

@@ -210,3 +210,56 @@ class TestExtStability:
     def test_render_and_chart(self, result):
         assert "mean churn" in result.render()
         assert "structural churn" in result.render_chart()
+
+
+class TestExtPortfolio:
+    # One small 2-cell grid shared by the class: tournament trials race
+    # five builders each, so keep the sweep tiny.
+    CELLS = (("random", 12, 0.4), ("random", 12, 0.8))
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments.ext_portfolio import run_ext_portfolio
+
+        return run_ext_portfolio(n_trials=3, cells=self.CELLS)
+
+    def test_cells_and_members_present(self, result):
+        assert len(result.cells) == len(self.CELLS)
+        for cell in result.cells:
+            assert sum(cell.wins.values()) == result.n_trials
+            assert set(cell.wins) == set(result.members)
+
+    def test_overall_wins_sum_to_total_races(self, result):
+        assert sum(result.overall_wins().values()) == result.n_trials * len(
+            self.CELLS
+        )
+
+    def test_default_grid_covers_two_topologies(self):
+        from repro.experiments.ext_portfolio import DEFAULT_CELLS
+
+        assert {topology for topology, _, _ in DEFAULT_CELLS} == {
+            "random",
+            "disk",
+        }
+
+    def test_parallel_sweep_is_bitwise_identical(self, result):
+        from repro.experiments.ext_portfolio import run_ext_portfolio
+
+        parallel = run_ext_portfolio(
+            n_trials=3, cells=self.CELLS, n_jobs=2
+        )
+        assert parallel == result
+
+    def test_render_and_chart(self, result):
+        out = result.render()
+        assert "win rate per member" in out
+        assert "overall" in out
+        assert "total race wins" in result.render_chart()
+
+    def test_bad_arguments_rejected(self):
+        from repro.experiments.ext_portfolio import run_ext_portfolio
+
+        with pytest.raises(ValueError, match="n_trials"):
+            run_ext_portfolio(n_trials=0)
+        with pytest.raises(ValueError, match="members"):
+            run_ext_portfolio(n_trials=1, members=("mst",))

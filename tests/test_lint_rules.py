@@ -121,7 +121,21 @@ class TestREP102ObsGuard:
 
     def test_cold_packages_not_checked(self, tmp_path):
         source = "from repro.obs import OBS\nOBS.registry.counter('x').inc()\n"
-        assert lint_sources(tmp_path, {"repro/experiments/algo.py": source}) == []
+        assert lint_sources(tmp_path, {"repro/analysis/algo.py": source}) == []
+
+    def test_experiments_package_is_hot(self, tmp_path):
+        # repro.experiments joined HOT_PACKAGES alongside the portfolio
+        # work: experiment drivers loop over many builds per trial.
+        source = "from repro.obs import OBS\nOBS.registry.counter('x').inc()\n"
+        findings = lint_sources(tmp_path, {"repro/experiments/algo.py": source})
+        assert rule_ids(findings) == ["REP102"]
+
+    def test_portfolio_packages_are_hot(self, tmp_path):
+        from repro.lint.rules.obs import HOT_PACKAGES
+
+        assert {"repro.engine", "repro.baselines", "repro.experiments"} <= set(
+            HOT_PACKAGES
+        )
 
 
 class TestREP103FloatEquality:

@@ -8,7 +8,9 @@ import pytest
 from repro.experiments.fig8_same_energy import run_fig8
 from repro.experiments.parallel import (
     MIN_ITEMS_FOR_POOL,
+    ParallelBuildError,
     default_workers,
+    parallel_build,
     parallel_map,
 )
 
@@ -67,8 +69,48 @@ class TestParallelMap:
         with pytest.raises(ValueError):
             parallel_map(_square, 5, n_jobs=0)
 
+    def test_chunk_size_validation(self):
+        # Regression: chunk_size=0 used to escape as an opaque
+        # "range() arg 3 must not be zero" from the block splitter.
+        with pytest.raises(ValueError, match="chunk_size must be >= 1, got 0"):
+            parallel_map(_square, 5, n_jobs=2, chunk_size=0)
+        with pytest.raises(ValueError, match="chunk_size must be >= 1, got -3"):
+            parallel_map(_square, 5, n_jobs=2, chunk_size=-3)
+
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestParallelBuildError:
+    def test_names_builder_and_trial(self):
+        # delay_bounded requires max_depth; omitting it fails every trial,
+        # and the wrapper must say which builder/trial died.
+        with pytest.raises(ParallelBuildError) as excinfo:
+            parallel_build("delay_bounded", _trial_network, 3)
+        assert excinfo.value.builder == "delay_bounded"
+        assert excinfo.value.index == 0
+        assert "builder 'delay_bounded' failed on trial 0" in str(excinfo.value)
+        assert "max_depth" in str(excinfo.value)
+
+    def test_crosses_the_process_boundary_intact(self):
+        with pytest.raises(ParallelBuildError) as excinfo:
+            parallel_build("delay_bounded", _trial_network, 4, n_jobs=2)
+        assert excinfo.value.builder == "delay_bounded"
+        assert "failed on trial" in str(excinfo.value)
+
+    def test_original_exception_is_the_cause(self):
+        with pytest.raises(ParallelBuildError) as excinfo:
+            parallel_build("delay_bounded", _trial_network, 2)
+        assert isinstance(excinfo.value.__cause__, TypeError)
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        err = ParallelBuildError("ira", 7, "TypeError: boom")
+        back = pickle.loads(pickle.dumps(err))
+        assert back.builder == "ira"
+        assert back.index == 7
+        assert str(back) == str(err)
 
 
 class TestParallelExperiments:

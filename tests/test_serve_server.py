@@ -416,3 +416,73 @@ class TestServeCli:
             serve_main(["bench", "--workers", "0"])
         with pytest.raises(SystemExit):
             serve_main(["nonsense"])
+
+
+class TestParseSlo:
+    def test_parses_full_spec(self):
+        from repro.serve.cli import _parse_slo
+
+        slo = _parse_slo("build:0.5:0.99:0.01")
+        assert slo.op == "build"
+        assert slo.latency_budget_s == 0.5
+        assert slo.latency_target == 0.99
+        assert slo.error_target == 0.01
+
+    def test_non_numeric_budget_gets_validated_message(self):
+        # Regression: 'abc' used to escape as a bare float() ValueError
+        # ("could not convert string to float") with no mention of --slo.
+        from repro.serve.cli import _parse_slo
+
+        with pytest.raises(
+            ValueError, match=r"--slo latency budget must be a number, got 'abc'"
+        ):
+            _parse_slo("build:abc")
+
+    def test_non_numeric_target_gets_validated_message(self):
+        from repro.serve.cli import _parse_slo
+
+        with pytest.raises(
+            ValueError, match=r"--slo latency target must be a number, got 'xx'"
+        ):
+            _parse_slo("build:0.5:xx")
+
+    def test_rejects_non_positive_budget(self):
+        from repro.serve.cli import _parse_slo
+
+        with pytest.raises(
+            ValueError, match=r"--slo latency budget must be positive, got '-1'"
+        ):
+            _parse_slo("build:-1")
+        with pytest.raises(ValueError, match="must be positive"):
+            _parse_slo("build:0")
+
+    def test_rejects_targets_outside_unit_interval(self):
+        from repro.serve.cli import _parse_slo
+
+        with pytest.raises(
+            ValueError,
+            match=r"--slo latency target must be a fraction in \(0, 1\)",
+        ):
+            _parse_slo("build:0.5:1.5")
+        with pytest.raises(
+            ValueError,
+            match=r"--slo error target must be a fraction in \(0, 1\)",
+        ):
+            _parse_slo("build:0.5:0.9:0")
+
+    def test_every_message_quotes_the_grammar(self):
+        from repro.serve.cli import _parse_slo
+
+        for spec in ("build", "build:abc", "build:-1", "build:0.5:2"):
+            with pytest.raises(ValueError, match="BUDGET_S"):
+                _parse_slo(spec)
+
+    def test_run_subcommand_reports_bad_slo_cleanly(self, capsys):
+        # The validated message reaches the user via exit code 2, not a
+        # traceback.
+        exit_code = serve_main(
+            ["run", "--port", "0", "--slo", "build:abc"]
+        )
+        assert exit_code == 2
+        out = capsys.readouterr().out
+        assert "latency budget must be a number" in out
